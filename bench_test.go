@@ -1,0 +1,325 @@
+// Benchmarks: one per table and figure of the paper (each runs its
+// experiment driver end to end — scenario simulation, MRT encoding,
+// detection, rendering — on a fresh seed every iteration), plus
+// micro-benchmarks of the wire codecs, the simulator, and the detector.
+//
+// The per-experiment benchmarks use Scale 16 (very short periods) so a
+// full `go test -bench=.` stays in the minutes range; run the experiments
+// command with -scale 1 for paper-length regeneration.
+package zombiescope_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/experiments"
+	"zombiescope/internal/mrt"
+	"zombiescope/internal/netsim"
+	"zombiescope/internal/topology"
+	"zombiescope/internal/zombie"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A distinct seed per experiment and per iteration defeats the
+	// scenario cache, so every iteration pays the full pipeline cost.
+	base := uint64(1000)
+	for _, c := range id {
+		base = base*31 + uint64(c)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(experiments.Config{Seed: base + uint64(i), Scale: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Text == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// Table benchmarks.
+func BenchmarkTable1DoubleCounting(b *testing.B)  { benchExperiment(b, "Table1") }
+func BenchmarkTable2StudyComparison(b *testing.B) { benchExperiment(b, "Table2") }
+func BenchmarkTable3MissedZombies(b *testing.B)   { benchExperiment(b, "Table3") }
+func BenchmarkTable4NoisyPeer(b *testing.B)       { benchExperiment(b, "Table4") }
+func BenchmarkTable5NoisyRouters(b *testing.B)    { benchExperiment(b, "Table5") }
+
+// Figure benchmarks.
+func BenchmarkFig2ThresholdSweep(b *testing.B)       { benchExperiment(b, "Fig2") }
+func BenchmarkFig3LifespanCDF(b *testing.B)          { benchExperiment(b, "Fig3") }
+func BenchmarkFig4ResurrectionTimeline(b *testing.B) { benchExperiment(b, "Fig4") }
+func BenchmarkFig5EmergenceRate(b *testing.B)        { benchExperiment(b, "Fig5") }
+func BenchmarkFig6PathLengths(b *testing.B)          { benchExperiment(b, "Fig6") }
+func BenchmarkFig7Concurrency(b *testing.B)          { benchExperiment(b, "Fig7") }
+
+// Case-study benchmarks.
+func BenchmarkCaseImpactful(b *testing.B)    { benchExperiment(b, "CaseImpactful") }
+func BenchmarkCaseLongLived(b *testing.B)    { benchExperiment(b, "CaseLongLived") }
+func BenchmarkCaseResurrection(b *testing.B) { benchExperiment(b, "CaseResurrectionSubpath") }
+
+// Extension benchmarks (ablations and the §6 discussion experiment).
+func BenchmarkAblationMethodology(b *testing.B) { benchExperiment(b, "AblationMethodology") }
+func BenchmarkAblationTimers(b *testing.B)      { benchExperiment(b, "AblationTimers") }
+func BenchmarkDiscussionCombined(b *testing.B)  { benchExperiment(b, "DiscussionCombined") }
+func BenchmarkDiscussionIPv4(b *testing.B)      { benchExperiment(b, "DiscussionIPv4Beacons") }
+func BenchmarkDiscussionRouteViews(b *testing.B) {
+	benchExperiment(b, "DiscussionRouteViews")
+}
+
+// BenchmarkStreamDetector measures the real-time detection path over a
+// pre-sorted record stream.
+func BenchmarkStreamDetector(b *testing.B) {
+	d, err := experiments.RunAuthorScenario(benchAuthorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	type tsRec struct {
+		name string
+		rec  mrt.Record
+	}
+	var stream []tsRec
+	for name, raw := range d.Updates {
+		rd := mrt.NewReader(bytes.NewReader(raw))
+		for {
+			rec, err := rd.Next()
+			if err != nil {
+				break
+			}
+			stream = append(stream, tsRec{name, rec})
+		}
+	}
+	sort.SliceStable(stream, func(i, j int) bool {
+		return stream[i].rec.RecordTime().Before(stream[j].rec.RecordTime())
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := 0
+		sd := zombie.NewStreamDetector(d.Intervals, 90*time.Minute, func(zombie.ZombieEvent) { events++ })
+		for _, r := range stream {
+			sd.Advance(r.rec.RecordTime())
+			sd.Observe(r.name, r.rec)
+		}
+		sd.Advance(d.Config.TrackUntil)
+		if events == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// --- micro-benchmarks ---
+
+func benchUpdate() *bgp.Update {
+	return &bgp.Update{
+		Attrs: bgp.PathAttributes{
+			HasOrigin: true,
+			Origin:    bgp.OriginIGP,
+			ASPath:    bgp.NewASPath(61573, 28598, 10429, 12956, 3356, 34549, 8298, 210312),
+			Aggregator: &bgp.Aggregator{
+				ASN:  210312,
+				Addr: beacon.AggregatorClock(time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC)),
+			},
+			MPReach: &bgp.MPReachNLRI{
+				AFI:     bgp.AFIIPv6,
+				SAFI:    bgp.SAFIUnicast,
+				NextHop: netip.MustParseAddr("2001:db8::1"),
+				NLRI:    []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1:1851::/48")},
+			},
+		},
+	}
+}
+
+func BenchmarkBGPUpdateEncode(b *testing.B) {
+	u := benchUpdate()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = u.AppendWireFormat(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBGPUpdateDecode(b *testing.B) {
+	u := benchUpdate()
+	wire, err := u.AppendWireFormat(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bgp.DecodeUpdate(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMRTWriteRead(b *testing.B) {
+	u := benchUpdate()
+	wire, err := u.AppendWireFormat(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &mrt.BGP4MPMessage{
+		Timestamp: time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC),
+		PeerAS:    61573,
+		LocalAS:   12654,
+		AFI:       bgp.AFIIPv6,
+		PeerIP:    netip.MustParseAddr("2001:db8:feed::1"),
+		LocalIP:   netip.MustParseAddr("2001:67c::1"),
+		Data:      wire,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := mrt.NewWriter(&buf).Write(rec); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mrt.ReadAll(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimBeaconCycle measures one full announce+withdraw propagation
+// over a ~400-AS Internet-like topology.
+func BenchmarkSimBeaconCycle(b *testing.B) {
+	g, err := topology.Generate(topology.DefaultGenerateConfig(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	origin := g.TierASNs(4)[0]
+	prefix := netip.MustParsePrefix("2a0d:3dc1:1200::/48")
+	t0 := time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := netsim.New(g, netsim.Config{Seed: uint64(i + 1)})
+		sim.ScheduleAnnounce(t0, origin, prefix, nil)
+		sim.ScheduleWithdraw(t0.Add(15*time.Minute), origin, prefix)
+		sim.RunAll()
+		if sim.RouteCount(prefix) != 0 {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkDetector measures the revised detection over a prebuilt
+// archive of one simulated day of author beacons.
+func BenchmarkDetector(b *testing.B) {
+	d, err := experiments.RunAuthorScenario(benchAuthorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := &zombie.Detector{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := det.Detect(d.Updates, d.Intervals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep.Filter(zombie.FilterOptions{})
+	}
+}
+
+// BenchmarkHistoryReconstruction isolates the MRT parsing + state
+// reconstruction stage.
+func BenchmarkHistoryReconstruction(b *testing.B) {
+	d, err := experiments.RunAuthorScenario(benchAuthorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	track := make(zombie.TrackSet)
+	for _, iv := range d.Intervals {
+		track[iv.Prefix] = true
+	}
+	var total int
+	for _, data := range d.Updates {
+		total += len(data)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zombie.BuildHistory(d.Updates, track); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLifespanTracking isolates the RIB-dump lifespan stage over the
+// year-long dump archive.
+func BenchmarkLifespanTracking(b *testing.B) {
+	d, err := experiments.RunAuthorScenario(benchAuthorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int
+	for _, data := range d.Dumps {
+		total += len(data)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zombie.TrackLifespans(d.Dumps, d.Intervals, zombie.LifespanConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAuthorConfig() experiments.AuthorConfig {
+	cfg := experiments.DefaultAuthorConfig(77, 16)
+	return cfg
+}
+
+// BenchmarkPalmTree measures root-cause inference over a large outbreak.
+func BenchmarkPalmTree(b *testing.B) {
+	var paths []bgp.ASPath
+	for i := 0; i < 500; i++ {
+		paths = append(paths, bgp.NewASPath(
+			bgp.ASN(65000+i), bgp.ASN(64000+i%7), 33891, 25091, 8298, 210312))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := zombie.InferRootCause(paths); !ok {
+			b.Fatal("no root cause")
+		}
+	}
+}
+
+// BenchmarkCollectorSnapshot measures a TABLE_DUMP_V2 snapshot of a fleet
+// with many sessions and prefixes.
+func BenchmarkCollectorSnapshot(b *testing.B) {
+	f := collector.NewFleet()
+	t0 := time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC)
+	for s := 0; s < 50; s++ {
+		sess := netsim.Session{
+			Collector: fmt.Sprintf("rrc%02d", s%4),
+			PeerAS:    bgp.ASN(65000 + s),
+			PeerIP:    netip.MustParseAddr(fmt.Sprintf("2001:db8::%x", s+1)),
+			AFI:       bgp.AFIIPv6,
+		}
+		for p := 0; p < 40; p++ {
+			prefix := netip.MustParsePrefix(fmt.Sprintf("2a0d:3dc1:%x::/48", 0x100+p))
+			f.PeerAnnounce(t0, sess, prefix, netsim.RouteAttrs{
+				Path: bgp.NewASPath(sess.PeerAS, 25091, 8298, 210312),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SnapshotRIBs(t0.Add(time.Duration(i+1) * 8 * time.Hour))
+	}
+}

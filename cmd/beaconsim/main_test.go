@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Jul 19 - Aug 31, 2018": "Jul_19___Aug_31_2018",
+		"rrc00":                 "rrc00",
+		"a/b\\c":                "abc",
+		"":                      "",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures from
+// synthetic scenarios.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run Table1
+//	experiments -run all [-seed 42] [-scale 8] [-json]
+//
+// Scale divides the paper's measurement period durations (scale 1 runs the
+// full-length periods and the full 96-prefixes/day beacon cadence; the
+// default 8 finishes in under a minute).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zombiescope/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment ID to run, or 'all'")
+		seed    = flag.Uint64("seed", 42, "scenario seed")
+		scale   = flag.Int("scale", 8, "period scale divisor (1 = paper-length)")
+		jsonOut = flag.Bool("json", false, "emit machine-readable metrics as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-24s %s\n", e.ID, e.Title)
+			fmt.Printf("%-24s paper: %s\n\n", "", e.Paper)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: experiments -list | -run <ID|all> [-seed N] [-scale N]")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	var toRun []experiments.Experiment
+	if strings.EqualFold(*run, "all") {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+	type jsonResult struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		Paper   string             `json:"paper"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	var jsonResults []jsonResult
+	for _, e := range toRun {
+		if !*jsonOut {
+			fmt.Printf("### %s — %s\n", e.ID, e.Title)
+			fmt.Printf("    paper: %s\n\n", e.Paper)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			jsonResults = append(jsonResults, jsonResult{
+				ID: e.ID, Title: e.Title, Paper: e.Paper, Metrics: res.Metrics,
+			})
+			continue
+		}
+		fmt.Println(res.Text)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

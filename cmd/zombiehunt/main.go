@@ -1,0 +1,133 @@
+// Command zombiehunt runs the revised zombie detection methodology over an
+// MRT archive directory (as produced by beaconsim, or any collector export
+// using the same layout: <dir>/<collector>/updates.mrt and optional
+// <dir>/<collector>/bview.mrt).
+//
+// Usage:
+//
+//	zombiehunt -archive ./archive -base 2a0d:3dc1::/32 -approach 15d \
+//	           -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
+//	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris]
+//
+// The beacon schedule (base prefix, approach, window) tells the detector
+// which prefixes to track and where the beacon intervals fall. Detection
+// follows the paper: state reconstruction from raw updates at message
+// granularity, per-interval evaluation, Aggregator-clock dedup, and
+// noisy-peer flagging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"zombiescope/internal/archive"
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/zombie"
+)
+
+func main() {
+	var (
+		archiveDir = flag.String("archive", "archive", "MRT archive directory")
+		schedKind  = flag.String("schedule", "author", "beacon schedule: author | ris")
+		baseStr    = flag.String("base", "2a0d:3dc1::/32", "beacon base prefix (author schedule)")
+		approach   = flag.String("approach", "15d", "beacon recycle approach: 24h | 15d (author schedule)")
+		fromStr    = flag.String("from", "", "experiment start (RFC 3339)")
+		toStr      = flag.String("to", "", "experiment end (RFC 3339)")
+		origin     = flag.Uint64("origin", 210312, "beacon origin ASN")
+		stride     = flag.Int("stride", 1, "beacon slot stride (announcements every stride*15min)")
+		threshold  = flag.Duration("threshold", 90*time.Minute, "zombie detection threshold")
+		lifespans  = flag.Bool("lifespans", false, "track lifespans from RIB dumps")
+		dotOut     = flag.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
+	)
+	flag.Parse()
+
+	from, err := time.Parse(time.RFC3339, *fromStr)
+	if err != nil {
+		fatal(fmt.Errorf("-from: %w", err))
+	}
+	to, err := time.Parse(time.RFC3339, *toStr)
+	if err != nil {
+		fatal(fmt.Errorf("-to: %w", err))
+	}
+	var sched beacon.Schedule
+	switch *schedKind {
+	case "author":
+		base, err := netip.ParsePrefix(*baseStr)
+		if err != nil {
+			fatal(err)
+		}
+		ap := beacon.Recycle15d
+		if *approach == "24h" {
+			ap = beacon.Recycle24h
+		}
+		sched = &beacon.AuthorSchedule{
+			Base:       base,
+			OriginAS:   bgp.ASN(*origin),
+			Approach:   ap,
+			SlotStride: *stride,
+		}
+	case "ris":
+		v4, v6 := beacon.DefaultRISPrefixes(bgp.ASN(*origin))
+		sched = &beacon.RISSchedule{Prefixes4: v4, Prefixes6: v6, OriginAS: bgp.ASN(*origin)}
+	default:
+		fatal(fmt.Errorf("unknown -schedule %q", *schedKind))
+	}
+	intervals := sched.Intervals(from, to)
+	if len(intervals) == 0 {
+		fatal(fmt.Errorf("no beacon intervals in [%s, %s]", from, to))
+	}
+
+	set, err := archive.Load(*archiveDir)
+	if err != nil {
+		fatal(err)
+	}
+	updates, dumps := set.Updates, set.Dumps
+	fmt.Printf("archive: %d collectors, %d beacon intervals\n", len(updates), len(intervals))
+
+	det := &zombie.Detector{Threshold: *threshold}
+	rep, err := det.Detect(updates, intervals)
+	if err != nil {
+		fatal(err)
+	}
+
+	summary := zombie.Summarize(rep, zombie.NoisyConfig{}, 5)
+	fmt.Println()
+	summary.Render(os.Stdout)
+
+	if *dotOut != "" && len(summary.TopOutbreaks) > 0 {
+		top := summary.TopOutbreaks[0].Outbreak
+		if err := os.WriteFile(*dotOut, []byte(zombie.OutbreakGraphDOT(&top)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npalm-tree graph of %s written to %s\n", top.Prefix, *dotOut)
+	}
+
+	if *lifespans {
+		lr, err := zombie.TrackLifespans(dumps, intervals, zombie.LifespanConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		durs := lr.Durations(24*time.Hour, summary.NoisyASSet(), summary.NoisyAddrSet())
+		fmt.Printf("\nlifespans (>= 1 day, noisy excluded): %d outbreaks\n", len(durs))
+		for _, d := range durs {
+			fmt.Printf("  %.1f days\n", d.Hours()/24)
+		}
+		if res := lr.Resurrections(); len(res) > 0 {
+			fmt.Println("\nresurrections:")
+			for _, r := range res {
+				fmt.Printf("  %s at %s %s: vanished %s, reappeared %s (path %s)\n",
+					r.Prefix, r.Peer.AS, r.Peer.Collector,
+					r.LastSeen.Format(time.DateOnly), r.ReappearedAt.Format(time.DateOnly), r.Path)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module zombiescope
+
+go 1.22

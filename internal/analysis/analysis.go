@@ -1,0 +1,201 @@
+// Package analysis provides the small statistics and rendering toolkit the
+// experiment harness uses to regenerate the paper's tables and figures as
+// text: empirical CDFs, summary statistics, and aligned table output.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewCDFInts builds a CDF from integer samples.
+func NewCDFInts(samples []int) *CDF {
+	s := make([]float64, len(samples))
+	for i, v := range samples {
+		s[i] = float64(v)
+	}
+	return NewCDF(s)
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Min returns the smallest sample (0 on empty).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample (0 on empty).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the arithmetic mean (0 on empty).
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Points returns (x, P(X<=x)) steps suitable for plotting or printing: one
+// point per distinct sample value.
+func (c *CDF) Points() [][2]float64 {
+	var out [][2]float64
+	n := float64(len(c.sorted))
+	for i := 0; i < len(c.sorted); i++ {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		out = append(out, [2]float64{c.sorted[i], float64(i+1) / n})
+	}
+	return out
+}
+
+// RenderASCII draws the CDF as a small text chart for terminal output.
+func (c *CDF) RenderASCII(w io.Writer, label string, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintf(w, "%s (n=%d, min=%.3g, median=%.3g, max=%.3g)\n", label, c.Len(), c.Min(), c.Median(), c.Max())
+	if c.Len() == 0 {
+		fmt.Fprintln(w, "  (no samples)")
+		return
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		v := c.Quantile(q)
+		bar := strings.Repeat("#", int(q*float64(width)))
+		fmt.Fprintf(w, "  p%-3.0f %-*s %.4g\n", q*100, width, bar, v)
+	}
+}
+
+// Table renders aligned text tables (the paper's tables as terminal
+// output).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells, formatting non-strings with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, " ", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%.2f%%", ratio*100)
+}
+
+// Reduction formats the relative reduction from a to b (the paper quotes
+// e.g. "a reduction of 21.36%").
+func Reduction(from, to int) string {
+	if from == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", float64(from-to)/float64(from)*100)
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Median(); got != 2 {
+		t.Errorf("Median = %v", got)
+	}
+	if c.Min() != 1 || c.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+	if got := c.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDFInts([]int{10, 20, 30, 40, 50})
+	if got := c.Quantile(0.2); got != 10 {
+		t.Errorf("Q(0.2) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 30 {
+		t.Errorf("Q(0.5) = %v", got)
+	}
+	if got := c.Quantile(1.0); got != 50 {
+		t.Errorf("Q(1.0) = %v", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Q(0) = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.Mean() != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+	var sb strings.Builder
+	c.RenderASCII(&sb, "empty", 20)
+	if !strings.Contains(sb.String(), "no samples") {
+		t.Error("empty render missing placeholder")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2})
+	pts := c.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0] != [2]float64{1, 2.0 / 3} || pts[1] != [2]float64{2, 1} {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+// Property: At is monotone nondecreasing and bounded in [0,1].
+func TestCDFQuickMonotone(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		for i, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				samples[i] = 0
+			}
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		probesSorted := append([]float64(nil), probes...)
+		for i, p := range probesSorted {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				probesSorted[i] = 0
+			}
+		}
+		sortFloats(probesSorted)
+		for _, p := range probesSorted {
+			v := c.At(p)
+			if v < 0 || v > 1 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "Example",
+		Header: []string{"Period", "IPv4", "IPv6"},
+	}
+	tbl.AddRow("Jul-Aug 2018", 226, 514)
+	tbl.AddRow("Oct-Dec 2017", 478, 1370)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Example", "Period", "226", "1370", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("render has %d lines", len(lines))
+	}
+}
+
+func TestPctAndReduction(t *testing.T) {
+	if got := Pct(0.0214); got != "2.14%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Reduction(1000, 786); got != "21.40%" {
+		t.Errorf("Reduction = %q", got)
+	}
+	if got := Reduction(0, 5); got != "n/a" {
+		t.Errorf("Reduction(0,·) = %q", got)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	var sb strings.Builder
+	c.RenderASCII(&sb, "durations", 10)
+	out := sb.String()
+	if !strings.Contains(out, "durations") || !strings.Contains(out, "p50") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRenderSeriesASCII(t *testing.T) {
+	var sb strings.Builder
+	RenderSeriesASCII(&sb, "outbreaks vs threshold", "minutes", 20,
+		Series{Label: "all", Marker: '*', Points: [][2]float64{{90, 60}, {180, 50}}},
+		Series{Label: "clean", Marker: 'o', Points: [][2]float64{{90, 20}, {180, 8}}},
+	)
+	out := sb.String()
+	for _, want := range []string{"* = all", "o = clean", "minutes", "*=60", "o=8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series render missing %q:\n%s", want, out)
+		}
+	}
+	// The maximum value's marker must actually appear inside the plot.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "90") && strings.Contains(l, "*") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("max-value marker missing:\n%s", out)
+	}
+}
+
+func TestRenderSeriesASCIIEmpty(t *testing.T) {
+	var sb strings.Builder
+	RenderSeriesASCII(&sb, "empty", "x", 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty series render missing placeholder")
+	}
+}
+
+func TestRenderSeriesASCIIOverlap(t *testing.T) {
+	var sb strings.Builder
+	RenderSeriesASCII(&sb, "overlap", "x", 10,
+		Series{Label: "a", Marker: '*', Points: [][2]float64{{1, 5}}},
+		Series{Label: "b", Marker: 'o', Points: [][2]float64{{1, 5}}},
+	)
+	if !strings.Contains(sb.String(), "#") {
+		t.Error("overlapping markers not collapsed to #")
+	}
+}

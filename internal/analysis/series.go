@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a labeled sequence of (x, y) points for text plotting.
+type Series struct {
+	Label  string
+	Marker byte // glyph used in the plot, e.g. '*' or 'o'
+	Points [][2]float64
+}
+
+// RenderSeriesASCII draws one or more series as a rows-by-x text chart:
+// one row per x position (assumed shared across series), bars scaled to
+// width, markers distinguishing the series — enough to eyeball the shape
+// of a figure in a terminal.
+func RenderSeriesASCII(w io.Writer, title, xLabel string, width int, series ...Series) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	maxY := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", s.Marker, s.Label)
+	}
+	fmt.Fprintf(w, "  %-8s\n", xLabel)
+	n := len(series[0].Points)
+	for i := 0; i < n; i++ {
+		x := series[0].Points[i][0]
+		row := make([]byte, width+1)
+		for j := range row {
+			row[j] = ' '
+		}
+		var vals []string
+		for _, s := range series {
+			if i >= len(s.Points) {
+				continue
+			}
+			y := s.Points[i][1]
+			pos := int(math.Round(y / maxY * float64(width-1)))
+			if pos > width-1 {
+				pos = width - 1
+			}
+			if pos < 0 {
+				pos = 0
+			}
+			if row[pos] == ' ' {
+				row[pos] = s.Marker
+			} else {
+				row[pos] = '#' // overlapping markers
+			}
+			vals = append(vals, fmt.Sprintf("%c=%.4g", s.Marker, y))
+		}
+		fmt.Fprintf(w, "  %-8.4g|%s| %s\n", x, string(row[:width]), strings.Join(vals, " "))
+	}
+}

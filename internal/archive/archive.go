@@ -1,0 +1,131 @@
+// Package archive reads and writes the on-disk MRT archive layout the
+// tools share, mirroring a RIS mirror directory:
+//
+//	<dir>/<collector>/updates.mrt                  (single-file form)
+//	<dir>/<collector>/updates.YYYYMMDD.HHMM.mrt    (rotated form)
+//	<dir>/<collector>/bview.mrt                    (RIB dump snapshots)
+//
+// Because MRT records are self-delimiting, the rotated update files of a
+// collector concatenate (in name order) into one valid stream, which is
+// how Load returns them.
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"zombiescope/internal/collector"
+)
+
+// Set is an in-memory archive: per-collector update streams and RIB dump
+// streams.
+type Set struct {
+	Updates map[string][]byte
+	Dumps   map[string][]byte
+}
+
+// Load reads an archive directory. Collectors are subdirectories; all
+// their updates*.mrt files are concatenated in lexical (= chronological)
+// order. Missing bview.mrt files are fine.
+func Load(dir string) (*Set, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	set := &Set{
+		Updates: make(map[string][]byte),
+		Dumps:   make(map[string][]byte),
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		sub := filepath.Join(dir, name)
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			return nil, fmt.Errorf("archive: %w", err)
+		}
+		var updateFiles []string
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(f.Name(), "updates") && strings.HasSuffix(f.Name(), ".mrt"):
+				updateFiles = append(updateFiles, f.Name())
+			case f.Name() == "bview.mrt":
+				b, err := os.ReadFile(filepath.Join(sub, f.Name()))
+				if err != nil {
+					return nil, fmt.Errorf("archive: %w", err)
+				}
+				set.Dumps[name] = b
+			}
+		}
+		sort.Strings(updateFiles)
+		var stream []byte
+		for _, uf := range updateFiles {
+			b, err := os.ReadFile(filepath.Join(sub, uf))
+			if err != nil {
+				return nil, fmt.Errorf("archive: %w", err)
+			}
+			stream = append(stream, b...)
+		}
+		if len(stream) > 0 {
+			set.Updates[name] = stream
+		}
+	}
+	if len(set.Updates) == 0 {
+		return nil, fmt.Errorf("archive: no <collector>/updates*.mrt files under %s", dir)
+	}
+	return set, nil
+}
+
+// Write stores an in-memory archive in the single-file layout.
+func Write(dir string, set *Set) error {
+	for name, data := range set.Updates {
+		sub := filepath.Join(dir, name)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "updates.mrt"), data, 0o644); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+	}
+	for name, data := range set.Dumps {
+		sub := filepath.Join(dir, name)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "bview.mrt"), data, 0o644); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteFleet stores a collector fleet's archives, using the rotated
+// update-file layout when the collectors rotated.
+func WriteFleet(dir string, f *collector.Fleet) error {
+	for _, name := range f.Names() {
+		c := f.Collector(name)
+		sub := filepath.Join(dir, name)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+		for _, seg := range c.Segments() {
+			if err := os.WriteFile(filepath.Join(sub, seg.Name), seg.Data, 0o644); err != nil {
+				return fmt.Errorf("archive: %w", err)
+			}
+		}
+		if dump := c.DumpData(); len(dump) > 0 {
+			if err := os.WriteFile(filepath.Join(sub, "bview.mrt"), dump, 0o644); err != nil {
+				return fmt.Errorf("archive: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package beacon implements the two BGP beaconing methodologies the paper
+// studies:
+//
+//   - The RIPE RIS beacons: fixed prefixes announced every 4 hours and
+//     withdrawn 2 hours later, carrying a BGP clock in the Aggregator IP
+//     Address attribute ("10.x.y.z" = 24-bit seconds since the start of
+//     the month).
+//
+//   - The authors' beacons from AS210312: a different IPv6 /48 announced
+//     every 15 minutes and withdrawn 15 minutes later, with the
+//     announcement time encoded in the prefix bits. Two recycle formats
+//     exist: "2a0d:3dc1:(HHMM)::/48" for the 24-hour recycle approach and
+//     "2a0d:3dc1:(HH)(minute+day%15)::/48" for the 15-day recycle
+//     approach. The 15-day format reproduces the paper's documented
+//     collision bug (on some days 2 of the 96 daily prefixes coincide,
+//     e.g. 00:30 and 03:00 on 2024-06-15 both map to 2a0d:3dc1:30::/48).
+package beacon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"time"
+)
+
+// Approach selects the authors' prefix recycle format.
+type Approach int
+
+// Recycle approaches from §4 of the paper.
+const (
+	Recycle24h Approach = iota // 2024-06-04 – 2024-06-10 in the paper
+	Recycle15d                 // 2024-06-10 – 2024-06-22 in the paper
+)
+
+func (a Approach) String() string {
+	if a == Recycle24h {
+		return "24h"
+	}
+	return "15d"
+}
+
+// SlotDuration is the spacing of the authors' beacon announcements
+// (announce at :00/:15/:30/:45, withdraw 15 minutes later).
+const SlotDuration = 15 * time.Minute
+
+// AggregatorClock encodes t as the RIPE RIS beacon Aggregator IP Address
+// "10.x.y.z", where x.y.z is the 24-bit count of seconds between midnight
+// UTC on the first day of t's month and t.
+func AggregatorClock(t time.Time) netip.Addr {
+	t = t.UTC()
+	monthStart := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+	secs := uint32(t.Sub(monthStart) / time.Second)
+	var b [4]byte
+	b[0] = 10
+	b[1] = byte(secs >> 16)
+	b[2] = byte(secs >> 8)
+	b[3] = byte(secs)
+	return netip.AddrFrom4(b)
+}
+
+// DecodeAggregatorClock recovers the announcement time encoded in a beacon
+// Aggregator address, interpreted relative to the month containing ref
+// (the best-case scenario the paper describes: the attribute is ambiguous
+// across months, so the decoder assumes the most recent possible origin at
+// or before ref's month end). It returns false if the address is not a
+// beacon clock (not in 10.0.0.0/8).
+func DecodeAggregatorClock(a netip.Addr, ref time.Time) (time.Time, bool) {
+	if !a.Is4() {
+		return time.Time{}, false
+	}
+	b := a.As4()
+	if b[0] != 10 {
+		return time.Time{}, false
+	}
+	secs := uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	ref = ref.UTC()
+	monthStart := time.Date(ref.Year(), ref.Month(), 1, 0, 0, 0, 0, time.UTC)
+	return monthStart.Add(time.Duration(secs) * time.Second), true
+}
+
+// hexFold interprets the decimal digits of v as hexadecimal nibbles:
+// hexFold(1845) == 0x1845. This is how the authors' beacons map a
+// timestamp to a prefix group.
+func hexFold(v int) uint16 {
+	var out uint16
+	for _, d := range strconv.Itoa(v) {
+		out = out<<4 | uint16(d-'0')
+	}
+	return out
+}
+
+// EncodeAuthorPrefix returns the beacon /48 for an announcement at slot
+// time t under the given approach, inside base (the authors'
+// 2a0d:3dc1::/32). t must be slot-aligned (minute in {0,15,30,45}).
+func EncodeAuthorPrefix(base netip.Prefix, t time.Time, ap Approach) (netip.Prefix, error) {
+	t = t.UTC()
+	if t.Minute()%15 != 0 || t.Second() != 0 {
+		return netip.Prefix{}, fmt.Errorf("beacon: %v is not a 15-minute slot", t)
+	}
+	if base.Bits() > 32 || !base.Addr().Is6() {
+		return netip.Prefix{}, fmt.Errorf("beacon: base %v must be an IPv6 prefix of at most /32", base)
+	}
+	var group uint16
+	switch ap {
+	case Recycle24h:
+		// "(HHMM)" — zero-padded to four decimal digits, folded as hex.
+		group = hexFold(t.Hour())<<8 | hexFold(t.Minute())
+	case Recycle15d:
+		// "(HH)(minute+day%15)" — plain decimal concatenation with no
+		// padding, folded as hex. The missing padding is the paper's
+		// documented collision bug (e.g. hour 0 + value 30 and hour 3 +
+		// value 0 both yield "030"/"30" → the same group).
+		v := t.Minute() + t.Day()%15
+		s := strconv.Itoa(t.Hour()) + strconv.Itoa(v)
+		n, err := strconv.ParseUint(s, 16, 16)
+		if err != nil {
+			return netip.Prefix{}, fmt.Errorf("beacon: group %q overflows: %v", s, err)
+		}
+		group = uint16(n)
+	default:
+		return netip.Prefix{}, fmt.Errorf("beacon: unknown approach %d", ap)
+	}
+	addr := base.Addr().As16()
+	binary.BigEndian.PutUint16(addr[4:6], group)
+	p, err := netip.AddrFrom16(addr).Prefix(48)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	return p, nil
+}
+
+// DecodeAuthorPrefix recovers the slot encoded in an author beacon /48.
+// For Recycle24h it returns the hour and minute. For Recycle15d it returns
+// the hour, minute and day%15; the unpadded encoding makes some groups
+// ambiguous (the collision bug) — the decoder returns the interpretation
+// with the largest hour, matching the paper's rule of studying only the
+// later prefix.
+func DecodeAuthorPrefix(p netip.Prefix, ap Approach) (hour, minute, dayMod15 int, ok bool) {
+	if p.Bits() != 48 || !p.Addr().Is6() {
+		return 0, 0, 0, false
+	}
+	a := p.Addr().As16()
+	group := binary.BigEndian.Uint16(a[4:6])
+	switch ap {
+	case Recycle24h:
+		s := fmt.Sprintf("%04x", group)
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		hour, minute = v/100, v%100
+		if hour > 23 || minute%15 != 0 || minute > 45 {
+			return 0, 0, 0, false
+		}
+		return hour, minute, 0, true
+	case Recycle15d:
+		s := fmt.Sprintf("%x", group)
+		// Try every split of the decimal string into HH and
+		// (minute+day%15); prefer the largest hour (latest prefix). A cut
+		// of 0 covers hours whose leading zero the unpadded encoding ate
+		// (group "30" may be hour 0 + value 30 as well as hour 3 + 0).
+		best := -1
+		for cut := 0; cut < len(s) && cut <= 2; cut++ {
+			h := 0
+			var err1 error
+			if cut > 0 {
+				h, err1 = strconv.Atoi(s[:cut])
+			}
+			v, err2 := strconv.Atoi(s[cut:])
+			if err1 != nil || err2 != nil || h > 23 {
+				continue
+			}
+			// minute+day%15 with minute in {0,15,30,45} and day%15 in
+			// [0,14] decodes uniquely: take the largest slot minute that
+			// does not exceed v.
+			m := (v / 15) * 15
+			if m > 45 || v-m > 14 || v < 0 {
+				continue
+			}
+			if h > best {
+				best = h
+				hour, minute, dayMod15 = h, m, v-m
+			}
+		}
+		if best < 0 {
+			return 0, 0, 0, false
+		}
+		return hour, minute, dayMod15, true
+	}
+	return 0, 0, 0, false
+}

@@ -1,0 +1,327 @@
+package beacon
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+var base = netip.MustParsePrefix("2a0d:3dc1::/32")
+
+func TestAggregatorClockPaperExample(t *testing.T) {
+	// The paper's worked example: Aggregator 10.19.29.192 = 1,252,800
+	// seconds after 2018-07-01, i.e. 2018-07-15 12:00 UTC.
+	want := netip.MustParseAddr("10.19.29.192")
+	at := time.Date(2018, 7, 15, 12, 0, 0, 0, time.UTC)
+	if got := AggregatorClock(at); got != want {
+		t.Errorf("AggregatorClock(%v) = %v, want %v", at, got, want)
+	}
+	ref := time.Date(2018, 7, 19, 2, 0, 2, 0, time.UTC)
+	dec, ok := DecodeAggregatorClock(want, ref)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if !dec.Equal(at) {
+		t.Errorf("decoded %v, want %v", dec, at)
+	}
+}
+
+func TestAggregatorClockRoundTrip(t *testing.T) {
+	times := []time.Time{
+		time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2024, 6, 10, 11, 30, 0, 0, time.UTC),
+		time.Date(2024, 6, 30, 23, 59, 59, 0, time.UTC),
+	}
+	for _, at := range times {
+		a := AggregatorClock(at)
+		dec, ok := DecodeAggregatorClock(a, at)
+		if !ok || !dec.Equal(at) {
+			t.Errorf("round trip of %v: got %v, ok=%v", at, dec, ok)
+		}
+	}
+}
+
+func TestDecodeAggregatorClockRejectsNonClock(t *testing.T) {
+	if _, ok := DecodeAggregatorClock(netip.MustParseAddr("192.0.2.1"), time.Now()); ok {
+		t.Error("non-10/8 address decoded")
+	}
+	if _, ok := DecodeAggregatorClock(netip.MustParseAddr("2001:db8::1"), time.Now()); ok {
+		t.Error("IPv6 address decoded")
+	}
+}
+
+func TestEncodeAuthorPrefix24h(t *testing.T) {
+	cases := []struct {
+		hour, minute int
+		want         string
+	}{
+		{18, 45, "2a0d:3dc1:1845::/48"},
+		{0, 0, "2a0d:3dc1::/48"},
+		{9, 15, "2a0d:3dc1:915::/48"},
+		{23, 30, "2a0d:3dc1:2330::/48"},
+	}
+	day := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	for _, c := range cases {
+		at := day.Add(time.Duration(c.hour)*time.Hour + time.Duration(c.minute)*time.Minute)
+		got, err := EncodeAuthorPrefix(base, at, Recycle24h)
+		if err != nil {
+			t.Fatalf("%02d:%02d: %v", c.hour, c.minute, err)
+		}
+		if got != netip.MustParsePrefix(c.want) {
+			t.Errorf("%02d:%02d: got %v, want %v", c.hour, c.minute, got, c.want)
+		}
+		h, m, _, ok := DecodeAuthorPrefix(got, Recycle24h)
+		if !ok || h != c.hour || m != c.minute {
+			t.Errorf("decode %v: %d:%d ok=%v", got, h, m, ok)
+		}
+	}
+}
+
+func TestEncodeAuthorPrefix15dPaperExamples(t *testing.T) {
+	// 2a0d:3dc1:1851::/48 was announced at 18:45 on a day with day%15 == 6
+	// (2024-06-21: 21 % 15 = 6; 45 + 6 = 51).
+	at := time.Date(2024, 6, 21, 18, 45, 0, 0, time.UTC)
+	got, err := EncodeAuthorPrefix(base, at, Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netip.MustParsePrefix("2a0d:3dc1:1851::/48"); got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	h, m, d, ok := DecodeAuthorPrefix(got, Recycle15d)
+	if !ok || h != 18 || m != 45 || d != 6 {
+		t.Errorf("decode: %d:%d day%%15=%d ok=%v", h, m, d, ok)
+	}
+
+	// 2a0d:3dc1:163::/48 (the extremely long-lived zombie) = hour 16,
+	// minute 0, day%15 = 3 (2024-06-18: 18 % 15 = 3).
+	at = time.Date(2024, 6, 18, 16, 0, 0, 0, time.UTC)
+	got, err = EncodeAuthorPrefix(base, at, Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netip.MustParsePrefix("2a0d:3dc1:163::/48"); got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestAuthorPrefix15dCollisionBug(t *testing.T) {
+	// The paper's documented bug: on 2024-06-15 the prefixes of 00:30 and
+	// 03:00 coincide as 2a0d:3dc1:30::/48.
+	day := time.Date(2024, 6, 15, 0, 0, 0, 0, time.UTC)
+	p1, err := EncodeAuthorPrefix(base, day.Add(30*time.Minute), Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EncodeAuthorPrefix(base, day.Add(3*time.Hour), Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := netip.MustParsePrefix("2a0d:3dc1:30::/48")
+	if p1 != want || p2 != want {
+		t.Errorf("collision: got %v and %v, want both %v", p1, p2, want)
+	}
+	// The decoder resolves the ambiguity to the later slot (03:00).
+	h, m, d, ok := DecodeAuthorPrefix(want, Recycle15d)
+	if !ok || h != 3 || m != 0 || d != 0 {
+		t.Errorf("decode: %d:%d day%%15=%d ok=%v, want 3:00 day 0", h, m, d, ok)
+	}
+}
+
+func TestAuthorPrefixCountPerDay(t *testing.T) {
+	// The paper announces 96 different prefixes per day; the 24-hour
+	// encoding never collides within a day.
+	day := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	seen := make(map[netip.Prefix]bool)
+	for slot := 0; slot < 96; slot++ {
+		p, err := EncodeAuthorPrefix(base, day.Add(time.Duration(slot)*SlotDuration), Recycle24h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 96 {
+		t.Errorf("24h approach: %d distinct prefixes per day, want 96", len(seen))
+	}
+	// The 15-day encoding collides (the bug). On 2024-06-15 (day%15 == 0)
+	// three pairs coincide: 00:30/03:00 ("030"/"30"), 01:30/13:00
+	// ("130"), 01:45/14:00 ("145") — the paper documents the first pair.
+	day = time.Date(2024, 6, 15, 0, 0, 0, 0, time.UTC)
+	seen = make(map[netip.Prefix]bool)
+	for slot := 0; slot < 96; slot++ {
+		p, err := EncodeAuthorPrefix(base, day.Add(time.Duration(slot)*SlotDuration), Recycle15d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 93 {
+		t.Errorf("15d approach on 2024-06-15: %d distinct prefixes, want 93 (three collision pairs)", len(seen))
+	}
+}
+
+func TestEncodeAuthorPrefixRejectsUnaligned(t *testing.T) {
+	at := time.Date(2024, 6, 5, 10, 7, 0, 0, time.UTC)
+	if _, err := EncodeAuthorPrefix(base, at, Recycle24h); err == nil {
+		t.Error("unaligned slot accepted")
+	}
+}
+
+func TestDecodeAuthorPrefixRejectsJunk(t *testing.T) {
+	if _, _, _, ok := DecodeAuthorPrefix(netip.MustParsePrefix("2a0d:3dc1::/32"), Recycle24h); ok {
+		t.Error("non-/48 accepted")
+	}
+	// Group with hex letters can't be a decimal timestamp.
+	if _, _, _, ok := DecodeAuthorPrefix(netip.MustParsePrefix("2a0d:3dc1:ab00::/48"), Recycle24h); ok {
+		t.Error("hex-letter group accepted for 24h")
+	}
+	if _, _, _, ok := DecodeAuthorPrefix(netip.MustParsePrefix("2a0d:3dc1:9999::/48"), Recycle24h); ok {
+		t.Error("minute 99 accepted")
+	}
+}
+
+func TestRISScheduleEvents(t *testing.T) {
+	v4, v6 := DefaultRISPrefixes(12654)
+	if len(v4) != 13 || len(v6) != 14 {
+		t.Fatalf("default prefixes: %d v4, %d v6", len(v4), len(v6))
+	}
+	s := &RISSchedule{Prefixes4: v4[:1], Prefixes6: v6[:1], OriginAS: 12654}
+	start := time.Date(2018, 7, 19, 0, 0, 0, 0, time.UTC)
+	evs := s.Events(start, start.Add(8*time.Hour))
+	// Two cycles × two prefixes × (announce + withdraw).
+	if len(evs) != 8 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	if !evs[0].Announce || !evs[0].At.Equal(start) {
+		t.Errorf("first event: %+v", evs[0])
+	}
+	if evs[0].Aggregator == nil {
+		t.Fatal("announcement without aggregator clock")
+	}
+	dec, ok := DecodeAggregatorClock(evs[0].Aggregator.Addr, start)
+	if !ok || !dec.Equal(start) {
+		t.Errorf("aggregator clock decodes to %v", dec)
+	}
+	// Withdrawals come 2h after announcements.
+	for _, ev := range evs {
+		if !ev.Announce {
+			if ev.At.Sub(start)%(4*time.Hour) != 2*time.Hour {
+				t.Errorf("withdraw at odd offset: %v", ev.At)
+			}
+			if ev.Aggregator != nil {
+				t.Error("withdrawal carries aggregator")
+			}
+		}
+	}
+}
+
+func TestRISScheduleIntervals(t *testing.T) {
+	s := &RISSchedule{Prefixes6: []netip.Prefix{netip.MustParsePrefix("2001:7fb:fe00::/48")}, OriginAS: 12654}
+	start := time.Date(2018, 7, 19, 0, 0, 0, 0, time.UTC)
+	ivs := s.Intervals(start, start.Add(24*time.Hour))
+	if len(ivs) != 6 {
+		t.Fatalf("got %d intervals, want 6", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.WithdrawAt.Sub(iv.AnnounceAt) != 2*time.Hour {
+			t.Errorf("interval %d: withdraw offset %v", i, iv.WithdrawAt.Sub(iv.AnnounceAt))
+		}
+		if iv.End.Sub(iv.AnnounceAt) != 4*time.Hour {
+			t.Errorf("interval %d: end offset %v", i, iv.End.Sub(iv.AnnounceAt))
+		}
+	}
+}
+
+func TestAuthorScheduleEvents(t *testing.T) {
+	s := &AuthorSchedule{Base: base, OriginAS: 210312, Approach: Recycle24h}
+	start := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	evs := s.Events(start, start.Add(24*time.Hour))
+	// 96 announcements; the 23:45 withdrawal falls outside the window.
+	var ann, wd int
+	for _, ev := range evs {
+		if ev.Announce {
+			ann++
+		} else {
+			wd++
+		}
+	}
+	if ann != 96 || wd != 95 {
+		t.Errorf("got %d announcements, %d withdrawals; want 96/95", ann, wd)
+	}
+	// All announcements carry the clock.
+	for _, ev := range evs {
+		if ev.Announce && ev.Aggregator == nil {
+			t.Fatal("announcement without aggregator")
+		}
+	}
+}
+
+func TestAuthorScheduleStride(t *testing.T) {
+	s := &AuthorSchedule{Base: base, OriginAS: 210312, Approach: Recycle24h, SlotStride: 4}
+	start := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	ivs := s.Intervals(start, start.Add(24*time.Hour))
+	if len(ivs) != 24 {
+		t.Errorf("stride 4: got %d intervals, want 24", len(ivs))
+	}
+}
+
+func TestAuthorScheduleIntervalsCollision(t *testing.T) {
+	s := &AuthorSchedule{Base: base, OriginAS: 210312, Approach: Recycle15d}
+	start := time.Date(2024, 6, 15, 0, 0, 0, 0, time.UTC)
+	ivs := s.Intervals(start, start.Add(24*time.Hour))
+	// 96 slots but three collision pairs on this day: the earlier
+	// occurrence of each is dropped.
+	if len(ivs) != 93 {
+		t.Fatalf("got %d intervals, want 93", len(ivs))
+	}
+	collided := netip.MustParsePrefix("2a0d:3dc1:30::/48")
+	var hits []Interval
+	for _, iv := range ivs {
+		if iv.Prefix == collided {
+			hits = append(hits, iv)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("collided prefix has %d intervals, want 1", len(hits))
+	}
+	if want := start.Add(3 * time.Hour); !hits[0].AnnounceAt.Equal(want) {
+		t.Errorf("kept interval announced at %v, want the later slot %v", hits[0].AnnounceAt, want)
+	}
+}
+
+func TestAuthorScheduleInterval24hEnd(t *testing.T) {
+	s := &AuthorSchedule{Base: base, OriginAS: 210312, Approach: Recycle24h}
+	start := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	ivs := s.Intervals(start, start.Add(48*time.Hour))
+	if len(ivs) != 192 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	// First day's interval for the 00:00 prefix ends when the prefix is
+	// reused 24 hours later.
+	first := ivs[0]
+	if first.End.Sub(first.AnnounceAt) != 24*time.Hour {
+		t.Errorf("interval end offset %v, want 24h", first.End.Sub(first.AnnounceAt))
+	}
+}
+
+func TestAuthorSchedulePrefixes(t *testing.T) {
+	s := &AuthorSchedule{Base: base, OriginAS: 210312, Approach: Recycle24h}
+	start := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	ps := s.Prefixes(start, start.Add(48*time.Hour))
+	if len(ps) != 96 {
+		t.Errorf("two days of 24h-recycled beacons use %d prefixes, want 96", len(ps))
+	}
+}
+
+func TestScheduleAggregatorASN(t *testing.T) {
+	s := &AuthorSchedule{Base: base, OriginAS: 210312, Approach: Recycle24h}
+	start := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	evs := s.Events(start, start.Add(time.Hour))
+	for _, ev := range evs {
+		if ev.Announce && ev.Aggregator.ASN != bgp.ASN(210312) {
+			t.Errorf("aggregator ASN %v", ev.Aggregator.ASN)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package beacon_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/beacon"
+)
+
+// The Aggregator BGP clock: RIPE RIS beacons encode the announcement time
+// in the Aggregator IP Address as seconds since the start of the month —
+// the attribute the revised methodology uses to eliminate double-counting.
+func ExampleAggregatorClock() {
+	at := time.Date(2018, 7, 15, 12, 0, 0, 0, time.UTC)
+	addr := beacon.AggregatorClock(at)
+	fmt.Println(addr)
+
+	decoded, ok := beacon.DecodeAggregatorClock(addr, time.Date(2018, 7, 19, 2, 0, 2, 0, time.UTC))
+	fmt.Println(decoded.Format(time.DateTime), ok)
+	// Output:
+	// 10.19.29.192
+	// 2018-07-15 12:00:00 true
+}
+
+// The authors' 24-hour recycle format encodes HHMM in the prefix bits.
+func ExampleEncodeAuthorPrefix() {
+	base := netip.MustParsePrefix("2a0d:3dc1::/32")
+	at := time.Date(2024, 6, 5, 18, 45, 0, 0, time.UTC)
+	p, err := beacon.EncodeAuthorPrefix(base, at, beacon.Recycle24h)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p)
+
+	h, m, _, ok := beacon.DecodeAuthorPrefix(p, beacon.Recycle24h)
+	fmt.Printf("%02d:%02d %v\n", h, m, ok)
+	// Output:
+	// 2a0d:3dc1:1845::/48
+	// 18:45 true
+}
+
+// The 15-day recycle format concatenates the hour with minute+day%15
+// without padding — reproducing the paper's documented collision bug: on
+// 2024-06-15 the 00:30 and 03:00 prefixes coincide.
+func ExampleEncodeAuthorPrefix_collisionBug() {
+	base := netip.MustParsePrefix("2a0d:3dc1::/32")
+	day := time.Date(2024, 6, 15, 0, 0, 0, 0, time.UTC)
+	p1, _ := beacon.EncodeAuthorPrefix(base, day.Add(30*time.Minute), beacon.Recycle15d)
+	p2, _ := beacon.EncodeAuthorPrefix(base, day.Add(3*time.Hour), beacon.Recycle15d)
+	fmt.Println(p1)
+	fmt.Println(p2)
+	fmt.Println("collide:", p1 == p2)
+	// Output:
+	// 2a0d:3dc1:30::/48
+	// 2a0d:3dc1:30::/48
+	// collide: true
+}
+
+// An AuthorSchedule produces the beacon events the origin AS executes and
+// the detection intervals the zombie detector evaluates.
+func ExampleAuthorSchedule() {
+	s := &beacon.AuthorSchedule{
+		Base:     netip.MustParsePrefix("2a0d:3dc1::/32"),
+		OriginAS: 210312,
+		Approach: beacon.Recycle24h,
+	}
+	start := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	evs := s.Events(start, start.Add(35*time.Minute))
+	for _, ev := range evs {
+		kind := "withdraw"
+		if ev.Announce {
+			kind = "announce"
+		}
+		fmt.Printf("%s %s %s\n", ev.At.Format("15:04"), kind, ev.Prefix)
+	}
+	// Output:
+	// 00:00 announce 2a0d:3dc1::/48
+	// 00:15 withdraw 2a0d:3dc1::/48
+	// 00:15 announce 2a0d:3dc1:15::/48
+	// 00:30 withdraw 2a0d:3dc1:15::/48
+	// 00:30 announce 2a0d:3dc1:30::/48
+}

@@ -1,0 +1,93 @@
+package beacon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// IPv4 beacon encoding — the paper's §6 future-work item: "IPv4 prefix
+// offers only a limited number of bits for timestamp encoding and has only
+// a few more specific prefixes (up to /24) that can be used as beacons.
+// Thus, a compact encoding schema of the announcement time is necessary to
+// maximize space utilization."
+//
+// The schema implemented here packs a slot ordinal into the /24 index
+// inside a covering block: with 15-minute slots there are 96 slots per
+// day, so a /17 (128 /24s) covers a full day of unique prefixes with the
+// same "fresh prefix" property as the authors' IPv6 beacons, and a /13
+// (2048 /24s) covers a 15-day recycle (1440 slots). The slot ordinal is
+// the number of slots since midnight (24-hour recycle) or since the start
+// of a 15-day cycle anchored at the Unix epoch (15-day recycle).
+
+// EncodeAuthorPrefix4 returns the /24 beacon for the slot time t inside
+// base. base must be wide enough for the approach's slot count: at most
+// /17 for Recycle24h (96 slots) and at most /13 for Recycle15d (1440
+// slots).
+func EncodeAuthorPrefix4(base netip.Prefix, t time.Time, ap Approach) (netip.Prefix, error) {
+	t = t.UTC()
+	if t.Minute()%15 != 0 || t.Second() != 0 {
+		return netip.Prefix{}, fmt.Errorf("beacon: %v is not a 15-minute slot", t)
+	}
+	if !base.Addr().Is4() {
+		return netip.Prefix{}, fmt.Errorf("beacon: base %v must be IPv4", base)
+	}
+	slot, need, err := slotOrdinal(t, ap)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	if base.Bits() > 24 {
+		return netip.Prefix{}, fmt.Errorf("beacon: base %v is narrower than a /24", base)
+	}
+	if capacity := 1 << (24 - base.Bits()); capacity < need {
+		return netip.Prefix{}, fmt.Errorf("beacon: base %v holds %d /24s, need %d for %s recycle",
+			base, capacity, need, ap)
+	}
+	a4 := base.Masked().Addr().As4()
+	v := binary.BigEndian.Uint32(a4[:])
+	v |= uint32(slot) << 8 // the /24 index
+	binary.BigEndian.PutUint32(a4[:], v)
+	return netip.PrefixFrom(netip.AddrFrom4(a4), 24), nil
+}
+
+// DecodeAuthorPrefix4 recovers the slot ordinal encoded in a /24 beacon
+// inside base, and the slot's offset within its recycle period.
+func DecodeAuthorPrefix4(p netip.Prefix, base netip.Prefix, ap Approach) (slot int, offset time.Duration, ok bool) {
+	if p.Bits() != 24 || !p.Addr().Is4() || !base.Addr().Is4() {
+		return 0, 0, false
+	}
+	if !base.Overlaps(p) || base.Bits() > 24 {
+		return 0, 0, false
+	}
+	pv := binary.BigEndian.Uint32(addr4(p))
+	bv := binary.BigEndian.Uint32(addr4(base.Masked()))
+	slot = int((pv - bv) >> 8)
+	_, need, err := slotOrdinal(time.Unix(0, 0).UTC(), ap)
+	if err != nil || slot >= need {
+		return 0, 0, false
+	}
+	return slot, time.Duration(slot) * SlotDuration, true
+}
+
+func addr4(p netip.Prefix) []byte {
+	a := p.Addr().As4()
+	return a[:]
+}
+
+// slotOrdinal returns the slot index of t within its recycle period and
+// the period's slot count.
+func slotOrdinal(t time.Time, ap Approach) (slot, count int, err error) {
+	switch ap {
+	case Recycle24h:
+		return t.Hour()*4 + t.Minute()/15, 96, nil
+	case Recycle15d:
+		// Anchor 15-day cycles at the Unix epoch (a fixed, shareable
+		// convention: day 0 = 1970-01-01).
+		days := int(t.Unix() / 86400)
+		secOfDay := int(t.Unix() % 86400)
+		return (days%15)*96 + secOfDay/(15*60), 1440, nil
+	default:
+		return 0, 0, fmt.Errorf("beacon: unknown approach %d", ap)
+	}
+}

@@ -1,0 +1,126 @@
+package beacon
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var base4 = netip.MustParsePrefix("93.168.0.0/13")
+
+func TestEncodeAuthorPrefix4Recycle24h(t *testing.T) {
+	day := time.Date(2024, 6, 5, 0, 0, 0, 0, time.UTC)
+	base := netip.MustParsePrefix("93.175.0.0/17")
+	seen := make(map[netip.Prefix]bool)
+	for slot := 0; slot < 96; slot++ {
+		at := day.Add(time.Duration(slot) * SlotDuration)
+		p, err := EncodeAuthorPrefix4(base, at, Recycle24h)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if p.Bits() != 24 {
+			t.Fatalf("slot %d: got %v, want a /24", slot, p)
+		}
+		if !base.Overlaps(p) {
+			t.Fatalf("slot %d: %v outside base %v", slot, p, base)
+		}
+		seen[p] = true
+		got, off, ok := DecodeAuthorPrefix4(p, base, Recycle24h)
+		if !ok || got != slot {
+			t.Errorf("slot %d decodes to %d (ok=%v)", slot, got, ok)
+		}
+		if off != time.Duration(slot)*SlotDuration {
+			t.Errorf("slot %d offset %v", slot, off)
+		}
+	}
+	if len(seen) != 96 {
+		t.Errorf("%d distinct prefixes per day, want 96 (no collisions)", len(seen))
+	}
+	// First slot of the day is the base /24 itself.
+	p, _ := EncodeAuthorPrefix4(base, day, Recycle24h)
+	if p != netip.MustParsePrefix("93.175.0.0/24") {
+		t.Errorf("slot 0 = %v", p)
+	}
+}
+
+func TestEncodeAuthorPrefix4Recycle15d(t *testing.T) {
+	// 1440 slots over 15 days: all distinct within the cycle, and the
+	// prefix repeats exactly 15 days later.
+	start := time.Date(2024, 6, 10, 11, 30, 0, 0, time.UTC)
+	p1, err := EncodeAuthorPrefix4(base4, start, Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EncodeAuthorPrefix4(base4, start.Add(15*24*time.Hour), Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("prefix does not recycle after 15 days: %v vs %v", p1, p2)
+	}
+	p3, err := EncodeAuthorPrefix4(base4, start.Add(24*time.Hour), Recycle15d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p3 {
+		t.Error("prefix reused within the 15-day cycle")
+	}
+	// All 1440 slots of one cycle are distinct.
+	seen := make(map[netip.Prefix]bool)
+	cycleStart := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 1440; i++ {
+		p, err := EncodeAuthorPrefix4(base4, cycleStart.Add(time.Duration(i)*SlotDuration), Recycle15d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 1440 {
+		t.Errorf("%d distinct prefixes per 15-day cycle, want 1440", len(seen))
+	}
+}
+
+func TestEncodeAuthorPrefix4Errors(t *testing.T) {
+	at := time.Date(2024, 6, 5, 12, 0, 0, 0, time.UTC)
+	// Unaligned slot.
+	if _, err := EncodeAuthorPrefix4(base4, at.Add(7*time.Minute), Recycle24h); err == nil {
+		t.Error("unaligned slot accepted")
+	}
+	// IPv6 base.
+	if _, err := EncodeAuthorPrefix4(netip.MustParsePrefix("2001:db8::/32"), at, Recycle24h); err == nil {
+		t.Error("IPv6 base accepted")
+	}
+	// Base too small for the recycle period: a /20 holds 16 /24s.
+	if _, err := EncodeAuthorPrefix4(netip.MustParsePrefix("198.51.0.0/20"), at, Recycle24h); err == nil {
+		t.Error("undersized base accepted")
+	}
+	// Base narrower than /24.
+	if _, err := EncodeAuthorPrefix4(netip.MustParsePrefix("198.51.100.0/25"), at, Recycle24h); err == nil {
+		t.Error("/25 base accepted")
+	}
+}
+
+func TestDecodeAuthorPrefix4Rejects(t *testing.T) {
+	base := netip.MustParsePrefix("93.175.0.0/17")
+	if _, _, ok := DecodeAuthorPrefix4(netip.MustParsePrefix("10.0.0.0/24"), base, Recycle24h); ok {
+		t.Error("prefix outside base accepted")
+	}
+	if _, _, ok := DecodeAuthorPrefix4(netip.MustParsePrefix("93.175.0.0/23"), base, Recycle24h); ok {
+		t.Error("non-/24 accepted")
+	}
+	// Slot index beyond the approach's count.
+	if _, _, ok := DecodeAuthorPrefix4(netip.MustParsePrefix("93.175.120.0/24"), base, Recycle24h); ok {
+		t.Error("slot 120 accepted for a 96-slot day")
+	}
+}
+
+func TestIPv4PrefixBudget(t *testing.T) {
+	// The paper's motivation: the whole 24h experiment fits in a /17 and
+	// the 15-day one in a /13 — document the arithmetic as a test.
+	if got := 1 << (24 - 17); got < 96 {
+		t.Errorf("/17 holds %d /24s, cannot fit 96 slots", got)
+	}
+	if got := 1 << (24 - 13); got < 1440 {
+		t.Errorf("/13 holds %d /24s, cannot fit 1440 slots", got)
+	}
+}

@@ -1,0 +1,171 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestASPathString(t *testing.T) {
+	p := NewASPath(4637, 1299, 25091, 8298, 210312)
+	if got, want := p.String(), "4637 1299 25091 8298 210312"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	withSet := ASPath{Segments: []PathSegment{
+		{Type: ASSequence, ASNs: []ASN{64500}},
+		{Type: ASSet, ASNs: []ASN{64501, 64502}},
+	}}
+	if got, want := withSet.String(), "64500 {64501,64502}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestASPathPrepend(t *testing.T) {
+	p := NewASPath(8298, 210312)
+	q := p.Prepend(25091)
+	if got, want := q.String(), "25091 8298 210312"; got != want {
+		t.Errorf("Prepend: got %q, want %q", got, want)
+	}
+	// Original must be unchanged (prepend is copy-on-write).
+	if got, want := p.String(), "8298 210312"; got != want {
+		t.Errorf("Prepend mutated receiver: %q", got)
+	}
+	// Prepend onto empty path.
+	var empty ASPath
+	if got, want := empty.Prepend(64500).String(), "64500"; got != want {
+		t.Errorf("Prepend empty: got %q, want %q", got, want)
+	}
+	// Prepend when the first segment is a set creates a new sequence.
+	withSet := ASPath{Segments: []PathSegment{{Type: ASSet, ASNs: []ASN{64501}}}}
+	if got, want := withSet.Prepend(64500).String(), "64500 {64501}"; got != want {
+		t.Errorf("Prepend before set: got %q, want %q", got, want)
+	}
+}
+
+func TestASPathLength(t *testing.T) {
+	p := ASPath{Segments: []PathSegment{
+		{Type: ASSequence, ASNs: []ASN{1, 2, 3}},
+		{Type: ASSet, ASNs: []ASN{4, 5, 6, 7}},
+		{Type: ASSequence, ASNs: []ASN{8}},
+	}}
+	// 3 sequence hops + 1 for the set + 1 sequence hop.
+	if got := p.Length(); got != 5 {
+		t.Errorf("Length() = %d, want 5", got)
+	}
+	var empty ASPath
+	if got := empty.Length(); got != 0 {
+		t.Errorf("empty Length() = %d, want 0", got)
+	}
+}
+
+func TestASPathOriginAndContains(t *testing.T) {
+	p := NewASPath(4637, 1299, 210312)
+	origin, ok := p.Origin()
+	if !ok || origin != 210312 {
+		t.Errorf("Origin() = %v, %v; want 210312, true", origin, ok)
+	}
+	if !p.Contains(1299) || p.Contains(9999) {
+		t.Error("Contains misbehaves")
+	}
+	var empty ASPath
+	if _, ok := empty.Origin(); ok {
+		t.Error("empty path reported an origin")
+	}
+}
+
+func TestASPathWireRoundTrip(t *testing.T) {
+	paths := []ASPath{
+		{},
+		NewASPath(210312),
+		NewASPath(4637, 1299, 25091, 8298, 210312),
+		{Segments: []PathSegment{
+			{Type: ASSequence, ASNs: []ASN{64500, 4200000000}},
+			{Type: ASSet, ASNs: []ASN{64501, 64502, 64503}},
+		}},
+	}
+	for _, p := range paths {
+		b, err := p.AppendWireFormat(nil)
+		if err != nil {
+			t.Fatalf("encode %s: %v", p, err)
+		}
+		got, err := DecodeASPath(b)
+		if err != nil {
+			t.Fatalf("decode %s: %v", p, err)
+		}
+		if !got.Equal(p) {
+			t.Errorf("round trip: got %s, want %s", got, p)
+		}
+	}
+}
+
+func TestASPath4ByteEncoding(t *testing.T) {
+	// A single-AS sequence must occupy 2 + 4 bytes (4-octet ASNs).
+	b, err := NewASPath(4200000000).AppendWireFormat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 6 {
+		t.Errorf("wire length = %d, want 6", len(b))
+	}
+}
+
+func TestDecodeASPathErrors(t *testing.T) {
+	cases := [][]byte{
+		{2},                /* truncated header */
+		{9, 1, 0, 0, 0, 1}, /* bad segment type */
+		{2, 2, 0, 0, 0, 1}, /* count says 2, one ASN present */
+	}
+	for i, b := range cases {
+		if _, err := DecodeASPath(b); err == nil {
+			t.Errorf("case %d: malformed AS_PATH accepted", i)
+		}
+	}
+}
+
+func TestASPathEqual(t *testing.T) {
+	a := NewASPath(1, 2, 3)
+	if !a.Equal(NewASPath(1, 2, 3)) {
+		t.Error("identical paths not equal")
+	}
+	if a.Equal(NewASPath(1, 2)) || a.Equal(NewASPath(3, 2, 1)) {
+		t.Error("different paths reported equal")
+	}
+	set := ASPath{Segments: []PathSegment{{Type: ASSet, ASNs: []ASN{1, 2, 3}}}}
+	if a.Equal(set) {
+		t.Error("sequence equal to set")
+	}
+}
+
+// Property: any generated path round-trips through the wire format.
+func TestASPathQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint32, split uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		asns := make([]ASN, len(raw))
+		for i, v := range raw {
+			asns[i] = ASN(v)
+		}
+		// Split into a sequence and optionally a set.
+		k := int(split) % len(asns)
+		var p ASPath
+		if k > 0 {
+			p.Segments = append(p.Segments, PathSegment{Type: ASSequence, ASNs: asns[:k]})
+		}
+		if len(asns[k:]) > 0 {
+			p.Segments = append(p.Segments, PathSegment{Type: ASSet, ASNs: asns[k:]})
+		}
+		b, err := p.AppendWireFormat(nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeASPath(b)
+		return err == nil && got.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

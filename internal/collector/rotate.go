@@ -1,0 +1,73 @@
+package collector
+
+import (
+	"fmt"
+	"time"
+)
+
+// segment is one rotated update file, named like the RIS archives
+// (updates.YYYYMMDD.HHMM.mrt).
+type segment struct {
+	name  string
+	start time.Time
+	data  []byte
+}
+
+// SetRotatePeriod makes the collector rotate its update archive into
+// separate segments (files) of the given duration, mirroring RIPE RIS's
+// 5-minute (modern) or 15-minute (historical) update files. Call before
+// feeding records; 0 disables rotation (a single segment).
+func (c *Collector) SetRotatePeriod(d time.Duration) {
+	c.rotateEvery = d
+}
+
+// rotateIfNeeded closes the current segment if the record timestamp falls
+// outside it. Records must arrive in non-decreasing time order, which the
+// simulator guarantees.
+func (c *Collector) rotateIfNeeded(at time.Time) {
+	if c.rotateEvery <= 0 {
+		return
+	}
+	segStart := at.Truncate(c.rotateEvery)
+	if c.curSegment != nil && segStart.Equal(c.curSegment.start) {
+		return
+	}
+	c.closeSegment()
+	c.curSegment = &segment{
+		name:  fmt.Sprintf("updates.%s.mrt", segStart.Format("20060102.1504")),
+		start: segStart,
+	}
+}
+
+func (c *Collector) closeSegment() {
+	if c.curSegment == nil {
+		return
+	}
+	c.curSegment.data = append(c.curSegment.data, c.updates.Bytes()...)
+	c.updates.Reset()
+	if len(c.curSegment.data) > 0 {
+		c.segments = append(c.segments, *c.curSegment)
+	}
+	c.curSegment = nil
+}
+
+// Segments returns the rotated update files written so far (flushing the
+// in-progress one), keyed by file name in chronological order. Without
+// rotation it returns a single "updates.mrt" entry.
+func (c *Collector) Segments() []ArchiveFile {
+	c.closeSegment()
+	var out []ArchiveFile
+	for _, s := range c.segments {
+		out = append(out, ArchiveFile{Name: s.name, Data: s.data})
+	}
+	if rest := c.updates.Bytes(); len(rest) > 0 {
+		out = append(out, ArchiveFile{Name: "updates.mrt", Data: append([]byte(nil), rest...)})
+	}
+	return out
+}
+
+// ArchiveFile is one file of a collector archive.
+type ArchiveFile struct {
+	Name string
+	Data []byte
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"zombiescope/internal/analysis"
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/netsim"
+	"zombiescope/internal/zombie"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "DiscussionCombined",
+		Title: "§6: RIS beacons and the authors' beacons side by side",
+		Paper: "Future work: combine both beacon families to study how announcement frequency affects the zombie phenomenon. Prior work claims frequently recycled (noisy) prefixes are more prone to zombies; fresh once-a-day prefixes better approximate ordinary withdrawals.",
+		Run:   runCombined,
+	})
+}
+
+// runCombined announces both beacon families from the same topology under
+// identical fault conditions and compares per-prefix zombie exposure: the
+// RIS-style prefixes cycle 6×/day while the author-style prefixes are
+// fresh and cycle once, so per-prefix-day zombie counts differ by the
+// announcement frequency — the mechanism behind the prior work's "noisy
+// prefixes are more prone" observation.
+func runCombined(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, peers, err := buildAuthorGraph(DefaultAuthorConfig(cfg.Seed, cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.New(g, netsim.Config{Seed: cfg.Seed})
+	fleet := collector.NewFleet()
+	sim.SetSink(fleet)
+	for i, asn := range peers {
+		if err := sim.AddCollectorSession(netsim.Session{
+			Collector: "rrc00", PeerAS: asn, PeerIP: v6PeerAddr(asn, i), AFI: bgp.AFIIPv6,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// The same fault environment for both families: every directed link
+	// loses withdrawals with a small probability.
+	sim.Faults().GlobalWithdrawalDrop(0.004, nil)
+
+	start := time.Date(2024, 6, 10, 0, 0, 0, 0, time.UTC)
+	days := 4
+	if cfg.Scale <= 2 {
+		days = 12
+	}
+	end := start.Add(time.Duration(days) * 24 * time.Hour)
+
+	// RIS-style: a handful of fixed IPv6 prefixes cycling every 4 hours.
+	risPrefixes := make([]netip.Prefix, 6)
+	for i := range risPrefixes {
+		risPrefixes[i] = netip.MustParsePrefix(fmt.Sprintf("2001:7fb:%x::/48", 0xfe00+i))
+	}
+	ris := &beacon.RISSchedule{Prefixes6: risPrefixes, OriginAS: AuthorOriginAS}
+	// Author-style: a fresh prefix per slot, recycled daily.
+	author := &beacon.AuthorSchedule{
+		Base: AuthorBase, OriginAS: AuthorOriginAS,
+		Approach: beacon.Recycle24h, SlotStride: cfg.Scale,
+	}
+	schedule := func(s beacon.Schedule) error {
+		for _, ev := range s.Events(start, end) {
+			if ev.Announce {
+				if err := sim.ScheduleAnnounce(ev.At, AuthorOriginAS, ev.Prefix, ev.Aggregator); err != nil {
+					return err
+				}
+			} else if err := sim.ScheduleWithdraw(ev.At, AuthorOriginAS, ev.Prefix); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := schedule(ris); err != nil {
+		return nil, err
+	}
+	if err := schedule(author); err != nil {
+		return nil, err
+	}
+	sim.EstablishCollectorSessions(start.Add(-time.Minute))
+	sim.RunAll()
+	if err := fleet.Err(); err != nil {
+		return nil, err
+	}
+
+	intervals := append(ris.Intervals(start, end), author.Intervals(start, end)...)
+	rep, err := (&zombie.Detector{}).Detect(fleet.UpdatesData(), intervals)
+	if err != nil {
+		return nil, err
+	}
+	obs := rep.Filter(zombie.FilterOptions{})
+
+	isRIS := func(p netip.Prefix) bool { return !AuthorBase.Overlaps(p) }
+	var risOutbreaks, authorOutbreaks, risIntervals, authorIntervals int
+	risDays := make(map[netip.Prefix]map[int]bool)
+	for _, iv := range intervals {
+		if isRIS(iv.Prefix) {
+			risIntervals++
+		} else {
+			authorIntervals++
+		}
+	}
+	for _, ob := range obs {
+		if isRIS(ob.Prefix) {
+			risOutbreaks++
+			day := int(ob.Interval.AnnounceAt.Sub(start) / (24 * time.Hour))
+			if risDays[ob.Prefix] == nil {
+				risDays[ob.Prefix] = make(map[int]bool)
+			}
+			risDays[ob.Prefix][day] = true
+		} else {
+			authorOutbreaks++
+		}
+	}
+	risRate := float64(risOutbreaks) / float64(max(risIntervals, 1))
+	authorRate := float64(authorOutbreaks) / float64(max(authorIntervals, 1))
+	// Exposure per prefix-day: how often a given prefix is involved in a
+	// zombie on a given day.
+	risPerPrefixDay := float64(risOutbreaks) / float64(len(risPrefixes)*days)
+	authorPerPrefixDay := float64(authorOutbreaks) / float64(max(authorIntervals, 1)) // one interval = one prefix-day
+
+	tbl := &analysis.Table{
+		Title:  "RIS-style vs author-style beacons under identical faults",
+		Header: []string{"Beacon family", "intervals", "outbreaks", "per-interval rate", "zombie events / prefix-day"},
+	}
+	tbl.AddRow("RIS-style (6 prefixes, 4h cycle)", risIntervals, risOutbreaks, analysis.Pct(risRate), fmt.Sprintf("%.3f", risPerPrefixDay))
+	tbl.AddRow("Author-style (fresh prefix / slot)", authorIntervals, authorOutbreaks, analysis.Pct(authorRate), fmt.Sprintf("%.3f", authorPerPrefixDay))
+	var sb strings.Builder
+	tbl.Render(&sb)
+	sb.WriteString("\nPer-interval zombie rates are comparable (the faults do not care which\n")
+	sb.WriteString("prefix they hit), but the frequently recycled RIS-style prefixes absorb\n")
+	sb.WriteString("several times more zombie events per prefix-day — they are 'noisier', as\n")
+	sb.WriteString("prior work argued, while a fresh once-a-day prefix better approximates an\n")
+	sb.WriteString("ordinary withdrawal. This motivates the authors' beacon design (§4).\n")
+	return &Result{ID: "DiscussionCombined", Text: sb.String(), Metrics: map[string]float64{
+		"ris.rate":            risRate,
+		"author.rate":         authorRate,
+		"ris.perPrefixDay":    risPerPrefixDay,
+		"author.perPrefixDay": authorPerPrefixDay,
+	}}, nil
+}

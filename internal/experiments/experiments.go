@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives all scenario randomness. Default 42.
+	Seed uint64
+	// Scale divides the paper's period durations (1 = full length,
+	// 8 = default quick run). Larger is faster and smaller.
+	Scale int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Scale <= 0 {
+		c.Scale = 8
+	}
+	return c
+}
+
+// Result is an experiment's rendered output plus machine-checkable
+// metrics.
+type Result struct {
+	ID      string
+	Text    string
+	Metrics map[string]float64
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "Table1", "Fig2"
+	Title string
+	// Paper summarizes what the paper reports, for EXPERIMENTS.md.
+	Paper string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var (
+	mu       sync.Mutex
+	registry []Experiment
+)
+
+func register(e Experiment) {
+	mu.Lock()
+	defer mu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	mu.Lock()
+	defer mu.Unlock()
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	return out
+}
+
+// idOrder sorts Table1..TableN before Fig1..FigN before cases.
+func idOrder(id string) string {
+	switch {
+	case strings.HasPrefix(id, "Table"):
+		return "0" + id
+	case strings.HasPrefix(id, "Fig"):
+		return "1" + id
+	default:
+		return "2" + id
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// replicationCache shares one simulated replication dataset between the
+// drivers that all consume it (Tables 1-4, Figs 5-7), keyed by config.
+var (
+	replMu    sync.Mutex
+	replCache = map[Config][]*PeriodData{}
+)
+
+func replicationData(cfg Config) ([]*PeriodData, error) {
+	replMu.Lock()
+	defer replMu.Unlock()
+	if d, ok := replCache[cfg]; ok {
+		return d, nil
+	}
+	d, err := RunReplication(DefaultReplicationConfig(cfg.Seed, cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	replCache[cfg] = d
+	return d, nil
+}
+
+// authorCache shares the author-beacon dataset between Fig2/3/4, Table5
+// and the case studies.
+var (
+	authorMu    sync.Mutex
+	authorCache = map[Config]*AuthorData{}
+)
+
+func authorData(cfg Config) (*AuthorData, error) {
+	authorMu.Lock()
+	defer authorMu.Unlock()
+	if d, ok := authorCache[cfg]; ok {
+		return d, nil
+	}
+	d, err := RunAuthorScenario(DefaultAuthorConfig(cfg.Seed, cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	authorCache[cfg] = d
+	return d, nil
+}

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"zombiescope/internal/zombie"
+)
+
+// testCfg is the shared quick-run configuration; the caches in
+// experiments.go make the scenario cost a one-time thing per package test
+// run.
+var testCfg = Config{Seed: 42, Scale: 8}
+
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(testCfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.Text == "" {
+		t.Fatalf("%s: empty rendering", id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"Table1", "Table2", "Table3", "Table4", "Table5",
+		"Fig2", "Fig3", "Fig4", "Fig5", "Fig6", "Fig7",
+		"CaseResurrectionSubpath", "CaseImpactful", "CaseLongLived",
+		"AblationMethodology", "AblationTimers", "DiscussionCombined",
+		"DiscussionIPv4Beacons", "DiscussionRouteViews",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := ByID("Fig99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+	// Every experiment documents what the paper reports.
+	for _, e := range all {
+		if e.Paper == "" || e.Title == "" {
+			t.Errorf("%s lacks title/paper summary", e.ID)
+		}
+	}
+}
+
+func TestTable1DedupReducesCounts(t *testing.T) {
+	res := runExp(t, "Table1")
+	if res.Metrics["total.without"] >= res.Metrics["total.with"] {
+		t.Errorf("dedup did not reduce outbreaks: %v -> %v",
+			res.Metrics["total.with"], res.Metrics["total.without"])
+	}
+	// The overall reduction is in the paper's ballpark (21.36%).
+	red := 1 - res.Metrics["total.without"]/res.Metrics["total.with"]
+	if red < 0.10 || red > 0.35 {
+		t.Errorf("overall dedup reduction %.1f%%, want 10-35%% (paper 21.36%%)", red*100)
+	}
+	// Period 1 (2018) shows the strongest IPv4 reduction, as the paper's
+	// does (57.8%).
+	p0red := 1 - res.Metrics["period0.without4"]/res.Metrics["period0.with4"]
+	if p0red < 0.35 {
+		t.Errorf("2018 IPv4 reduction %.1f%%, want >= 35%% (paper 57.8%%)", p0red*100)
+	}
+	// Period 3 (Mar-Apr 2017) IPv6 shows no double-counting, as in the
+	// paper (610 -> 610).
+	if res.Metrics["period2.with6"] != res.Metrics["period2.without6"] {
+		t.Errorf("Mar-Apr 2017 IPv6 should have no duplicates: %v vs %v",
+			res.Metrics["period2.with6"], res.Metrics["period2.without6"])
+	}
+}
+
+func TestTable2StudyComparisonDirections(t *testing.T) {
+	res := runExp(t, "Table2")
+	study := res.Metrics["total.study"]
+	with := res.Metrics["total.with"]
+	without := res.Metrics["total.without"]
+	// The revised raw-data methodology finds MORE outbreaks than the
+	// study before dedup (+12.51% in the paper)...
+	if with <= study {
+		t.Errorf("revised (with dc) %v <= study %v; paper finds +12.51%%", with, study)
+	}
+	// ...and FEWER after dedup (-13%).
+	if without >= study {
+		t.Errorf("revised deduped %v >= study %v; paper finds -13%%", without, study)
+	}
+}
+
+func TestTable3BothSidesMiss(t *testing.T) {
+	res := runExp(t, "Table3")
+	studyMiss := res.Metrics["study.missRoutes4"] + res.Metrics["study.missRoutes6"]
+	revisedMiss := res.Metrics["revised.missRoutes4"] + res.Metrics["revised.missRoutes6"]
+	if studyMiss == 0 || revisedMiss == 0 {
+		t.Errorf("both sides must miss something: study %v, revised %v", studyMiss, revisedMiss)
+	}
+	// The revised methodology deliberately drops more (dups + noisy), as
+	// in the paper (37k vs 9.3k routes).
+	if revisedMiss <= studyMiss {
+		t.Errorf("revised misses %v <= study misses %v; paper has the revised side dropping more", revisedMiss, studyMiss)
+	}
+}
+
+func TestTable4NoisySignature(t *testing.T) {
+	res := runExp(t, "Table4")
+	// IPv6 likelihood is huge and survives dedup (paper: 42.8% -> 42.6%).
+	if res.Metrics["dc.mean6"] < 0.25 {
+		t.Errorf("noisy peer IPv6 likelihood %.3f, want >= 0.25 (paper 0.428)", res.Metrics["dc.mean6"])
+	}
+	ratio := res.Metrics["nodc.mean6"] / res.Metrics["dc.mean6"]
+	if ratio < 0.9 {
+		t.Errorf("IPv6 likelihood dropped %.0f%% after dedup; paper's barely moves", (1-ratio)*100)
+	}
+	// The remaining peers are ~1.58% on average.
+	if res.Metrics["others.mean6"] > 0.05 {
+		t.Errorf("other peers' likelihood %.3f, want small (paper 0.0158)", res.Metrics["others.mean6"])
+	}
+	// The noisy peer is an order of magnitude above the rest.
+	if res.Metrics["dc.mean6"] < 5*res.Metrics["others.mean6"] {
+		t.Error("noisy peer not an outlier against the remaining peers")
+	}
+}
+
+func TestTable5NoisyRouters(t *testing.T) {
+	res := runExp(t, "Table5")
+	a90 := res.Metrics["2001:678:3f4:5::1.90"]
+	b90 := res.Metrics["176.119.234.201.90"]
+	if a90 == 0 || b90 == 0 {
+		t.Fatal("noisy routers show no zombies")
+	}
+	// The paper's signature: AS211509's two router addresses report
+	// identical counts.
+	if a90 != b90 {
+		t.Errorf("AS211509 addresses disagree: %v vs %v", a90, b90)
+	}
+	// Likelihoods in the 5-15%% band (paper: 9.91%, 7%).
+	ann := res.Metrics["announcements"]
+	for _, addr := range []string{"2001:678:3f4:5::1", "176.119.234.201", "2a0c:9a40:1031::504"} {
+		frac := res.Metrics[addr+".90"] / ann
+		if frac < 0.04 || frac > 0.20 {
+			t.Errorf("%s zombie fraction %.3f, want 0.04-0.20", addr, frac)
+		}
+	}
+}
+
+func TestFig2ThresholdSweep(t *testing.T) {
+	res := runExp(t, "Fig2")
+	// Noisy-inclusive counts exceed noisy-excluded everywhere.
+	if res.Metrics["t90.all"] <= res.Metrics["t90.excl"] {
+		t.Error("noisy peers do not add outbreaks")
+	}
+	// The excluded series decays from 90 to 180 minutes.
+	if res.Metrics["t180.excl"] >= res.Metrics["t90.excl"] {
+		t.Errorf("no decay: %v at 90min -> %v at 180min", res.Metrics["t90.excl"], res.Metrics["t180.excl"])
+	}
+	// Survival fraction near the paper's 31.4%.
+	if s := res.Metrics["survival90to180"]; s < 0.15 || s > 0.6 {
+		t.Errorf("survival 90->180 = %.2f, want 0.15-0.6 (paper 0.314)", s)
+	}
+	// The resurrection bump is present.
+	if res.Metrics["bump"] != 1 {
+		t.Error("no resurrection bump after 160 minutes")
+	}
+}
+
+func TestFig3DurationLandmarks(t *testing.T) {
+	res := runExp(t, "Fig3")
+	if res.Metrics["excl.count"] == 0 {
+		t.Fatal("no >=1 day durations with noisy peers excluded")
+	}
+	// Maximum duration ~8.5 months (262 days).
+	if m := res.Metrics["excl.maxDays"]; m < 200 || m > 330 {
+		t.Errorf("max duration %v days, want ~262", m)
+	}
+	// The rendering mentions the cluster / long-lived landmarks.
+	for _, landmark := range []string{"35", "84", "137", "262"} {
+		if !strings.Contains(res.Text, landmark) {
+			t.Errorf("duration steps missing landmark ~%s days:\n%s", landmark, res.Text)
+		}
+	}
+}
+
+func TestFig4ResurrectionTimeline(t *testing.T) {
+	res := runExp(t, "Fig4")
+	if res.Metrics["totalDays"] < 200 {
+		t.Errorf("total stuck %v days, want ~262 (paper ~8.5 months)", res.Metrics["totalDays"])
+	}
+	if res.Metrics["resurrections"] < 2 {
+		t.Errorf("resurrections = %v, want 2 (the prefix resurrects twice)", res.Metrics["resurrections"])
+	}
+	if !strings.Contains(res.Text, "RESURRECTED") {
+		t.Error("timeline missing resurrection markers")
+	}
+}
+
+func TestFig5EmergenceRates(t *testing.T) {
+	res := runExp(t, "Fig5")
+	// IPv6 rates exceed IPv4 (paper: 1.82% vs 0.88% with dc).
+	if res.Metrics["dc.mean6"] <= 0 {
+		t.Fatal("no IPv6 emergence")
+	}
+	// Dedup reduces (or keeps) the means.
+	if res.Metrics["nodc.mean4"] > res.Metrics["dc.mean4"]+1e-12 {
+		t.Error("dedup increased IPv4 emergence rate")
+	}
+	if z := res.Metrics["dc.zeroFrac"]; z <= 0 || z >= 1 {
+		t.Errorf("zero-pair fraction %v out of range", z)
+	}
+}
+
+func TestFig6ZombiePathsLonger(t *testing.T) {
+	res := runExp(t, "Fig6")
+	// The central finding: stuck paths are longer than normal paths.
+	if res.Metrics["nodc.zombieMeanLen"] <= res.Metrics["nodc.normalMeanLen"] {
+		t.Errorf("zombie paths (%.2f) not longer than normal (%.2f)",
+			res.Metrics["nodc.zombieMeanLen"], res.Metrics["nodc.normalMeanLen"])
+	}
+	// Most zombie paths differ from the pre-withdrawal path.
+	if res.Metrics["nodc.changed4"] < 0.6 || res.Metrics["nodc.changed6"] < 0.6 {
+		t.Errorf("changed fractions %.2f/%.2f, want >= 0.6 (paper 95.5%%/79.6%%)",
+			res.Metrics["nodc.changed4"], res.Metrics["nodc.changed6"])
+	}
+}
+
+func TestFig7Concurrency(t *testing.T) {
+	res := runExp(t, "Fig7")
+	// A meaningful share of outbreaks occur singly.
+	if s := res.Metrics["nodc.single4"]; s < 0.1 || s > 0.7 {
+		t.Errorf("IPv4 single fraction %.2f, want 0.1-0.7 (paper 0.264)", s)
+	}
+	// Some instants hit every IPv4 beacon at once.
+	if res.Metrics["dc.max4"] < 13 {
+		t.Errorf("max IPv4 concurrency %v, want 13 (all beacons)", res.Metrics["dc.max4"])
+	}
+}
+
+func TestCaseImpactful(t *testing.T) {
+	res := runExp(t, "CaseImpactful")
+	if res.Metrics["routers"] != 24 || res.Metrics["peerASes"] != 21 {
+		t.Errorf("impact %v routers / %v ASes, want 24/21 as in the paper",
+			res.Metrics["routers"], res.Metrics["peerASes"])
+	}
+	if res.Metrics["candidate"] != float64(AS33891) {
+		t.Errorf("root cause %v, want AS33891", res.Metrics["candidate"])
+	}
+	if d := res.Metrics["days"]; d < 3 || d > 5 {
+		t.Errorf("cleared after %v days, want ~4", d)
+	}
+	if !strings.Contains(res.Text, "33891 25091 8298 210312") {
+		t.Error("common subpath mismatch")
+	}
+}
+
+func TestCaseLongLived(t *testing.T) {
+	res := runExp(t, "CaseLongLived")
+	if res.Metrics["candidate"] != float64(AS9304) {
+		t.Errorf("root cause %v, want AS9304", res.Metrics["candidate"])
+	}
+	if d := res.Metrics["days"]; d < 120 || d > 150 {
+		t.Errorf("duration %v days, want ~137 (paper ~4.5 months)", d)
+	}
+	// AS142271 clears earlier than AS9304/AS17639, as in the paper.
+	if res.Metrics["AS142271.days"] >= res.Metrics["AS9304.days"] {
+		t.Errorf("AS142271 (%v days) should clear before AS9304 (%v days)",
+			res.Metrics["AS142271.days"], res.Metrics["AS9304.days"])
+	}
+	if !strings.Contains(res.Text, "9304 6939 43100 25091 8298 210312") {
+		t.Error("common subpath mismatch")
+	}
+}
+
+func TestCaseResurrectionSubpath(t *testing.T) {
+	res := runExp(t, "CaseResurrectionSubpath")
+	if res.Metrics["lateRoutes"] == 0 {
+		t.Fatal("no late re-announcements detected")
+	}
+	if res.Metrics["candidate"] != float64(AS4637) {
+		t.Errorf("root cause %v, want AS4637 (Telstra)", res.Metrics["candidate"])
+	}
+}
+
+func TestScenariosDeterministic(t *testing.T) {
+	// Re-running an experiment with the same config yields identical
+	// metrics (scenario construction and detection are seeded).
+	e, err := ByID("Table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Run(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clear the cache so the scenario is rebuilt from scratch.
+	authorMu.Lock()
+	delete(authorCache, testCfg.withDefaults())
+	authorMu.Unlock()
+	r2, err := e.Run(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range r1.Metrics {
+		if r2.Metrics[k] != v {
+			t.Errorf("metric %s differs across runs: %v vs %v", k, v, r2.Metrics[k])
+		}
+	}
+}
+
+func TestAblationMethodology(t *testing.T) {
+	res := runExp(t, "AblationMethodology")
+	full := res.Metrics["full.obs"]
+	// Removing any ingredient must not reduce the outbreak count.
+	for _, k := range []string{"noDedup.obs", "noNoisy.obs", "noState.obs"} {
+		if res.Metrics[k] < full {
+			t.Errorf("%s = %v < full %v; degraded variants cannot find fewer", k, res.Metrics[k], full)
+		}
+	}
+	// The noisy filter is the biggest lever on this scenario.
+	if res.Metrics["noNoisy.obs"] <= full {
+		t.Error("noisy filter shows no effect")
+	}
+}
+
+func TestAblationTimers(t *testing.T) {
+	res := runExp(t, "AblationTimers")
+	// MRAI reduces update load without costing visibility.
+	if res.Metrics["mrai.messages"] >= res.Metrics["plain.messages"] {
+		t.Errorf("MRAI messages %v >= plain %v", res.Metrics["mrai.messages"], res.Metrics["plain.messages"])
+	}
+	if res.Metrics["mrai.visible"] != res.Metrics["plain.visible"] {
+		t.Errorf("MRAI changed visibility: %v vs %v", res.Metrics["mrai.visible"], res.Metrics["plain.visible"])
+	}
+	// RFD suppresses the rapidly recycled beacons.
+	if res.Metrics["rfd.visible"] >= res.Metrics["plain.visible"] {
+		t.Errorf("RFD did not suppress: visible %v vs %v", res.Metrics["rfd.visible"], res.Metrics["plain.visible"])
+	}
+}
+
+func TestDiscussionRouteViews(t *testing.T) {
+	res := runExp(t, "DiscussionRouteViews")
+	if res.Metrics["combined.outbreaks"] <= res.Metrics["ris.outbreaks"] {
+		t.Errorf("combined view (%v) should exceed RIS-only (%v)",
+			res.Metrics["combined.outbreaks"], res.Metrics["ris.outbreaks"])
+	}
+	if res.Metrics["missed.outbreaks"] <= 0 {
+		t.Error("RIS-only view missed nothing; the blind spot should exist")
+	}
+}
+
+func TestDiscussionIPv4Beacons(t *testing.T) {
+	res := runExp(t, "DiscussionIPv4Beacons")
+	if res.Metrics["withDup"] <= 0 {
+		t.Fatal("no IPv4 zombies detected")
+	}
+	if res.Metrics["v6Leak"] != 0 {
+		t.Errorf("IPv6 outbreaks in an IPv4-only deployment: %v", res.Metrics["v6Leak"])
+	}
+	// The long wedge spans slots, so dedup must remove something.
+	if res.Metrics["deduped"] >= res.Metrics["withDup"] {
+		t.Errorf("dedup had no effect: %v -> %v", res.Metrics["withDup"], res.Metrics["deduped"])
+	}
+}
+
+func TestDiscussionCombined(t *testing.T) {
+	res := runExp(t, "DiscussionCombined")
+	// Both families see zombies under the same faults...
+	if res.Metrics["ris.rate"] <= 0 || res.Metrics["author.rate"] <= 0 {
+		t.Fatalf("rates: ris %v author %v", res.Metrics["ris.rate"], res.Metrics["author.rate"])
+	}
+	// ...but the frequently recycled family absorbs more zombie events
+	// per prefix-day — the prior work's "noisy prefixes" observation.
+	if res.Metrics["ris.perPrefixDay"] <= res.Metrics["author.perPrefixDay"] {
+		t.Errorf("RIS per-prefix-day %v should exceed author %v",
+			res.Metrics["ris.perPrefixDay"], res.Metrics["author.perPrefixDay"])
+	}
+}
+
+func TestAuthorScenarioDetectorAgreement(t *testing.T) {
+	// The end-to-end archive parses and the detector finds the scripted
+	// noisy peers via the generic scoring path too.
+	d, err := authorData(testCfg.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&zombie.Detector{}).Detect(d.Updates, d.Intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := zombie.ScorePeers(rep, true)
+	flagged := zombie.FlagNoisyPeers(scores, zombie.NoisyConfig{})
+	foundNoisy := make(map[uint32]bool)
+	for _, p := range flagged {
+		foundNoisy[uint32(p.AS)] = true
+	}
+	if !foundNoisy[uint32(AS211509)] || !foundNoisy[uint32(AS211380)] {
+		t.Errorf("noisy-peer scoring flagged %v; want AS211509 and AS211380", flagged)
+	}
+}

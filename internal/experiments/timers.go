@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"zombiescope/internal/analysis"
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/netsim"
+	"zombiescope/internal/topology"
+	"zombiescope/internal/zombie"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "AblationTimers",
+		Title: "Ablation: BGP timers (MRAI, route flap damping) vs beacon visibility",
+		Paper: "Related-work context: beacons have been used to study convergence and route flap damping (Mao et al. 2002: RFD exacerbates convergence; Gray et al. 2020 locate RFD with beacons). This ablation shows MRAI cutting update load and RFD suppressing rapidly recycled beacon prefixes.",
+		Run:   runTimersAblation,
+	})
+}
+
+// runTimersAblation runs the same one-day beacon workload under three
+// simulator configurations — plain, MRAI, and RFD — and compares message
+// load, beacon visibility, and zombie detection.
+func runTimersAblation(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	type outcome struct {
+		messages  uint64
+		visible   int
+		outbreaks int
+	}
+	runOne := func(simCfg netsim.Config) (outcome, error) {
+		g, err := topology.Generate(topology.GenerateConfig{
+			Seed: cfg.Seed, Tier1Count: 4, Tier2Count: 10, Tier3Count: 16, StubCount: 10,
+			Tier2PeerProb: 0.2, FirstASN: 64500,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		stubs := g.TierASNs(4)
+		origin := stubs[0]
+		sim := netsim.New(g, simCfg)
+		fleet := collector.NewFleet()
+		sim.SetSink(fleet)
+		peers := stubs[1:7]
+		for i, asn := range peers {
+			addr := netip.AddrFrom16([16]byte{0x20, 0x01, 0xd, 0xb8, byte(i), 15: 3})
+			if err := sim.AddCollectorSession(netsim.Session{
+				Collector: "rrc00", PeerAS: asn, PeerIP: addr, AFI: bgp.AFIIPv6,
+			}); err != nil {
+				return outcome{}, err
+			}
+		}
+		// One zombie-producing fault so detection has something to find.
+		victim := peers[0]
+		provider := g.AS(victim).Providers()[0]
+		sim.Faults().DropWithdrawals(provider, victim, 0.5, nil)
+
+		// A day of half-hourly beacon cycles over 3 prefixes — a
+		// rapid-recycle workload, the regime flap damping punishes.
+		start := time.Date(2024, 6, 10, 0, 0, 0, 0, time.UTC)
+		sched := &beacon.RISSchedule{
+			Prefixes6: []netip.Prefix{
+				netip.MustParsePrefix("2001:7fb:fe00::/48"),
+				netip.MustParsePrefix("2001:7fb:fe01::/48"),
+				netip.MustParsePrefix("2001:7fb:fe02::/48"),
+			},
+			OriginAS:       bgp.ASN(origin),
+			AnnouncePeriod: 30 * time.Minute,
+			WithdrawAfter:  15 * time.Minute,
+		}
+		end := start.Add(24 * time.Hour)
+		for _, ev := range sched.Events(start, end) {
+			if ev.Announce {
+				if err := sim.ScheduleAnnounce(ev.At, origin, ev.Prefix, ev.Aggregator); err != nil {
+					return outcome{}, err
+				}
+			} else if err := sim.ScheduleWithdraw(ev.At, origin, ev.Prefix); err != nil {
+				return outcome{}, err
+			}
+		}
+		sim.EstablishCollectorSessions(start.Add(-time.Minute))
+		sim.RunAll()
+		// The detection threshold must fit inside the recycle interval
+		// (the paper notes RIS's re-announcements cap detectable zombie
+		// age at 2h); with a 30-minute cycle we check at +10 minutes.
+		rep, err := (&zombie.Detector{Threshold: 10 * time.Minute}).Detect(fleet.UpdatesData(), sched.Intervals(start, end))
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{
+			messages:  sim.Stats().MessagesSent,
+			visible:   rep.VisiblePrefixes,
+			outbreaks: len(rep.Filter(zombie.FilterOptions{})),
+		}, nil
+	}
+
+	plain, err := runOne(netsim.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	mrai, err := runOne(netsim.Config{Seed: cfg.Seed, MRAI: netsim.MRAIConfig{Interval: 30 * time.Second}})
+	if err != nil {
+		return nil, err
+	}
+	rfd, err := runOne(netsim.Config{Seed: cfg.Seed, RFD: netsim.RFDConfig{Enabled: true, HalfLife: time.Hour, Suppress: 2000}})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &analysis.Table{
+		Title:  "BGP timers vs a rapid-cycle beacon workload (3 prefixes, 4h cycle, 1 day)",
+		Header: []string{"Configuration", "messages sent", "visible prefix-intervals", "zombie outbreaks"},
+	}
+	tbl.AddRow("plain", fmt.Sprintf("%d", plain.messages), plain.visible, plain.outbreaks)
+	tbl.AddRow("MRAI 30s", fmt.Sprintf("%d", mrai.messages), mrai.visible, mrai.outbreaks)
+	tbl.AddRow("RFD (1h half-life)", fmt.Sprintf("%d", rfd.messages), rfd.visible, rfd.outbreaks)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	sb.WriteString("\nMRAI batches path-hunting churn into fewer messages without losing\n")
+	sb.WriteString("visibility; route flap damping penalizes the rapidly recycled beacons and\n")
+	sb.WriteString("suppresses some of their announcements — the 'beacons are noisy prefixes'\n")
+	sb.WriteString("effect from a different angle, and a caution for beacon-based measurement.\n")
+	return &Result{ID: "AblationTimers", Text: sb.String(), Metrics: map[string]float64{
+		"plain.messages": float64(plain.messages),
+		"mrai.messages":  float64(mrai.messages),
+		"rfd.messages":   float64(rfd.messages),
+		"plain.visible":  float64(plain.visible),
+		"mrai.visible":   float64(mrai.visible),
+		"rfd.visible":    float64(rfd.visible),
+	}}, nil
+}

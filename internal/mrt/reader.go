@@ -1,0 +1,100 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+// Reader decodes MRT records sequentially from an io.Reader. It returns
+// io.EOF after the last record. Records of types this package does not
+// model are skipped transparently.
+type Reader struct {
+	r      io.Reader
+	header [HeaderLen]byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Next returns the next decoded record, or io.EOF at end of input.
+func (rd *Reader) Next() (Record, error) {
+	for {
+		rec, err := rd.next()
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			return rec, nil
+		}
+		// Unsupported record: skip and continue.
+	}
+}
+
+func (rd *Reader) next() (Record, error) {
+	if _, err := io.ReadFull(rd.r, rd.header[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: mid-header", ErrTruncated)
+		}
+		return nil, err
+	}
+	ts := time.Unix(int64(binary.BigEndian.Uint32(rd.header[0:])), 0).UTC()
+	typ := binary.BigEndian.Uint16(rd.header[4:])
+	subtype := binary.BigEndian.Uint16(rd.header[6:])
+	length := binary.BigEndian.Uint32(rd.header[8:])
+	if length > MaxRecordLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+	}
+	switch typ {
+	case TypeBGP4MP:
+		switch subtype {
+		case SubtypeMessage:
+			return decodeBGP4MPMessage(ts, body, false)
+		case SubtypeMessageAS4:
+			return decodeBGP4MPMessage(ts, body, true)
+		case SubtypeStateChange:
+			return decodeBGP4MPStateChange(ts, body, false)
+		case SubtypeStateChangeAS4:
+			return decodeBGP4MPStateChange(ts, body, true)
+		}
+	case TypeTableDumpV2:
+		switch subtype {
+		case SubtypePeerIndexTable:
+			return decodePeerIndexTable(ts, body)
+		case SubtypeRIBIPv4Unicast:
+			return decodeRIB(ts, body, bgp.AFIIPv4)
+		case SubtypeRIBIPv6Unicast:
+			return decodeRIB(ts, body, bgp.AFIIPv6)
+		}
+	}
+	return nil, nil // unsupported; caller loop skips
+}
+
+// ReadAll decodes every record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var out []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,81 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer encodes MRT records to an io.Writer. It always emits the
+// four-octet-AS BGP4MP subtypes, as modern collectors do.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+func (wr *Writer) writeRecord(rec Record, typ, subtype uint16, body []byte) error {
+	ts := rec.RecordTime().Unix()
+	if ts < 0 {
+		return ErrBadTimestamp
+	}
+	wr.buf = wr.buf[:0]
+	wr.buf = binary.BigEndian.AppendUint32(wr.buf, uint32(ts))
+	wr.buf = binary.BigEndian.AppendUint16(wr.buf, typ)
+	wr.buf = binary.BigEndian.AppendUint16(wr.buf, subtype)
+	wr.buf = binary.BigEndian.AppendUint32(wr.buf, uint32(len(body)))
+	wr.buf = append(wr.buf, body...)
+	_, err := wr.w.Write(wr.buf)
+	return err
+}
+
+// Write encodes one record. The concrete type selects the MRT type and
+// subtype.
+func (wr *Writer) Write(rec Record) error {
+	switch r := rec.(type) {
+	case *BGP4MPMessage:
+		body, err := r.appendBody(nil)
+		if err != nil {
+			return err
+		}
+		return wr.writeRecord(r, TypeBGP4MP, SubtypeMessageAS4, body)
+	case *BGP4MPStateChange:
+		body, err := r.appendBody(nil)
+		if err != nil {
+			return err
+		}
+		return wr.writeRecord(r, TypeBGP4MP, SubtypeStateChangeAS4, body)
+	case *PeerIndexTable:
+		body, err := r.appendBody(nil)
+		if err != nil {
+			return err
+		}
+		return wr.writeRecord(r, TypeTableDumpV2, SubtypePeerIndexTable, body)
+	case *RIB:
+		body, err := r.appendBody(nil)
+		if err != nil {
+			return err
+		}
+		subtype := SubtypeRIBIPv4Unicast
+		if !r.Prefix.Addr().Is4() {
+			subtype = SubtypeRIBIPv6Unicast
+		}
+		return wr.writeRecord(r, TypeTableDumpV2, subtype, body)
+	default:
+		return fmt.Errorf("%w: %T", ErrUnsupported, rec)
+	}
+}
+
+// WriteAll encodes all records in order.
+func (wr *Writer) WriteAll(recs []Record) error {
+	for _, r := range recs {
+		if err := wr.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

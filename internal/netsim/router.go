@@ -1,0 +1,436 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/rpki"
+	"zombiescope/internal/topology"
+)
+
+// Local preference values derived from the relationship a route was
+// learned over, implementing the Gao–Rexford preference ordering.
+const (
+	prefLocal    = 1000
+	prefCustomer = 300
+	prefPeer     = 200
+	prefProvider = 100
+)
+
+// route is one path for one prefix as stored in an Adj-RIB-In (or the
+// local RIB for originated prefixes).
+type route struct {
+	path      bgp.ASPath // as received: the sender's ASN leads; empty for local
+	from      bgp.ASN    // 0 for locally originated
+	pref      int
+	agg       *bgp.Aggregator
+	learnedAt time.Time
+}
+
+func aggEqual(a, b *bgp.Aggregator) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+func routesEqual(a, b *route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.from == b.from && a.path.Equal(b.path) && aggEqual(a.agg, b.agg)
+}
+
+// exported remembers what was last advertised on a session, to suppress
+// duplicate announcements and to know whether a withdrawal is owed.
+type exported struct {
+	path bgp.ASPath
+	agg  *bgp.Aggregator
+}
+
+type router struct {
+	sim *Simulator
+	asn bgp.ASN
+
+	adjIn  map[netip.Prefix]map[bgp.ASN]*route
+	local  map[netip.Prefix]*route
+	best   map[netip.Prefix]*route
+	adjOut map[bgp.ASN]map[netip.Prefix]exported
+	// collOut tracks what the AS last advertised toward its collectors;
+	// the same decision is sent on every session of the AS.
+	collOut map[netip.Prefix]exported
+
+	// Optional timing state (see timers.go); nil until first use.
+	mrai map[mraiKey]*mraiState
+	rfd  map[rfdKey]*rfdState
+}
+
+func newRouter(s *Simulator, asn bgp.ASN) *router {
+	return &router{
+		sim:     s,
+		asn:     asn,
+		adjIn:   make(map[netip.Prefix]map[bgp.ASN]*route),
+		local:   make(map[netip.Prefix]*route),
+		best:    make(map[netip.Prefix]*route),
+		adjOut:  make(map[bgp.ASN]map[netip.Prefix]exported),
+		collOut: make(map[netip.Prefix]exported),
+	}
+}
+
+func (r *router) prefFor(from bgp.ASN) int {
+	switch r.sim.graph.Relationship(r.asn, from) {
+	case topology.RelCustomer:
+		return prefCustomer
+	case topology.RelPeer:
+		return prefPeer
+	default:
+		return prefProvider
+	}
+}
+
+// originate installs a locally originated route and propagates it.
+func (r *router) originate(p netip.Prefix, agg *bgp.Aggregator) {
+	r.local[p] = &route{from: 0, pref: prefLocal, agg: agg, learnedAt: r.sim.now}
+	r.recompute(p)
+}
+
+// withdrawOrigin removes the locally originated route.
+func (r *router) withdrawOrigin(p netip.Prefix) {
+	if _, ok := r.local[p]; !ok {
+		return
+	}
+	delete(r.local, p)
+	r.recompute(p)
+}
+
+func (r *router) receiveAnnounce(from bgp.ASN, p netip.Prefix, path bgp.ASPath, agg *bgp.Aggregator) {
+	// RFC 4271 loop detection: a path containing our ASN is treated as a
+	// withdrawal of any previous route from that neighbor.
+	if path.Contains(r.asn) {
+		r.removeAdjIn(from, p)
+		return
+	}
+	// Route flap damping: suppressed routes are not installed.
+	if r.rfdSuppressed(from, p) {
+		r.removeAdjIn(from, p)
+		return
+	}
+	// Origin validation at import.
+	if reg := r.sim.cfg.ROA; reg != nil {
+		policy := r.sim.rov[r.asn]
+		if origin, ok := path.Origin(); ok {
+			v := reg.Validate(r.sim.now, p, origin)
+			if !policy.AcceptAtImport(v) {
+				r.removeAdjIn(from, p)
+				return
+			}
+		}
+	}
+	rt := &route{path: path, from: from, pref: r.prefFor(from), agg: agg, learnedAt: r.sim.now}
+	in := r.adjIn[p]
+	if in == nil {
+		in = make(map[bgp.ASN]*route)
+		r.adjIn[p] = in
+	}
+	if routesEqual(in[from], rt) {
+		return // duplicate announcement
+	}
+	in[from] = rt
+	r.recompute(p)
+}
+
+func (r *router) receiveWithdraw(from bgp.ASN, p netip.Prefix) {
+	r.rfdPenalize(from, p)
+	if r.sim.faults.ribStuck(r.asn, p) && r.hasRoute(p) {
+		r.ghostWithdraw(p)
+		return
+	}
+	r.removeAdjIn(from, p)
+}
+
+func (r *router) hasRoute(p netip.Prefix) bool {
+	return r.best[p] != nil
+}
+
+// ghostWithdraw models the stuck-RIB fault: the router tells its neighbors
+// the route is gone but keeps it installed, priming a later resurrection.
+func (r *router) ghostWithdraw(p netip.Prefix) {
+	for n, out := range r.adjOut {
+		if _, ok := out[p]; ok {
+			delete(out, p)
+			r.sendWithdraw(n, p)
+		}
+	}
+	if _, ok := r.collOut[p]; ok {
+		delete(r.collOut, p)
+		r.sendCollectorWithdraw(p)
+	}
+}
+
+func (r *router) removeAdjIn(from bgp.ASN, p netip.Prefix) {
+	in := r.adjIn[p]
+	if in == nil {
+		return
+	}
+	if _, ok := in[from]; !ok {
+		return
+	}
+	delete(in, from)
+	if len(in) == 0 {
+		delete(r.adjIn, p)
+	}
+	r.recompute(p)
+}
+
+// selectBest runs the decision process for p.
+func (r *router) selectBest(p netip.Prefix) *route {
+	var best *route
+	if lr, ok := r.local[p]; ok {
+		best = lr
+	}
+	for _, rt := range r.adjIn[p] {
+		if better(rt, best) {
+			best = rt
+		}
+	}
+	return best
+}
+
+// better reports whether a should replace b: higher preference, then
+// shorter AS path, then lowest neighbor ASN.
+func better(a, b *route) bool {
+	if b == nil {
+		return true
+	}
+	if a.pref != b.pref {
+		return a.pref > b.pref
+	}
+	al, bl := a.path.Length(), b.path.Length()
+	if al != bl {
+		return al < bl
+	}
+	return a.from < b.from
+}
+
+func (r *router) recompute(p netip.Prefix) {
+	nb := r.selectBest(p)
+	if routesEqual(r.best[p], nb) {
+		return
+	}
+	if nb == nil {
+		delete(r.best, p)
+	} else {
+		r.best[p] = nb
+	}
+	r.export(p, nb)
+}
+
+// exportAllowed applies the valley-free export rule: routes learned from
+// customers (or originated locally) go everywhere; routes learned from
+// peers or providers go only to customers.
+func (r *router) exportAllowed(b *route, to bgp.ASN) bool {
+	if b.from == to {
+		return false
+	}
+	if b.from == 0 || b.pref == prefCustomer {
+		return true
+	}
+	return r.sim.graph.Relationship(r.asn, to) == topology.RelCustomer
+}
+
+func (r *router) exportedRoute(b *route) exported {
+	return exported{path: b.path.Prepend(r.asn), agg: b.agg}
+}
+
+func (r *router) export(p netip.Prefix, b *route) {
+	for _, n := range r.sim.graph.AS(r.asn).Neighbors() {
+		out := r.adjOut[n]
+		cur, has := exported{}, false
+		if out != nil {
+			cur, has = out[p]
+		}
+		if b != nil && r.exportAllowed(b, n) {
+			e := r.exportedRoute(b)
+			if has && cur.path.Equal(e.path) && aggEqual(cur.agg, e.agg) {
+				continue
+			}
+			if out == nil {
+				out = make(map[netip.Prefix]exported)
+				r.adjOut[n] = out
+			}
+			out[p] = e
+			r.sendAnnounceMRAI(n, p, e)
+		} else if has {
+			delete(out, p)
+			r.cancelMRAI(n, p)
+			r.sendWithdraw(n, p)
+		}
+	}
+	r.exportToCollectors(p, b)
+}
+
+func (r *router) exportToCollectors(p netip.Prefix, b *route) {
+	if len(r.sim.collSessions[r.asn]) == 0 {
+		return
+	}
+	cur, has := r.collOut[p]
+	if b != nil {
+		e := r.exportedRoute(b)
+		if has && cur.path.Equal(e.path) && aggEqual(cur.agg, e.agg) {
+			return
+		}
+		r.collOut[p] = e
+		r.sendCollectorAnnounce(p, e)
+	} else if has {
+		delete(r.collOut, p)
+		r.sendCollectorWithdraw(p)
+	}
+}
+
+func (r *router) sendAnnounce(to bgp.ASN, p netip.Prefix, e exported) {
+	s := r.sim
+	from := r.asn
+	key := linkKey{from: from, to: to, afi: bgp.PrefixAFI(p)}
+	s.stats.MessagesSent++
+	s.deliverAfter(key, s.linkDelay(from, to), func() {
+		if s.faults.dropLinkMessage(from, to, p, false, s.now) {
+			s.stats.MessagesDropped++
+			return
+		}
+		s.routers[to].receiveAnnounce(from, p, e.path, e.agg)
+	})
+}
+
+func (r *router) sendWithdraw(to bgp.ASN, p netip.Prefix) {
+	s := r.sim
+	from := r.asn
+	key := linkKey{from: from, to: to, afi: bgp.PrefixAFI(p)}
+	s.stats.MessagesSent++
+	s.deliverAfter(key, s.linkDelay(from, to), func() {
+		if s.faults.dropLinkMessage(from, to, p, true, s.now) {
+			s.stats.MessagesDropped++
+			return
+		}
+		s.routers[to].receiveWithdraw(from, p)
+	})
+}
+
+func (r *router) sendCollectorAnnounce(p netip.Prefix, e exported) {
+	s := r.sim
+	peer := r.asn
+	for _, sess := range s.collSessions[peer] {
+		sess := sess
+		delay := s.collectorSessionDelay(sess)
+		s.stats.MessagesSent++
+		s.schedule(s.now.Add(delay), func() {
+			if s.faults.dropCollectorMessage(peer, p, false, s.now) {
+				s.stats.MessagesDropped++
+				return
+			}
+			s.stats.CollectorRecords++
+			s.sinkOrNop().PeerAnnounce(s.now, sess, p, RouteAttrs{Path: e.path, Aggregator: e.agg})
+		})
+	}
+}
+
+func (r *router) sendCollectorWithdraw(p netip.Prefix) {
+	s := r.sim
+	peer := r.asn
+	for _, sess := range s.collSessions[peer] {
+		sess := sess
+		delay := s.collectorSessionDelay(sess)
+		s.stats.MessagesSent++
+		s.schedule(s.now.Add(delay), func() {
+			if s.faults.dropCollectorMessage(peer, p, true, s.now) {
+				s.stats.MessagesDropped++
+				return
+			}
+			s.stats.CollectorRecords++
+			s.sinkOrNop().PeerWithdraw(s.now, sess, p)
+		})
+	}
+}
+
+// flushFrom drops everything learned from a neighbor (session teardown).
+func (r *router) flushFrom(n bgp.ASN) {
+	delete(r.adjOut, n)
+	var affected []netip.Prefix
+	for p, in := range r.adjIn {
+		if _, ok := in[n]; ok {
+			affected = append(affected, p)
+		}
+	}
+	for _, p := range affected {
+		in := r.adjIn[p]
+		delete(in, n)
+		if len(in) == 0 {
+			delete(r.adjIn, p)
+		}
+		r.recompute(p)
+	}
+}
+
+// readvertiseTo replays the full Adj-RIB-Out toward a neighbor after a
+// session (re-)establishment. This is the resurrection vector: a stuck
+// best route is advertised as if new.
+func (r *router) readvertiseTo(n bgp.ASN) {
+	for p, b := range r.best {
+		if b == nil || !r.exportAllowed(b, n) {
+			continue
+		}
+		e := r.exportedRoute(b)
+		out := r.adjOut[n]
+		if out == nil {
+			out = make(map[netip.Prefix]exported)
+			r.adjOut[n] = out
+		}
+		out[p] = e
+		r.sendAnnounce(n, p, e)
+	}
+}
+
+// revalidate re-runs origin validation over the Adj-RIB-In and evicts
+// routes that have become invalid (ROV-enforcing ASes after a ROA change).
+func (r *router) revalidate() {
+	reg := r.sim.cfg.ROA
+	if reg == nil {
+		return
+	}
+	var evict []struct {
+		p    netip.Prefix
+		from bgp.ASN
+	}
+	for p, in := range r.adjIn {
+		for from, rt := range in {
+			origin, ok := rt.path.Origin()
+			if !ok {
+				continue
+			}
+			if reg.Validate(r.sim.now, p, origin) == rpki.Invalid {
+				evict = append(evict, struct {
+					p    netip.Prefix
+					from bgp.ASN
+				}{p, from})
+			}
+		}
+	}
+	for _, e := range evict {
+		r.removeAdjIn(e.from, e.p)
+	}
+}
+
+// clearRoutes drops all learned routes for matching prefixes (operator
+// intervention on a stuck router) and propagates the consequences.
+func (r *router) clearRoutes(match PrefixMatcher) {
+	var affected []netip.Prefix
+	for p := range r.adjIn {
+		if matches(match, p) {
+			affected = append(affected, p)
+		}
+	}
+	for _, p := range affected {
+		delete(r.adjIn, p)
+		r.recompute(p)
+	}
+}

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+func TestSessionResetOnCleanNetworkIsTransparent(t *testing.T) {
+	// Resetting a session while the route is healthy re-converges to the
+	// same state.
+	s := newTestSim(t, Config{})
+	s.ScheduleAnnounce(simStart, originAS, beaconP, nil)
+	s.Run(simStart.Add(time.Hour))
+	before, _ := s.BestRoute(200, beaconP)
+	s.ScheduleSessionReset(simStart.Add(2*time.Hour), 1, 11)
+	s.RunAll()
+	after, ok := s.BestRoute(200, beaconP)
+	if !ok {
+		t.Fatal("route lost after reset")
+	}
+	if !after.Equal(before) {
+		t.Errorf("path changed across a clean reset: %s -> %s", before, after)
+	}
+	if got := s.RouteCount(beaconP); got != 8 {
+		t.Errorf("RouteCount after reset = %d", got)
+	}
+}
+
+func TestMultiplePrefixesIndependent(t *testing.T) {
+	// A wedge scoped to one prefix must not affect another.
+	s := newTestSim(t, Config{})
+	other := netip.MustParsePrefix("2a0d:3dc1:1300::/48")
+	match := func(p netip.Prefix) bool { return p == beaconP }
+	s.Faults().WedgeLink(1, 11, 0, simStart.Add(5*time.Minute), simStart.Add(24*time.Hour), match)
+	for _, p := range []netip.Prefix{beaconP, other} {
+		s.ScheduleAnnounce(simStart, originAS, p, nil)
+		s.ScheduleWithdraw(simStart.Add(15*time.Minute), originAS, p)
+	}
+	s.RunAll()
+	if !s.HasRoute(11, beaconP) {
+		t.Error("wedged prefix not stuck")
+	}
+	if s.HasRoute(11, other) {
+		t.Error("unwedged prefix stuck")
+	}
+}
+
+func TestAggregatorCarriedThroughPropagation(t *testing.T) {
+	s := newTestSim(t, Config{})
+	sink := &testSink{}
+	s.SetSink(sink)
+	s.AddCollectorSession(collectorSession())
+	agg := &bgp.Aggregator{ASN: originAS, Addr: netip.MustParseAddr("10.11.22.33")}
+	s.ScheduleAnnounce(simStart, originAS, beaconP, agg)
+	s.RunAll()
+	for _, ev := range sink.events {
+		if ev.announce && (ev.attrs.Aggregator == nil || ev.attrs.Aggregator.Addr != agg.Addr) {
+			t.Errorf("aggregator lost en route to collector: %+v", ev.attrs.Aggregator)
+		}
+	}
+}
+
+func TestNewAnnouncementReplacesStaleRoute(t *testing.T) {
+	// A zombie from interval 1 is replaced by interval 2's announcement
+	// (fresh Aggregator), and interval 2's withdrawal — delivered, since
+	// the drop applies only to interval 1 — cleans up.
+	s := newTestSim(t, Config{})
+	agg1 := &bgp.Aggregator{ASN: originAS, Addr: netip.MustParseAddr("10.0.0.1")}
+	agg2 := &bgp.Aggregator{ASN: originAS, Addr: netip.MustParseAddr("10.0.0.2")}
+	wd1 := simStart.Add(15 * time.Minute)
+	// Drop only interval 1's withdrawals on 1->11.
+	s.Faults().DropWithdrawalsDuring(1, 11, 1.0, nil, wd1, wd1.Add(10*time.Minute))
+	s.ScheduleAnnounce(simStart, originAS, beaconP, agg1)
+	s.ScheduleWithdraw(wd1, originAS, beaconP)
+	s.Run(simStart.Add(2 * time.Hour))
+	if !s.HasRoute(11, beaconP) {
+		t.Fatal("no zombie after interval 1")
+	}
+	start2 := simStart.Add(4 * time.Hour)
+	s.ScheduleAnnounce(start2, originAS, beaconP, agg2)
+	s.ScheduleWithdraw(start2.Add(15*time.Minute), originAS, beaconP)
+	s.RunAll()
+	if s.HasRoute(11, beaconP) {
+		t.Error("interval 2's withdrawal did not clean the route")
+	}
+}
+
+func TestPerLinkFIFOOrdering(t *testing.T) {
+	// Rapid announce/withdraw pairs must arrive in order on every
+	// session: final state is withdrawn everywhere.
+	s := newTestSim(t, Config{})
+	for i := 0; i < 20; i++ {
+		at := simStart.Add(time.Duration(i) * time.Second)
+		s.ScheduleAnnounce(at, originAS, beaconP, nil)
+		s.ScheduleWithdraw(at.Add(500*time.Millisecond), originAS, beaconP)
+	}
+	s.RunAll()
+	if got := s.RouteCount(beaconP); got != 0 {
+		t.Errorf("RouteCount = %d after final withdrawal", got)
+	}
+}
+
+func TestLinkDelayDeterministicPerLink(t *testing.T) {
+	s := newTestSim(t, Config{Seed: 3})
+	d1 := s.linkDelay(1, 11)
+	d2 := s.linkDelay(1, 11)
+	if d1 != d2 {
+		t.Error("link delay not stable")
+	}
+	if s.linkDelay(1, 11) == s.linkDelay(11, 1) && s.linkDelay(1, 11) == s.linkDelay(1, 12) {
+		t.Error("suspiciously identical delays across links")
+	}
+	min, max := s.cfg.minDelay(), s.cfg.maxDelay()
+	if d1 < min || d1 >= max {
+		t.Errorf("delay %v outside [%v, %v)", d1, min, max)
+	}
+}
+
+func TestStatsCountMessages(t *testing.T) {
+	s := newTestSim(t, Config{})
+	s.ScheduleAnnounce(simStart, originAS, beaconP, nil)
+	s.RunAll()
+	st := s.Stats()
+	if st.MessagesSent == 0 || st.Events == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	if st.MessagesDropped != 0 {
+		t.Errorf("drops without faults: %d", st.MessagesDropped)
+	}
+}
+
+func TestGhostWithdrawSendsCollectorWithdraw(t *testing.T) {
+	// A stuck-RIB peer that is itself a collector peer must tell the
+	// collector the route is gone (it propagates the withdrawal), even
+	// though it keeps the route internally.
+	s := newTestSim(t, Config{})
+	sink := &testSink{}
+	s.SetSink(sink)
+	sess := Session{Collector: "rrc25", PeerAS: 11, PeerIP: netip.MustParseAddr("2001:db8:11::1"), AFI: bgp.AFIIPv6}
+	s.AddCollectorSession(sess)
+	s.Faults().StickRIB(11, nil)
+	s.ScheduleAnnounce(simStart, originAS, beaconP, nil)
+	s.ScheduleWithdraw(simStart.Add(15*time.Minute), originAS, beaconP)
+	s.RunAll()
+	if !s.HasRoute(11, beaconP) {
+		t.Fatal("route not stuck at 11")
+	}
+	sawWithdraw := false
+	for _, ev := range sink.events {
+		if !ev.isState && !ev.announce && ev.prefix == beaconP {
+			sawWithdraw = true
+		}
+	}
+	if !sawWithdraw {
+		t.Error("collector never saw the ghost withdrawal")
+	}
+}
+
+func TestReadvertiseRespectsExportPolicy(t *testing.T) {
+	// After a reset between two Tier-1 peers, a peer-learned route must
+	// NOT be re-advertised across the peering (valley-free).
+	s := newTestSim(t, Config{})
+	p := netip.MustParsePrefix("2001:db8:200::/48")
+	s.ScheduleAnnounce(simStart, 200, p, nil) // 200 is customer of 11 only
+	s.Run(simStart.Add(time.Hour))
+	// 1 learned it from customer 11; 2 learned it from customer 11 too.
+	// Reset the 1-2 peering: neither should hand the other a route it
+	// would not normally export... both DO export customer routes, so the
+	// route must survive and stay valley-free.
+	s.ScheduleSessionReset(simStart.Add(2*time.Hour), 1, 2)
+	s.RunAll()
+	path1, ok := s.BestRoute(1, p)
+	if !ok {
+		t.Fatal("1 lost the route")
+	}
+	// 1's best must still be via its customer 11, not via peer 2.
+	if path1.ASNs()[0] != 11 {
+		t.Errorf("1's best via %v after reset, want 11", path1.ASNs()[0])
+	}
+}
+
+func TestClearRoutesPropagatesWithdrawals(t *testing.T) {
+	s := newTestSim(t, Config{})
+	s.Faults().DropWithdrawals(1, 11, 1.0, nil)
+	s.ScheduleAnnounce(simStart, originAS, beaconP, nil)
+	s.ScheduleWithdraw(simStart.Add(15*time.Minute), originAS, beaconP)
+	s.Run(simStart.Add(2 * time.Hour))
+	if !s.HasRoute(200, beaconP) {
+		t.Fatal("no zombie at 200")
+	}
+	s.ScheduleClearRoutes(simStart.Add(3*time.Hour), 11, nil)
+	s.RunAll()
+	if s.HasRoute(200, beaconP) {
+		t.Error("clearing 11 did not withdraw at its customer 200")
+	}
+	if s.HasRoute(11, beaconP) {
+		t.Error("11 still has the route after clear")
+	}
+}

@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/mrt"
+)
+
+// Session identifies one collector feed: a BGP session between a peer AS
+// router and a route collector. One peer AS can expose several sessions
+// (several router addresses, possibly of different address families — the
+// paper notes a peer exchanging IPv6 routes over an IPv4-addressed
+// session).
+type Session struct {
+	Collector string     // collector name, e.g. "rrc21"
+	PeerAS    bgp.ASN    // the volunteer peer AS
+	PeerIP    netip.Addr // the peer router address (unique per session)
+	AFI       bgp.AFI    // addressing family of the session itself
+}
+
+// RouteAttrs is the semantic content of a route exported to a collector.
+type RouteAttrs struct {
+	Path        bgp.ASPath
+	Aggregator  *bgp.Aggregator
+	Communities []bgp.Community
+}
+
+// Sink receives the activity of all collector sessions. The collector
+// package implements it by writing MRT archives.
+type Sink interface {
+	// PeerAnnounce reports that the session advertised a route.
+	PeerAnnounce(at time.Time, sess Session, prefix netip.Prefix, attrs RouteAttrs)
+	// PeerWithdraw reports that the session withdrew a prefix.
+	PeerWithdraw(at time.Time, sess Session, prefix netip.Prefix)
+	// PeerState reports a session FSM transition.
+	PeerState(at time.Time, sess Session, old, new mrt.SessionState)
+}
+
+// nopSink discards everything; used when no sink is attached.
+type nopSink struct{}
+
+func (nopSink) PeerAnnounce(time.Time, Session, netip.Prefix, RouteAttrs)        {}
+func (nopSink) PeerWithdraw(time.Time, Session, netip.Prefix)                    {}
+func (nopSink) PeerState(time.Time, Session, mrt.SessionState, mrt.SessionState) {}
+
+func (s *Simulator) sinkOrNop() Sink {
+	if s.sink == nil {
+		return nopSink{}
+	}
+	return s.sink
+}
+
+// EstablishCollectorSessions emits an Established transition for every
+// registered collector session at time at, so archives begin with explicit
+// session state as real collector archives do.
+func (s *Simulator) EstablishCollectorSessions(at time.Time) {
+	for _, sessions := range s.collSessions {
+		for _, sess := range sessions {
+			sess := sess
+			s.schedule(at, func() {
+				s.sinkOrNop().PeerState(s.now, sess, mrt.StateActive, mrt.StateEstablished)
+				s.stats.CollectorRecords++
+			})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package rpki models the Resource Public Key Infrastructure pieces the
+// zombie experiments need: a registry of Route Origin Authorizations
+// (ROAs) that can change over time, origin validation (RFC 6811), and
+// per-AS Route Origin Validation policies — including the flawed
+// implementations the paper observes, which reject new invalid routes but
+// never evict routes that become invalid after a ROA change.
+package rpki
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+// Validity is an RFC 6811 origin-validation state.
+type Validity int8
+
+// Origin validation outcomes.
+const (
+	NotFound Validity = iota // no covering ROA
+	Valid                    // covered and matching
+	Invalid                  // covered but origin or length mismatch
+)
+
+func (v Validity) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	default:
+		return "not-found"
+	}
+}
+
+// ROA is a Route Origin Authorization: origin may announce prefixes within
+// Prefix up to MaxLength bits long.
+type ROA struct {
+	Prefix    netip.Prefix
+	MaxLength int
+	Origin    bgp.ASN
+}
+
+func (r ROA) covers(p netip.Prefix) bool {
+	return r.Prefix.Overlaps(p) && r.Prefix.Bits() <= p.Bits()
+}
+
+// matches reports whether the ROA authorizes origin to announce p.
+func (r ROA) matches(p netip.Prefix, origin bgp.ASN) bool {
+	return r.covers(p) && p.Bits() <= r.MaxLength && origin == r.Origin
+}
+
+type roaEvent struct {
+	at    time.Time
+	add   bool
+	roa   ROA
+	index int // creation order, for stable sorting of same-time events
+}
+
+// Registry is a time-aware ROA registry: ROAs are added and removed at
+// specific instants, and validation is evaluated as of a query time. The
+// zero value is an empty registry.
+type Registry struct {
+	events []roaEvent
+	sorted bool
+}
+
+// Add registers a ROA effective from time at.
+func (g *Registry) Add(at time.Time, roa ROA) {
+	g.events = append(g.events, roaEvent{at: at, add: true, roa: roa, index: len(g.events)})
+	g.sorted = false
+}
+
+// Remove revokes an identical ROA at time at. Removing a ROA that was
+// never added simply results in it never validating anything.
+func (g *Registry) Remove(at time.Time, roa ROA) {
+	g.events = append(g.events, roaEvent{at: at, add: false, roa: roa, index: len(g.events)})
+	g.sorted = false
+}
+
+func (g *Registry) sortEvents() {
+	if g.sorted {
+		return
+	}
+	sort.Slice(g.events, func(i, j int) bool {
+		if !g.events[i].at.Equal(g.events[j].at) {
+			return g.events[i].at.Before(g.events[j].at)
+		}
+		return g.events[i].index < g.events[j].index
+	})
+	g.sorted = true
+}
+
+// ActiveROAs returns the ROAs in force at time t.
+func (g *Registry) ActiveROAs(t time.Time) []ROA {
+	g.sortEvents()
+	var active []ROA
+	for _, ev := range g.events {
+		if ev.at.After(t) {
+			break
+		}
+		if ev.add {
+			active = append(active, ev.roa)
+		} else {
+			for i, r := range active {
+				if r == ev.roa {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return active
+}
+
+// Validate returns the RFC 6811 validity of (prefix, origin) at time t.
+func (g *Registry) Validate(t time.Time, prefix netip.Prefix, origin bgp.ASN) Validity {
+	covered := false
+	for _, roa := range g.ActiveROAs(t) {
+		if !roa.covers(prefix) {
+			continue
+		}
+		covered = true
+		if roa.matches(prefix, origin) {
+			return Valid
+		}
+	}
+	if covered {
+		return Invalid
+	}
+	return NotFound
+}
+
+// ROVPolicy describes how an AS applies origin validation.
+type ROVPolicy int8
+
+// ROV policies observed in the wild (and in the paper).
+const (
+	// ROVNone: the AS does not validate at all.
+	ROVNone ROVPolicy = iota
+	// ROVEnforce: the AS rejects invalid routes at import and evicts
+	// routes that become invalid after a ROA change (standard-compliant).
+	ROVEnforce
+	// ROVNoEvict: the AS rejects invalid routes at import time but never
+	// re-validates installed routes — the flawed behaviour the paper
+	// points at for zombies that survive ROA removal.
+	ROVNoEvict
+)
+
+func (p ROVPolicy) String() string {
+	switch p {
+	case ROVEnforce:
+		return "enforce"
+	case ROVNoEvict:
+		return "no-evict"
+	default:
+		return "none"
+	}
+}
+
+// AcceptAtImport reports whether an AS with this policy accepts a route of
+// the given validity when it is first received.
+func (p ROVPolicy) AcceptAtImport(v Validity) bool {
+	switch p {
+	case ROVEnforce, ROVNoEvict:
+		return v != Invalid
+	default:
+		return true
+	}
+}
+
+// EvictsOnInvalidation reports whether the AS re-validates installed
+// routes when ROAs change.
+func (p ROVPolicy) EvictsOnInvalidation() bool { return p == ROVEnforce }
+
+// String helpers for error messages.
+func (r ROA) String() string {
+	return fmt.Sprintf("ROA{%s maxlen %d origin %s}", r.Prefix, r.MaxLength, r.Origin)
+}

@@ -1,0 +1,136 @@
+package rpki
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+var (
+	t0 = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	t1 = time.Date(2024, 6, 22, 19, 49, 0, 0, time.UTC) // paper's ROA removal
+	t2 = time.Date(2024, 7, 1, 0, 0, 0, 0, time.UTC)
+)
+
+const origin bgp.ASN = 210312
+
+func beaconRegistry() *Registry {
+	g := &Registry{}
+	// The /32 covering block has a ROA at its own length only; the beacon
+	// /48s are authorized by a dedicated maxlen-48 ROA, as in the paper.
+	g.Add(t0, ROA{Prefix: netip.MustParsePrefix("2a0d:3dc1::/32"), MaxLength: 32, Origin: origin})
+	g.Add(t0, ROA{Prefix: netip.MustParsePrefix("2a0d:3dc1::/32"), MaxLength: 48, Origin: origin})
+	g.Remove(t1, ROA{Prefix: netip.MustParsePrefix("2a0d:3dc1::/32"), MaxLength: 48, Origin: origin})
+	return g
+}
+
+func TestValidateLifecycle(t *testing.T) {
+	g := beaconRegistry()
+	p48 := netip.MustParsePrefix("2a0d:3dc1:1851::/48")
+
+	if v := g.Validate(t0.Add(-time.Hour), p48, origin); v != NotFound {
+		t.Errorf("before any ROA: %v, want not-found", v)
+	}
+	if v := g.Validate(t0.Add(time.Hour), p48, origin); v != Valid {
+		t.Errorf("with beacon ROA: %v, want valid", v)
+	}
+	// After the beacon ROA is removed, the /48 is still covered by the
+	// /32 maxlen-32 ROA, so it becomes INVALID — exactly the situation
+	// the paper creates on 2024-06-22.
+	if v := g.Validate(t1.Add(time.Hour), p48, origin); v != Invalid {
+		t.Errorf("after ROA removal: %v, want invalid", v)
+	}
+	if v := g.Validate(t2, p48, origin); v != Invalid {
+		t.Errorf("later: %v, want invalid", v)
+	}
+}
+
+func TestValidateWrongOrigin(t *testing.T) {
+	g := beaconRegistry()
+	p48 := netip.MustParsePrefix("2a0d:3dc1:1851::/48")
+	if v := g.Validate(t0.Add(time.Hour), p48, 65000); v != Invalid {
+		t.Errorf("hijacked origin: %v, want invalid", v)
+	}
+}
+
+func TestValidateUncovered(t *testing.T) {
+	g := beaconRegistry()
+	other := netip.MustParsePrefix("2001:db8::/48")
+	if v := g.Validate(t2, other, origin); v != NotFound {
+		t.Errorf("uncovered prefix: %v, want not-found", v)
+	}
+	// A less-specific prefix than the ROA prefix is not covered.
+	p16 := netip.MustParsePrefix("2a0d::/16")
+	if v := g.Validate(t0.Add(time.Hour), p16, origin); v != NotFound {
+		t.Errorf("less-specific: %v, want not-found", v)
+	}
+}
+
+func TestActiveROAs(t *testing.T) {
+	g := beaconRegistry()
+	if got := len(g.ActiveROAs(t0.Add(time.Hour))); got != 2 {
+		t.Errorf("active at t0+1h = %d, want 2", got)
+	}
+	if got := len(g.ActiveROAs(t1.Add(time.Hour))); got != 1 {
+		t.Errorf("active after removal = %d, want 1", got)
+	}
+	if got := len(g.ActiveROAs(t0.Add(-time.Hour))); got != 0 {
+		t.Errorf("active before add = %d, want 0", got)
+	}
+}
+
+func TestRemoveNonexistentIsHarmless(t *testing.T) {
+	g := &Registry{}
+	g.Remove(t0, ROA{Prefix: netip.MustParsePrefix("2a0d:3dc1::/32"), MaxLength: 48, Origin: origin})
+	g.Add(t0.Add(time.Hour), ROA{Prefix: netip.MustParsePrefix("2a0d:3dc1::/32"), MaxLength: 48, Origin: origin})
+	p := netip.MustParsePrefix("2a0d:3dc1:100::/48")
+	if v := g.Validate(t0.Add(2*time.Hour), p, origin); v != Valid {
+		t.Errorf("got %v, want valid", v)
+	}
+}
+
+func TestROVPolicies(t *testing.T) {
+	cases := []struct {
+		p            ROVPolicy
+		acceptsValid bool
+		acceptsInv   bool
+		evicts       bool
+	}{
+		{ROVNone, true, true, false},
+		{ROVEnforce, true, false, true},
+		{ROVNoEvict, true, false, false},
+	}
+	for _, c := range cases {
+		if got := c.p.AcceptAtImport(Valid); got != c.acceptsValid {
+			t.Errorf("%v.AcceptAtImport(Valid) = %v", c.p, got)
+		}
+		if got := c.p.AcceptAtImport(NotFound); got != c.acceptsValid {
+			t.Errorf("%v.AcceptAtImport(NotFound) = %v", c.p, got)
+		}
+		if got := c.p.AcceptAtImport(Invalid); got != c.acceptsInv {
+			t.Errorf("%v.AcceptAtImport(Invalid) = %v", c.p, got)
+		}
+		if got := c.p.EvictsOnInvalidation(); got != c.evicts {
+			t.Errorf("%v.EvictsOnInvalidation() = %v", c.p, got)
+		}
+	}
+}
+
+func TestValidityString(t *testing.T) {
+	if Valid.String() != "valid" || Invalid.String() != "invalid" || NotFound.String() != "not-found" {
+		t.Error("validity strings wrong")
+	}
+}
+
+func TestSameInstantAddRemoveOrder(t *testing.T) {
+	// An add and remove at the same instant apply in insertion order.
+	g := &Registry{}
+	roa := ROA{Prefix: netip.MustParsePrefix("2a0d:3dc1::/32"), MaxLength: 48, Origin: origin}
+	g.Add(t0, roa)
+	g.Remove(t0, roa)
+	if got := len(g.ActiveROAs(t0)); got != 0 {
+		t.Errorf("active = %d, want 0 (remove after add)", got)
+	}
+}

@@ -1,0 +1,165 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"zombiescope/internal/bgp"
+)
+
+// GenerateConfig parameterizes the deterministic Internet-like topology
+// generator. Counts are numbers of ASes per tier; probabilities control
+// lateral peering density.
+type GenerateConfig struct {
+	Seed uint64
+
+	Tier1Count int // full p2p clique at the top
+	Tier2Count int // regional transit providers
+	Tier3Count int // smaller transit / access networks
+	StubCount  int // edge networks, no customers
+
+	// Tier2PeerProb is the probability that any two Tier-2 ASes peer.
+	Tier2PeerProb float64
+	// Tier3PeerProb is the probability that any two Tier-3 ASes peer.
+	Tier3PeerProb float64
+
+	// FirstASN is the ASN assigned to the first generated AS; subsequent
+	// ASes count up from it. Generated ranges must not collide with
+	// explicitly named ASes callers add afterwards.
+	FirstASN bgp.ASN
+}
+
+// DefaultGenerateConfig returns a medium-sized topology suitable for the
+// experiment scenarios: a few hundred ASes with realistic tiering.
+func DefaultGenerateConfig(seed uint64) GenerateConfig {
+	return GenerateConfig{
+		Seed:          seed,
+		Tier1Count:    8,
+		Tier2Count:    40,
+		Tier3Count:    120,
+		StubCount:     240,
+		Tier2PeerProb: 0.15,
+		Tier3PeerProb: 0.02,
+		FirstASN:      64500,
+	}
+}
+
+// Generate builds a tiered AS graph:
+//
+//   - Tier-1 ASes form a full peering clique and have no providers.
+//   - Each Tier-2 AS buys transit from 2–3 Tier-1s and peers laterally.
+//   - Each Tier-3 AS buys transit from 1–3 Tier-2s.
+//   - Each stub AS buys transit from 1–2 Tier-3s (occasionally a Tier-2).
+//
+// The generator is fully deterministic for a given config.
+func Generate(cfg GenerateConfig) (*Graph, error) {
+	if cfg.Tier1Count < 1 {
+		return nil, fmt.Errorf("topology: need at least one Tier-1, got %d", cfg.Tier1Count)
+	}
+	if cfg.FirstASN == 0 {
+		cfg.FirstASN = 64500
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5eed))
+	g := New()
+	next := cfg.FirstASN
+	alloc := func(n int, tier int, name string) []bgp.ASN {
+		out := make([]bgp.ASN, 0, n)
+		for i := 0; i < n; i++ {
+			asn := next
+			next++
+			g.AddAS(asn, fmt.Sprintf("%s-%d", name, i), tier)
+			out = append(out, asn)
+		}
+		return out
+	}
+	t1 := alloc(cfg.Tier1Count, 1, "tier1")
+	t2 := alloc(cfg.Tier2Count, 2, "tier2")
+	t3 := alloc(cfg.Tier3Count, 3, "tier3")
+	stubs := alloc(cfg.StubCount, 4, "stub")
+
+	// Tier-1 clique.
+	for i := 0; i < len(t1); i++ {
+		for j := i + 1; j < len(t1); j++ {
+			if err := g.AddP2P(t1[i], t1[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pickDistinct := func(pool []bgp.ASN, n int) []bgp.ASN {
+		if n > len(pool) {
+			n = len(pool)
+		}
+		idx := rng.Perm(len(pool))[:n]
+		out := make([]bgp.ASN, n)
+		for i, k := range idx {
+			out[i] = pool[k]
+		}
+		return out
+	}
+	// Tier-2 transit + lateral peering.
+	for _, asn := range t2 {
+		for _, p := range pickDistinct(t1, 2+rng.IntN(2)) {
+			if err := g.AddC2P(asn, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < len(t2); i++ {
+		for j := i + 1; j < len(t2); j++ {
+			if rng.Float64() < cfg.Tier2PeerProb {
+				if err := g.AddP2P(t2[i], t2[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Tier-3 transit + sparse lateral peering.
+	if len(t2) > 0 {
+		for _, asn := range t3 {
+			for _, p := range pickDistinct(t2, 1+rng.IntN(3)) {
+				if err := g.AddC2P(asn, p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := 0; i < len(t3); i++ {
+		for j := i + 1; j < len(t3); j++ {
+			if rng.Float64() < cfg.Tier3PeerProb {
+				if err := g.AddP2P(t3[i], t3[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Stubs.
+	for _, asn := range stubs {
+		pool := t3
+		if len(pool) == 0 || rng.Float64() < 0.1 {
+			pool = t2
+		}
+		if len(pool) == 0 {
+			pool = t1
+		}
+		for _, p := range pickDistinct(pool, 1+rng.IntN(2)) {
+			if err := g.AddC2P(asn, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// TierASNs returns the generated ASNs of the given tier, ascending.
+func (g *Graph) TierASNs(tier int) []bgp.ASN {
+	var out []bgp.ASN
+	for _, asn := range g.ASNs() {
+		if g.ases[asn].Tier == tier {
+			out = append(out, asn)
+		}
+	}
+	return out
+}

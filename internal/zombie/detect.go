@@ -1,0 +1,251 @@
+package zombie
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+)
+
+// Detector runs the paper's revised zombie detection over reconstructed
+// histories.
+type Detector struct {
+	// Threshold after the withdrawal at which a still-present route is a
+	// zombie. Default 90 minutes.
+	Threshold time.Duration
+	// ClockTolerance allows the Aggregator clock to lag the interval
+	// start slightly before a route counts as a duplicate (clock
+	// resolution and propagation slack). Default 1 minute.
+	ClockTolerance time.Duration
+	// RecordPaths collects per-peer path-length observations (the
+	// material for the paper's AS-path-length and emergence-rate
+	// figures). Costs memory on large runs.
+	RecordPaths bool
+	// IgnoreSessionState is an ablation switch: skip session STATE
+	// records during state reconstruction, so a peer whose session
+	// dropped still "has" its last-announced routes. It quantifies the
+	// value of one of the revised methodology's ingredients (the legacy
+	// looking-glass pipeline behaved this way).
+	IgnoreSessionState bool
+}
+
+func (d *Detector) threshold() time.Duration {
+	if d.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return d.Threshold
+}
+
+func (d *Detector) tolerance() time.Duration {
+	if d.ClockTolerance <= 0 {
+		return time.Minute
+	}
+	return d.ClockTolerance
+}
+
+// Detect parses the update archives and evaluates every interval,
+// returning all zombie routes with duplicates flagged (not removed).
+func (d *Detector) Detect(updates map[string][]byte, intervals []beacon.Interval) (*Report, error) {
+	prefixes := make([]netip.Prefix, 0, len(intervals))
+	seen := make(map[netip.Prefix]bool)
+	for _, iv := range intervals {
+		if !seen[iv.Prefix] {
+			seen[iv.Prefix] = true
+			prefixes = append(prefixes, iv.Prefix)
+		}
+	}
+	h, err := BuildHistory(updates, NewTrackSet(prefixes))
+	if err != nil {
+		return nil, err
+	}
+	return d.DetectFromHistory(h, intervals), nil
+}
+
+// DetectFromHistory runs detection over an already-built history.
+func (d *Detector) DetectFromHistory(h *History, intervals []beacon.Interval) *Report {
+	rep := &Report{
+		Threshold: d.threshold(),
+		Intervals: intervals,
+		Peers:     h.Peers(),
+	}
+	for _, iv := range intervals {
+		if h.SeenAnnounced(iv.Prefix, iv.AnnounceAt, iv.WithdrawAt) {
+			rep.VisiblePrefixes++
+		}
+		checkAt := iv.WithdrawAt.Add(d.threshold())
+		stateAt := h.StateAt
+		if d.IgnoreSessionState {
+			stateAt = h.stateAtIgnoringSessions
+		}
+		var routes []Route
+		for _, peer := range h.Peers() {
+			st := stateAt(peer, iv.Prefix, checkAt)
+			var normalLen int
+			var normalPath bgp.ASPath
+			if d.RecordPaths {
+				pre := stateAt(peer, iv.Prefix, iv.WithdrawAt)
+				if pre.Present {
+					normalLen = pre.Path.Length()
+					normalPath = pre.Path
+				}
+			}
+			if !st.Present {
+				if d.RecordPaths && normalLen > 0 {
+					rep.PathObs = append(rep.PathObs, PathObservation{
+						Peer: peer, Prefix: iv.Prefix, Interval: iv,
+						NormalLen: normalLen,
+					})
+				}
+				continue
+			}
+			announcedAt := st.At
+			if st.Agg != nil {
+				if t, ok := beacon.DecodeAggregatorClock(st.Agg.Addr, st.At); ok {
+					announcedAt = t
+				}
+			}
+			dup := announcedAt.Before(iv.AnnounceAt.Add(-d.tolerance()))
+			r := Route{
+				Peer:        peer,
+				Prefix:      iv.Prefix,
+				Interval:    iv,
+				Path:        st.Path,
+				AnnouncedAt: announcedAt,
+				LastUpdate:  st.LastEvent,
+				Duplicate:   dup,
+			}
+			routes = append(routes, r)
+			if d.RecordPaths {
+				rep.PathObs = append(rep.PathObs, PathObservation{
+					Peer: peer, Prefix: iv.Prefix, Interval: iv,
+					NormalLen:   normalLen,
+					ZombieLen:   st.Path.Length(),
+					Zombie:      true,
+					PathChanged: !st.Path.Equal(normalPath),
+					Duplicate:   dup,
+				})
+			}
+		}
+		if len(routes) > 0 {
+			rep.Outbreaks = append(rep.Outbreaks, Outbreak{
+				Prefix:   iv.Prefix,
+				Interval: iv,
+				Routes:   routes,
+			})
+		}
+	}
+	return rep
+}
+
+// ThresholdSweep runs the detection at several thresholds (the paper's
+// Fig. 2 sweep) and returns, per threshold, the outbreak count and the
+// fraction of announcements leading to outbreaks, after applying opts.
+type SweepPoint struct {
+	Threshold time.Duration
+	Outbreaks int
+	// Fraction of beacon announcements (intervals) that led to at least
+	// one zombie outbreak.
+	Fraction float64
+}
+
+// Sweep evaluates thresholds over a shared history. Announce denominator
+// is the number of intervals.
+func Sweep(h *History, intervals []beacon.Interval, thresholds []time.Duration, opts FilterOptions) []SweepPoint {
+	out := make([]SweepPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		d := &Detector{Threshold: th}
+		rep := d.DetectFromHistory(h, intervals)
+		obs := rep.Filter(opts)
+		frac := 0.0
+		if len(intervals) > 0 {
+			frac = float64(len(obs)) / float64(len(intervals))
+		}
+		out = append(out, SweepPoint{Threshold: th, Outbreaks: len(obs), Fraction: frac})
+	}
+	return out
+}
+
+// ConcurrentCounts returns, for each interval start time with at least one
+// outbreak, how many outbreaks were concurrent — the paper's Fig. 7.
+func ConcurrentCounts(obs []Outbreak) []int {
+	byStart := make(map[time.Time]int)
+	for _, ob := range obs {
+		byStart[ob.Interval.AnnounceAt]++
+	}
+	keys := make([]time.Time, 0, len(byStart))
+	for t := range byStart {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Before(keys[j]) })
+	out := make([]int, 0, len(keys))
+	for _, t := range keys {
+		out = append(out, byStart[t])
+	}
+	return out
+}
+
+// EmergenceRate is the likelihood of a <beacon prefix, peer AS> pair to
+// have a zombie route — the paper's Fig. 5 metric.
+type EmergenceRate struct {
+	Prefix netip.Prefix
+	PeerAS bgp.ASN
+	// Rate = zombie routes / intervals of the prefix.
+	Rate      float64
+	Zombies   int
+	Intervals int
+}
+
+// EmergenceRates computes the per-pair rates. Pairs that never produced a
+// zombie are included with rate 0 when their peer appeared in the
+// archives, matching the paper's observation that a large share of pairs
+// shows no zombies at all.
+func EmergenceRates(rep *Report, opts FilterOptions) []EmergenceRate {
+	perPrefix := make(map[netip.Prefix]int)
+	for _, iv := range rep.Intervals {
+		perPrefix[iv.Prefix]++
+	}
+	type key struct {
+		p  netip.Prefix
+		as bgp.ASN
+	}
+	counts := make(map[key]int)
+	for _, ob := range rep.Outbreaks {
+		for _, r := range ob.Routes {
+			if !opts.keeps(r) {
+				continue
+			}
+			counts[key{r.Prefix, r.Peer.AS}]++
+		}
+	}
+	peerASes := make(map[bgp.ASN]bool)
+	for _, p := range rep.Peers {
+		if opts.ExcludePeerAS != nil && opts.ExcludePeerAS[p.AS] {
+			continue
+		}
+		peerASes[p.AS] = true
+	}
+	var out []EmergenceRate
+	for p, n := range perPrefix {
+		if opts.Family != 0 && bgp.PrefixAFI(p) != opts.Family {
+			continue
+		}
+		for as := range peerASes {
+			c := counts[key{p, as}]
+			out = append(out, EmergenceRate{
+				Prefix: p, PeerAS: as,
+				Rate:      float64(c) / float64(n),
+				Zombies:   c,
+				Intervals: n,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PeerAS != out[j].PeerAS {
+			return out[i].PeerAS < out[j].PeerAS
+		}
+		return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+	})
+	return out
+}

@@ -1,0 +1,92 @@
+package zombie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zombiescope/internal/bgp"
+)
+
+// OutbreakGraphDOT renders the AS graph of an outbreak's stuck paths in
+// Graphviz DOT form — the "palm tree" the paper's root-cause inference
+// walks. The origin is drawn as the root, the trunk (common subpath) is
+// highlighted, the inferred candidate is marked, and the first-hop peer
+// ASes are drawn as leaves.
+func OutbreakGraphDOT(ob *Outbreak) string {
+	paths := ob.Paths()
+	rc, hasRC := InferRootCause(paths)
+	trunk := make(map[bgp.ASN]bool)
+	if hasRC {
+		for _, a := range rc.CommonSubpath {
+			trunk[a] = true
+		}
+	}
+	peers := make(map[bgp.ASN]bool)
+	type edge struct{ from, to bgp.ASN }
+	edges := make(map[edge]bool)
+	nodes := make(map[bgp.ASN]bool)
+	var origin bgp.ASN
+	for _, p := range paths {
+		asns := p.ASNs()
+		if len(asns) == 0 {
+			continue
+		}
+		peers[asns[0]] = true
+		origin = asns[len(asns)-1]
+		prev := bgp.ASN(0)
+		for _, a := range asns {
+			nodes[a] = true
+			if prev != 0 && prev != a {
+				edges[edge{from: a, to: prev}] = true // origin-to-peer direction
+			}
+			prev = a
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph outbreak {\n")
+	fmt.Fprintf(&sb, "  label=%q;\n", fmt.Sprintf("zombie outbreak %s (%d stuck routes)", ob.Prefix, len(ob.Routes)))
+	sb.WriteString("  rankdir=BT;\n")
+	sorted := make([]bgp.ASN, 0, len(nodes))
+	for a := range nodes {
+		sorted = append(sorted, a)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, a := range sorted {
+		attrs := []string{}
+		switch {
+		case a == origin:
+			attrs = append(attrs, `shape=doubleoctagon`, `label="`+a.String()+`\n(origin)"`)
+		case hasRC && a == rc.Candidate:
+			attrs = append(attrs, `style=filled`, `fillcolor=tomato`, `label="`+a.String()+`\n(candidate)"`)
+		case trunk[a]:
+			attrs = append(attrs, `style=filled`, `fillcolor=khaki`)
+		case peers[a]:
+			attrs = append(attrs, `shape=box`)
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&sb, "  %q [%s];\n", a.String(), strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&sb, "  %q;\n", a.String())
+		}
+	}
+	sortedEdges := make([]edge, 0, len(edges))
+	for e := range edges {
+		sortedEdges = append(sortedEdges, e)
+	}
+	sort.Slice(sortedEdges, func(i, j int) bool {
+		if sortedEdges[i].from != sortedEdges[j].from {
+			return sortedEdges[i].from < sortedEdges[j].from
+		}
+		return sortedEdges[i].to < sortedEdges[j].to
+	})
+	for _, e := range sortedEdges {
+		style := ""
+		if trunk[e.from] && trunk[e.to] {
+			style = " [penwidth=2.5]"
+		}
+		fmt.Fprintf(&sb, "  %q -> %q%s;\n", e.from.String(), e.to.String(), style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package zombie
+
+import (
+	"strings"
+	"testing"
+
+	"zombiescope/internal/bgp"
+)
+
+func palmTreeOutbreak() *Outbreak {
+	return &Outbreak{
+		Prefix: pfx,
+		Routes: []Route{
+			{Path: bgp.NewASPath(65001, 33891, 25091, 8298, 210312)},
+			{Path: bgp.NewASPath(65002, 64000, 33891, 25091, 8298, 210312)},
+			{Path: bgp.NewASPath(65003, 64001, 33891, 25091, 8298, 210312)},
+		},
+	}
+}
+
+func TestOutbreakGraphDOT(t *testing.T) {
+	dot := OutbreakGraphDOT(palmTreeOutbreak())
+	wants := []string{
+		"digraph outbreak",
+		`"AS210312" [shape=doubleoctagon`,
+		"fillcolor=tomato",
+		`"AS210312" -> "AS8298"`,
+		`"AS33891" -> "AS65001"`,
+		"penwidth=2.5",
+		"shape=box",
+	}
+	for _, want := range wants {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// No self edges, every line well formed (crude sanity).
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "->") {
+			parts := strings.SplitN(line, "->", 2)
+			if strings.TrimSpace(parts[0]) == strings.TrimSpace(strings.TrimSuffix(parts[1], ";")) {
+				t.Errorf("self edge: %s", line)
+			}
+		}
+	}
+}
+
+func TestOutbreakGraphDOTDeterministic(t *testing.T) {
+	a := OutbreakGraphDOT(palmTreeOutbreak())
+	b := OutbreakGraphDOT(palmTreeOutbreak())
+	if a != b {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestOutbreakGraphDOTPrepending(t *testing.T) {
+	// AS-path prepending must not create self edges.
+	ob := &Outbreak{
+		Prefix: pfx,
+		Routes: []Route{
+			{Path: bgp.NewASPath(65001, 33891, 33891, 33891, 8298, 210312)},
+		},
+	}
+	dot := OutbreakGraphDOT(ob)
+	if strings.Contains(dot, `"AS33891" -> "AS33891"`) {
+		t.Error("prepending produced a self edge")
+	}
+}
+
+func TestOutbreakGraphDOTEmpty(t *testing.T) {
+	dot := OutbreakGraphDOT(&Outbreak{Prefix: pfx})
+	if !strings.Contains(dot, "digraph outbreak") {
+		t.Error("empty outbreak produces invalid DOT")
+	}
+}

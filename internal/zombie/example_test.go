@@ -1,0 +1,86 @@
+package zombie_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/netsim"
+	"zombiescope/internal/zombie"
+)
+
+// The palm-tree heuristic: the stuck routes of an outbreak share a trunk
+// from the origin; the last AS on the trunk is the likely culprit. This is
+// the paper's §5.2 impactful-zombie inference.
+func ExampleInferRootCause() {
+	paths := []bgp.ASPath{
+		bgp.NewASPath(65001, 33891, 25091, 8298, 210312),
+		bgp.NewASPath(65002, 64000, 33891, 25091, 8298, 210312),
+		bgp.NewASPath(65003, 64001, 64002, 33891, 25091, 8298, 210312),
+	}
+	rc, ok := zombie.InferRootCause(paths)
+	fmt.Println(ok)
+	fmt.Println("candidate:", rc.Candidate)
+	fmt.Println("common subpath:", rc.SubpathString())
+	// Output:
+	// true
+	// candidate: AS33891
+	// common subpath: 33891 25091 8298 210312
+}
+
+// A complete detection run over raw MRT bytes: build a tiny archive with
+// a clean peer and a stuck peer, then let the detector classify them.
+func ExampleDetector() {
+	t0 := time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC)
+	prefix := netip.MustParsePrefix("2a0d:3dc1:1200::/48")
+	agg := &bgp.Aggregator{ASN: 210312, Addr: beacon.AggregatorClock(t0)}
+
+	fleet := collector.NewFleet()
+	clean := netsim.Session{Collector: "rrc00", PeerAS: 65001,
+		PeerIP: netip.MustParseAddr("2001:db8::1"), AFI: bgp.AFIIPv6}
+	stuck := netsim.Session{Collector: "rrc00", PeerAS: 65002,
+		PeerIP: netip.MustParseAddr("2001:db8::2"), AFI: bgp.AFIIPv6}
+	attrs := netsim.RouteAttrs{Path: bgp.NewASPath(65001, 8298, 210312), Aggregator: agg}
+	fleet.PeerAnnounce(t0.Add(time.Second), clean, prefix, attrs)
+	attrs.Path = bgp.NewASPath(65002, 4637, 8298, 210312)
+	fleet.PeerAnnounce(t0.Add(time.Second), stuck, prefix, attrs)
+	// Only the clean peer withdraws.
+	fleet.PeerWithdraw(t0.Add(16*time.Minute), clean, prefix)
+
+	interval := beacon.Interval{
+		Prefix:     prefix,
+		AnnounceAt: t0,
+		WithdrawAt: t0.Add(15 * time.Minute),
+		End:        t0.Add(24 * time.Hour),
+	}
+	det := &zombie.Detector{} // the paper's 90-minute threshold
+	report, err := det.Detect(fleet.UpdatesData(), []beacon.Interval{interval})
+	if err != nil {
+		panic(err)
+	}
+	for _, ob := range report.Filter(zombie.FilterOptions{}) {
+		for _, r := range ob.Routes {
+			fmt.Printf("zombie at %s: %s\n", r.Peer.AS, r.Path)
+		}
+	}
+	// Output:
+	// zombie at AS65002: 65002 4637 8298 210312
+}
+
+// Graphviz export of an outbreak's palm tree.
+func ExampleOutbreakGraphDOT() {
+	ob := &zombie.Outbreak{
+		Prefix: netip.MustParsePrefix("2a0d:3dc1:2233::/48"),
+		Routes: []zombie.Route{
+			{Path: bgp.NewASPath(65001, 33891, 210312)},
+			{Path: bgp.NewASPath(65002, 33891, 210312)},
+		},
+	}
+	dot := zombie.OutbreakGraphDOT(ob)
+	fmt.Println(len(dot) > 0 && dot[:7] == "digraph")
+	// Output:
+	// true
+}

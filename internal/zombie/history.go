@@ -1,0 +1,241 @@
+package zombie
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/mrt"
+)
+
+// eventKind classifies a history event.
+type eventKind uint8
+
+const (
+	evAnnounce eventKind = iota
+	evWithdraw
+	evSessionDown
+	evSessionUp
+)
+
+// histEvent is one state-relevant event for a (peer, prefix).
+type histEvent struct {
+	at    time.Time
+	order int // archive position, breaks same-second ties
+	kind  eventKind
+	path  bgp.ASPath
+	agg   *bgp.Aggregator
+}
+
+// History is the reconstructed message-level state of every tracked
+// (peer, prefix) pair, the substrate of the revised methodology.
+type History struct {
+	// events per peer per prefix, time-ordered.
+	events map[PeerID]map[netip.Prefix][]histEvent
+	// session events per peer (downs clear all prefixes), time-ordered.
+	session map[PeerID][]histEvent
+	peers   []PeerID
+}
+
+// TrackSet selects the prefixes worth reconstructing (beacon prefixes).
+type TrackSet map[netip.Prefix]bool
+
+// NewTrackSet builds a TrackSet from prefixes.
+func NewTrackSet(prefixes []netip.Prefix) TrackSet {
+	ts := make(TrackSet, len(prefixes))
+	for _, p := range prefixes {
+		ts[p] = true
+	}
+	return ts
+}
+
+// BuildHistory parses MRT update archives (one per collector, keyed by
+// collector name) and reconstructs per-(peer, prefix) event histories for
+// the tracked prefixes. Records of other prefixes are ignored.
+func BuildHistory(updates map[string][]byte, track TrackSet) (*History, error) {
+	h := &History{
+		events:  make(map[PeerID]map[netip.Prefix][]histEvent),
+		session: make(map[PeerID][]histEvent),
+	}
+	names := make([]string, 0, len(updates))
+	for name := range updates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	order := 0
+	for _, name := range names {
+		rd := mrt.NewReader(bytes.NewReader(updates[name]))
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
+			}
+			order++
+			switch r := rec.(type) {
+			case *mrt.BGP4MPMessage:
+				peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
+				u, err := r.Update()
+				if err != nil {
+					return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
+				}
+				for _, p := range u.WithdrawnAll() {
+					if track[p] {
+						h.add(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
+					}
+				}
+				for _, p := range u.Announced() {
+					if track[p] {
+						h.add(peer, p, histEvent{
+							at:    r.Timestamp,
+							order: order,
+							kind:  evAnnounce,
+							path:  u.Attrs.ASPath,
+							agg:   u.Attrs.Aggregator,
+						})
+					}
+				}
+			case *mrt.BGP4MPStateChange:
+				peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
+				kind := evSessionUp
+				if r.Down() {
+					kind = evSessionDown
+				} else if !r.Up() {
+					continue
+				}
+				h.session[peer] = append(h.session[peer], histEvent{at: r.Timestamp, order: order, kind: kind})
+				h.touch(peer)
+			}
+		}
+	}
+	h.finish()
+	return h, nil
+}
+
+func (h *History) add(peer PeerID, p netip.Prefix, ev histEvent) {
+	m := h.events[peer]
+	if m == nil {
+		m = make(map[netip.Prefix][]histEvent)
+		h.events[peer] = m
+		h.peers = append(h.peers, peer)
+	}
+	m[p] = append(m[p], ev)
+}
+
+func (h *History) touch(peer PeerID) {
+	if _, ok := h.events[peer]; !ok {
+		h.events[peer] = make(map[netip.Prefix][]histEvent)
+		h.peers = append(h.peers, peer)
+	}
+}
+
+func (h *History) finish() {
+	less := func(a, b histEvent) bool {
+		if !a.at.Equal(b.at) {
+			return a.at.Before(b.at)
+		}
+		return a.order < b.order
+	}
+	for _, m := range h.events {
+		for _, evs := range m {
+			sort.SliceStable(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
+		}
+	}
+	for _, evs := range h.session {
+		sort.SliceStable(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
+	}
+	sort.Slice(h.peers, func(i, j int) bool {
+		a, b := h.peers[i], h.peers[j]
+		if a.Collector != b.Collector {
+			return a.Collector < b.Collector
+		}
+		if a.AS != b.AS {
+			return a.AS < b.AS
+		}
+		return a.Addr.Less(b.Addr)
+	})
+}
+
+// Peers returns every peer seen in the archives, sorted.
+func (h *History) Peers() []PeerID { return h.peers }
+
+// State is the reconstructed status of a (peer, prefix) at an instant.
+type State struct {
+	Present bool
+	// Path/Agg/At describe the last announcement when Present.
+	Path bgp.ASPath
+	Agg  *bgp.Aggregator
+	At   time.Time
+	// LastEvent is the time of the last event of any kind before the
+	// query instant (zero if none).
+	LastEvent time.Time
+}
+
+// StateAt reconstructs the state of (peer, prefix) at time t, honoring
+// session downs (a down clears the route: a dead session cannot host a
+// zombie) and ignoring events at or after t.
+func (h *History) StateAt(peer PeerID, p netip.Prefix, t time.Time) State {
+	var st State
+	evs := h.events[peer][p]
+	sess := h.session[peer]
+	i, j := 0, 0
+	for i < len(evs) || j < len(sess) {
+		var ev histEvent
+		takeSess := false
+		switch {
+		case i >= len(evs):
+			ev, takeSess = sess[j], true
+		case j >= len(sess):
+			ev = evs[i]
+		default:
+			a, b := evs[i], sess[j]
+			if b.at.Before(a.at) || (b.at.Equal(a.at) && b.order < a.order) {
+				ev, takeSess = b, true
+			} else {
+				ev = a
+			}
+		}
+		if !ev.at.Before(t) {
+			break
+		}
+		if takeSess {
+			j++
+			if ev.kind == evSessionDown {
+				st = State{LastEvent: ev.at}
+			}
+			continue
+		}
+		i++
+		st.LastEvent = ev.at
+		switch ev.kind {
+		case evAnnounce:
+			st.Present = true
+			st.Path = ev.path
+			st.Agg = ev.agg
+			st.At = ev.at
+		case evWithdraw:
+			st.Present = false
+			st.Path = bgp.ASPath{}
+			st.Agg = nil
+		}
+	}
+	return st
+}
+
+// SeenAnnounced reports whether any peer announced p within [from, to).
+func (h *History) SeenAnnounced(p netip.Prefix, from, to time.Time) bool {
+	for _, m := range h.events {
+		for _, ev := range m[p] {
+			if ev.kind == evAnnounce && !ev.at.Before(from) && ev.at.Before(to) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,303 @@
+package zombie
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/mrt"
+)
+
+// Episode is a contiguous run of RIB-dump observations of a zombie prefix
+// at one peer.
+type Episode struct {
+	Peer      PeerID
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// Path is the stuck AS path from the most recent observation.
+	Path bgp.ASPath
+	// Observations counts the dumps in the episode.
+	Observations int
+}
+
+// Resurrection is a reappearance of a prefix at a peer after it had
+// vanished from the dumps, with no beacon announcement in between — the
+// phenomenon the paper documents first.
+type Resurrection struct {
+	Peer         PeerID
+	Prefix       netip.Prefix
+	LastSeen     time.Time // end of the previous episode
+	ReappearedAt time.Time
+	Path         bgp.ASPath
+}
+
+// PrefixLifespan aggregates the longitudinal view of one beacon prefix.
+type PrefixLifespan struct {
+	Prefix        netip.Prefix
+	WithdrawAt    time.Time
+	Episodes      []Episode
+	Resurrections []Resurrection
+}
+
+// LastSeen returns the latest observation across episodes, honoring the
+// exclusion sets (nil sets exclude nothing).
+func (pl *PrefixLifespan) LastSeen(excludeAS map[bgp.ASN]bool, excludeAddr map[netip.Addr]bool) (time.Time, bool) {
+	var last time.Time
+	found := false
+	for _, ep := range pl.Episodes {
+		if excludeAS != nil && excludeAS[ep.Peer.AS] {
+			continue
+		}
+		if excludeAddr != nil && excludeAddr[ep.Peer.Addr] {
+			continue
+		}
+		if ep.LastSeen.After(last) {
+			last = ep.LastSeen
+			found = true
+		}
+	}
+	return last, found
+}
+
+// Duration returns how long the outbreak lasted past the withdrawal, with
+// exclusions applied.
+func (pl *PrefixLifespan) Duration(excludeAS map[bgp.ASN]bool, excludeAddr map[netip.Addr]bool) (time.Duration, bool) {
+	last, ok := pl.LastSeen(excludeAS, excludeAddr)
+	if !ok || !last.After(pl.WithdrawAt) {
+		return 0, false
+	}
+	return last.Sub(pl.WithdrawAt), true
+}
+
+// LifespanReport is the result of tracking RIB dumps over time.
+type LifespanReport struct {
+	Prefixes map[netip.Prefix]*PrefixLifespan
+}
+
+// LifespanConfig tunes episode construction.
+type LifespanConfig struct {
+	// DumpInterval is the snapshot cadence (RIS: 8h). A gap of more than
+	// 1.5× splits an episode. Default 8h.
+	DumpInterval time.Duration
+	// ResurrectionGrace is how long after the beacon withdrawal a FIRST
+	// appearance still counts as ordinary zombie visibility; a first
+	// episode starting later than this (with no announcement in between)
+	// is a resurrection, like the paper's outbreaks that became visible
+	// a month after the last beacon withdrawal. Default 24h.
+	ResurrectionGrace time.Duration
+}
+
+func (c LifespanConfig) gap() time.Duration {
+	di := c.DumpInterval
+	if di <= 0 {
+		di = 8 * time.Hour
+	}
+	return di + di/2
+}
+
+func (c LifespanConfig) grace() time.Duration {
+	if c.ResurrectionGrace <= 0 {
+		return 24 * time.Hour
+	}
+	return c.ResurrectionGrace
+}
+
+type ribObs struct {
+	at   time.Time
+	path bgp.ASPath
+}
+
+// TrackLifespans parses RIB dump archives (keyed by collector name) and
+// builds per-prefix lifespans for the tracked beacon prefixes. intervals
+// provide the withdrawal anchors and rule out reappearances explained by
+// real announcements.
+func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg LifespanConfig) (*LifespanReport, error) {
+	track := make(TrackSet)
+	for _, iv := range intervals {
+		track[iv.Prefix] = true
+	}
+	type pp struct {
+		peer   PeerID
+		prefix netip.Prefix
+	}
+	series := make(map[pp][]ribObs)
+	names := make([]string, 0, len(dumps))
+	for n := range dumps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rd := mrt.NewReader(bytes.NewReader(dumps[name]))
+		var table *mrt.PeerIndexTable
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("zombie: dumps %s: %w", name, err)
+			}
+			switch r := rec.(type) {
+			case *mrt.PeerIndexTable:
+				table = r
+			case *mrt.RIB:
+				if !track[r.Prefix] {
+					continue
+				}
+				if table == nil {
+					return nil, fmt.Errorf("zombie: dumps %s: %w", name, mrt.ErrNoPeerIndex)
+				}
+				for _, e := range r.Entries {
+					if int(e.PeerIndex) >= len(table.Peers) {
+						return nil, fmt.Errorf("zombie: dumps %s: %w", name, mrt.ErrBadPeerIndex)
+					}
+					pe := table.Peers[e.PeerIndex]
+					peer := PeerID{Collector: name, AS: pe.AS, Addr: pe.Addr}
+					k := pp{peer: peer, prefix: r.Prefix}
+					series[k] = append(series[k], ribObs{at: r.Timestamp, path: e.Attrs.ASPath})
+				}
+			}
+		}
+	}
+	rep := &LifespanReport{Prefixes: make(map[netip.Prefix]*PrefixLifespan)}
+	gap := cfg.gap()
+	for k, obs := range series {
+		sort.Slice(obs, func(i, j int) bool { return obs[i].at.Before(obs[j].at) })
+		pl := rep.Prefixes[k.prefix]
+		if pl == nil {
+			pl = &PrefixLifespan{Prefix: k.prefix}
+			rep.Prefixes[k.prefix] = pl
+		}
+		// A first appearance long after the withdrawal, unexplained by a
+		// new announcement, is itself a resurrection (the stuck route was
+		// re-announced to this peer by an infected router).
+		if len(obs) > 0 {
+			first := obs[0].at
+			anchor := withdrawAnchor(intervals, k.prefix, first)
+			if !anchor.IsZero() && first.Sub(anchor) > cfg.grace() &&
+				!announcedBetween(intervals, k.prefix, anchor, first) {
+				pl.Resurrections = append(pl.Resurrections, Resurrection{
+					Peer:         k.peer,
+					Prefix:       k.prefix,
+					LastSeen:     anchor,
+					ReappearedAt: first,
+					Path:         obs[0].path,
+				})
+			}
+		}
+		var cur *Episode
+		for _, o := range obs {
+			if cur != nil && o.at.Sub(cur.LastSeen) <= gap {
+				cur.LastSeen = o.at
+				cur.Path = o.path
+				cur.Observations++
+				continue
+			}
+			if cur != nil {
+				pl.Episodes = append(pl.Episodes, *cur)
+				// A new episode after a gap is a resurrection unless a
+				// beacon announcement of the prefix happened in between.
+				if !announcedBetween(intervals, k.prefix, cur.LastSeen, o.at) {
+					pl.Resurrections = append(pl.Resurrections, Resurrection{
+						Peer:         k.peer,
+						Prefix:       k.prefix,
+						LastSeen:     cur.LastSeen,
+						ReappearedAt: o.at,
+						Path:         o.path,
+					})
+				}
+			}
+			cur = &Episode{Peer: k.peer, FirstSeen: o.at, LastSeen: o.at, Path: o.path, Observations: 1}
+		}
+		if cur != nil {
+			pl.Episodes = append(pl.Episodes, *cur)
+		}
+	}
+	// Anchor withdrawals: the latest interval withdrawal at or before the
+	// prefix's first observation.
+	for p, pl := range rep.Prefixes {
+		sort.Slice(pl.Episodes, func(i, j int) bool {
+			if !pl.Episodes[i].FirstSeen.Equal(pl.Episodes[j].FirstSeen) {
+				return pl.Episodes[i].FirstSeen.Before(pl.Episodes[j].FirstSeen)
+			}
+			return pl.Episodes[i].Peer.Addr.Less(pl.Episodes[j].Peer.Addr)
+		})
+		sort.Slice(pl.Resurrections, func(i, j int) bool {
+			return pl.Resurrections[i].ReappearedAt.Before(pl.Resurrections[j].ReappearedAt)
+		})
+		first := time.Time{}
+		if len(pl.Episodes) > 0 {
+			first = pl.Episodes[0].FirstSeen
+		}
+		pl.WithdrawAt = withdrawAnchor(intervals, p, first)
+	}
+	return rep, nil
+}
+
+func announcedBetween(intervals []beacon.Interval, p netip.Prefix, from, to time.Time) bool {
+	for _, iv := range intervals {
+		if iv.Prefix != p {
+			continue
+		}
+		if iv.AnnounceAt.After(from) && iv.AnnounceAt.Before(to) {
+			return true
+		}
+	}
+	return false
+}
+
+func withdrawAnchor(intervals []beacon.Interval, p netip.Prefix, firstSeen time.Time) time.Time {
+	var best time.Time
+	for _, iv := range intervals {
+		if iv.Prefix != p {
+			continue
+		}
+		if firstSeen.IsZero() || !iv.WithdrawAt.After(firstSeen) {
+			if iv.WithdrawAt.After(best) {
+				best = iv.WithdrawAt
+			}
+		}
+	}
+	if best.IsZero() {
+		// No interval precedes the first observation; take the earliest.
+		for _, iv := range intervals {
+			if iv.Prefix != p {
+				continue
+			}
+			if best.IsZero() || iv.WithdrawAt.Before(best) {
+				best = iv.WithdrawAt
+			}
+		}
+	}
+	return best
+}
+
+// Durations collects outbreak durations at least minDur long, exclusions
+// applied — the material of the paper's duration CDF (its Fig. 3).
+func (rep *LifespanReport) Durations(minDur time.Duration, excludeAS map[bgp.ASN]bool, excludeAddr map[netip.Addr]bool) []time.Duration {
+	var out []time.Duration
+	for _, pl := range rep.Prefixes {
+		d, ok := pl.Duration(excludeAS, excludeAddr)
+		if ok && d >= minDur {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Resurrections returns every resurrection across prefixes, sorted by
+// reappearance time.
+func (rep *LifespanReport) Resurrections() []Resurrection {
+	var out []Resurrection
+	for _, pl := range rep.Prefixes {
+		out = append(out, pl.Resurrections...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ReappearedAt.Before(out[j].ReappearedAt) })
+	return out
+}

@@ -1,0 +1,301 @@
+package zombie
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+)
+
+// buildDumps produces a dump archive where the prefix is visible at peer B
+// for dumps 1-3, vanishes, and reappears for dumps 10-12 with no beacon
+// announcement in between — a resurrection.
+func buildDumps(t *testing.T) (map[string][]byte, []beacon.Interval) {
+	t.Helper()
+	f := collector.NewFleet()
+	b := sess("rrc25", 300, "2001:db8:feed::2")
+	f.PeerAnnounce(t0.Add(time.Second), b, pfx, attrsAt(t0, 300, 4637, 1299, 25091, 8298, 210312))
+	dump := func(i int) time.Time { return t0.Add(time.Duration(i) * 8 * time.Hour) }
+	for i := 1; i <= 3; i++ {
+		f.SnapshotRIBs(dump(i))
+	}
+	// The route vanishes from the collector view.
+	f.PeerWithdraw(dump(3).Add(time.Hour), b, pfx)
+	for i := 4; i <= 9; i++ {
+		f.SnapshotRIBs(dump(i))
+	}
+	// Resurrection: the route reappears without a beacon announcement.
+	f.PeerAnnounce(dump(9).Add(time.Hour), b, pfx, attrsAt(t0, 300, 61573, 28598, 10429, 12956, 3356, 34549, 8298, 210312))
+	for i := 10; i <= 12; i++ {
+		f.SnapshotRIBs(dump(i))
+	}
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	iv := beacon.Interval{
+		Prefix:     pfx,
+		AnnounceAt: t0,
+		WithdrawAt: t0.Add(15 * time.Minute),
+		End:        t0.Add(15 * 24 * time.Hour),
+	}
+	return f.DumpData(), []beacon.Interval{iv}
+}
+
+func TestLifespanEpisodesAndResurrection(t *testing.T) {
+	dumps, ivs := buildDumps(t)
+	rep, err := TrackLifespans(dumps, ivs, LifespanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := rep.Prefixes[pfx]
+	if pl == nil {
+		t.Fatal("prefix missing from lifespan report")
+	}
+	if len(pl.Episodes) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(pl.Episodes))
+	}
+	ep1, ep2 := pl.Episodes[0], pl.Episodes[1]
+	if ep1.Observations != 3 || ep2.Observations != 3 {
+		t.Errorf("observations %d/%d, want 3/3", ep1.Observations, ep2.Observations)
+	}
+	if !ep1.FirstSeen.Equal(t0.Add(8 * time.Hour)) {
+		t.Errorf("ep1 first seen %v", ep1.FirstSeen)
+	}
+	if len(pl.Resurrections) != 1 {
+		t.Fatalf("resurrections = %d, want 1", len(pl.Resurrections))
+	}
+	res := pl.Resurrections[0]
+	if !res.ReappearedAt.Equal(t0.Add(80 * time.Hour)) {
+		t.Errorf("reappeared at %v", res.ReappearedAt)
+	}
+	if got := res.Path.String(); got != "300 61573 28598 10429 12956 3356 34549 8298 210312" {
+		t.Errorf("resurrected path %q", got)
+	}
+	// Withdrawal anchor: the interval withdrawal.
+	if !pl.WithdrawAt.Equal(t0.Add(15 * time.Minute)) {
+		t.Errorf("withdraw anchor %v", pl.WithdrawAt)
+	}
+}
+
+func TestLifespanDuration(t *testing.T) {
+	dumps, ivs := buildDumps(t)
+	rep, err := TrackLifespans(dumps, ivs, LifespanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durs := rep.Durations(24*time.Hour, nil, nil)
+	if len(durs) != 1 {
+		t.Fatalf("durations = %v", durs)
+	}
+	want := 96*time.Hour - 15*time.Minute // dump 12 minus withdrawal
+	if durs[0] != want {
+		t.Errorf("duration = %v, want %v", durs[0], want)
+	}
+	// Excluding the only infected peer leaves nothing.
+	durs = rep.Durations(24*time.Hour, map[bgp.ASN]bool{300: true}, nil)
+	if len(durs) != 0 {
+		t.Errorf("durations after exclusion = %v", durs)
+	}
+	// A minimum above the duration filters it out.
+	durs = rep.Durations(200*24*time.Hour, nil, nil)
+	if len(durs) != 0 {
+		t.Errorf("durations with huge min = %v", durs)
+	}
+}
+
+func TestAnnouncementSuppressesResurrection(t *testing.T) {
+	// Same shape, but with a second beacon announcement between the
+	// episodes: the reappearance is NOT a resurrection.
+	f := collector.NewFleet()
+	b := sess("rrc25", 300, "2001:db8:feed::2")
+	dump := func(i int) time.Time { return t0.Add(time.Duration(i) * 8 * time.Hour) }
+	f.PeerAnnounce(t0.Add(time.Second), b, pfx, attrsAt(t0, 300, 8298, 210312))
+	f.SnapshotRIBs(dump(1))
+	f.PeerWithdraw(dump(1).Add(time.Hour), b, pfx)
+	for i := 2; i <= 5; i++ {
+		f.SnapshotRIBs(dump(i))
+	}
+	reannounce := dump(5).Add(time.Hour)
+	f.PeerAnnounce(reannounce, b, pfx, attrsAt(reannounce, 300, 8298, 210312))
+	f.SnapshotRIBs(dump(6))
+	ivs := []beacon.Interval{
+		{Prefix: pfx, AnnounceAt: t0, WithdrawAt: t0.Add(15 * time.Minute), End: reannounce},
+		{Prefix: pfx, AnnounceAt: reannounce, WithdrawAt: reannounce.Add(15 * time.Minute), End: reannounce.Add(24 * time.Hour)},
+	}
+	rep, err := TrackLifespans(f.DumpData(), ivs, LifespanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := rep.Prefixes[pfx]
+	if len(pl.Episodes) != 2 {
+		t.Fatalf("episodes = %d", len(pl.Episodes))
+	}
+	if len(pl.Resurrections) != 0 {
+		t.Errorf("resurrections = %d, want 0 (re-announcement explains it)", len(pl.Resurrections))
+	}
+}
+
+func TestLifespanMultiplePeers(t *testing.T) {
+	// Two peers hold the zombie for different lengths: the outbreak
+	// duration is the max; excluding the longer peer shortens it.
+	f := collector.NewFleet()
+	b := sess("rrc25", 300, "2001:db8:feed::2")
+	c := sess("rrc25", 400, "2001:db8:feed::3")
+	dump := func(i int) time.Time { return t0.Add(time.Duration(i) * 8 * time.Hour) }
+	f.PeerAnnounce(t0.Add(time.Second), b, pfx, attrsAt(t0, 300, 8298, 210312))
+	f.PeerAnnounce(t0.Add(time.Second), c, pfx, attrsAt(t0, 400, 8298, 210312))
+	for i := 1; i <= 9; i++ {
+		if i == 4 {
+			f.PeerWithdraw(dump(3).Add(time.Hour), c, pfx)
+		}
+		f.SnapshotRIBs(dump(i))
+	}
+	iv := beacon.Interval{Prefix: pfx, AnnounceAt: t0, WithdrawAt: t0.Add(15 * time.Minute), End: t0.Add(15 * 24 * time.Hour)}
+	rep, err := TrackLifespans(f.DumpData(), []beacon.Interval{iv}, LifespanConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := rep.Prefixes[pfx]
+	full, ok := pl.Duration(nil, nil)
+	if !ok {
+		t.Fatal("no duration")
+	}
+	shorter, ok := pl.Duration(map[bgp.ASN]bool{300: true}, nil)
+	if !ok {
+		t.Fatal("no duration after exclusion")
+	}
+	if shorter >= full {
+		t.Errorf("excluding the long-lived peer did not shorten: %v vs %v", shorter, full)
+	}
+}
+
+func TestRootCausePalmTree(t *testing.T) {
+	paths := []bgp.ASPath{
+		bgp.NewASPath(200, 33891, 25091, 8298, 210312),
+		bgp.NewASPath(300, 64001, 33891, 25091, 8298, 210312),
+		bgp.NewASPath(400, 64002, 64003, 33891, 25091, 8298, 210312),
+	}
+	rc, ok := InferRootCause(paths)
+	if !ok {
+		t.Fatal("no root cause inferred")
+	}
+	if rc.Candidate != 33891 {
+		t.Errorf("candidate = %v, want 33891", rc.Candidate)
+	}
+	if got := rc.SubpathString(); got != "33891 25091 8298 210312" {
+		t.Errorf("subpath %q", got)
+	}
+	if rc.Routes != 3 || rc.PeerASes != 3 {
+		t.Errorf("routes/peerASes = %d/%d", rc.Routes, rc.PeerASes)
+	}
+	// Multiple vantage points and a non-first-hop candidate: full
+	// confidence.
+	if rc.Confidence != 1.0 {
+		t.Errorf("confidence = %v, want 1.0", rc.Confidence)
+	}
+}
+
+func TestRootCauseConfidenceDiscounts(t *testing.T) {
+	// Single vantage point: confidence halves.
+	rc, ok := InferRootCause([]bgp.ASPath{bgp.NewASPath(200, 33891, 210312)})
+	if !ok {
+		t.Fatal("no root cause")
+	}
+	if rc.Confidence >= 1.0 {
+		t.Errorf("single-peer confidence = %v, want < 1", rc.Confidence)
+	}
+	// Candidate is every route's own first hop (the peers themselves are
+	// the trunk end): heavily discounted.
+	rc, ok = InferRootCause([]bgp.ASPath{
+		bgp.NewASPath(200, 8298, 210312),
+		bgp.NewASPath(200, 8298, 210312),
+	})
+	if !ok {
+		t.Fatal("no root cause")
+	}
+	if rc.Candidate != 200 {
+		t.Fatalf("candidate = %v", rc.Candidate)
+	}
+	if rc.Confidence > 0.5 {
+		t.Errorf("first-hop-only confidence = %v, want <= 0.5", rc.Confidence)
+	}
+}
+
+func TestRootCauseSingleRoute(t *testing.T) {
+	rc, ok := InferRootCause([]bgp.ASPath{bgp.NewASPath(9304, 6939, 43100, 25091, 8298, 210312)})
+	if !ok {
+		t.Fatal("no root cause for single path")
+	}
+	// With one route the whole path is the trunk; the candidate is the
+	// nearest AS.
+	if rc.Candidate != 9304 {
+		t.Errorf("candidate = %v", rc.Candidate)
+	}
+}
+
+func TestRootCauseStripsPrepending(t *testing.T) {
+	paths := []bgp.ASPath{
+		bgp.NewASPath(200, 33891, 33891, 33891, 25091, 8298, 210312),
+		bgp.NewASPath(300, 33891, 25091, 25091, 8298, 210312),
+	}
+	rc, ok := InferRootCause(paths)
+	if !ok {
+		t.Fatal("no root cause")
+	}
+	if got := rc.SubpathString(); got != "33891 25091 8298 210312" {
+		t.Errorf("subpath %q", got)
+	}
+}
+
+func TestRootCauseDisjointPaths(t *testing.T) {
+	paths := []bgp.ASPath{
+		bgp.NewASPath(200, 1, 100),
+		bgp.NewASPath(300, 2, 999),
+	}
+	if _, ok := InferRootCause(paths); ok {
+		t.Error("root cause inferred from paths with different origins")
+	}
+	if _, ok := InferRootCause(nil); ok {
+		t.Error("root cause inferred from nothing")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	iv := beacon.Interval{Prefix: pfx, AnnounceAt: t0}
+	iv4 := beacon.Interval{Prefix: pfx4, AnnounceAt: t0}
+	pa := PeerID{Collector: "rrc25", AS: 200, Addr: netip.MustParseAddr("2001:db8::1")}
+	pb := PeerID{Collector: "rrc25", AS: 300, Addr: netip.MustParseAddr("2001:db8::2")}
+	a := []Outbreak{
+		{Prefix: pfx, Interval: iv, Routes: []Route{
+			{Peer: pa, Prefix: pfx, Interval: iv},
+			{Peer: pb, Prefix: pfx, Interval: iv},
+		}},
+		{Prefix: pfx4, Interval: iv4, Routes: []Route{{Peer: pa, Prefix: pfx4, Interval: iv4}}},
+	}
+	b := []Outbreak{
+		{Prefix: pfx, Interval: iv, Routes: []Route{{Peer: pa, Prefix: pfx, Interval: iv}}},
+	}
+	d := Diff(a, b)
+	if d.RoutesOnlyInA6 != 1 || d.RoutesOnlyInA4 != 1 {
+		t.Errorf("routes only in A: v4=%d v6=%d", d.RoutesOnlyInA4, d.RoutesOnlyInA6)
+	}
+	if d.RoutesOnlyInB4+d.RoutesOnlyInB6 != 0 {
+		t.Errorf("routes only in B: %d/%d", d.RoutesOnlyInB4, d.RoutesOnlyInB6)
+	}
+	if d.OutbreaksOnlyInA4 != 1 || d.OutbreaksOnlyInA6 != 0 {
+		t.Errorf("outbreaks only in A: v4=%d v6=%d", d.OutbreaksOnlyInA4, d.OutbreaksOnlyInA6)
+	}
+}
+
+func TestTopOutbreaksByImpact(t *testing.T) {
+	iv := beacon.Interval{Prefix: pfx, AnnounceAt: t0}
+	small := Outbreak{Prefix: pfx, Interval: iv, Routes: make([]Route, 1)}
+	big := Outbreak{Prefix: pfx4, Interval: iv, Routes: make([]Route, 5)}
+	sorted := TopOutbreaksByImpact([]Outbreak{small, big})
+	if len(sorted[0].Routes) != 5 {
+		t.Error("not sorted by impact")
+	}
+}

@@ -1,0 +1,197 @@
+package zombie
+
+import (
+	"sort"
+
+	"zombiescope/internal/bgp"
+)
+
+// RootCause is the outcome of the palm-tree inference the paper uses to
+// pinpoint the AS likely responsible for an outbreak: the AS graph of the
+// stuck routes forms a "palm tree" — a single trunk chain from the origin
+// that eventually branches; the last AS of the trunk is the candidate.
+type RootCause struct {
+	// Candidate is the last AS on the trunk before branching.
+	Candidate bgp.ASN
+	// CommonSubpath is the shared path tail in wire order (nearest AS
+	// first, origin last), e.g. "33891 25091 8298 210312".
+	CommonSubpath []bgp.ASN
+	// Routes is how many stuck routes the inference used.
+	Routes int
+	// PeerASes is how many distinct first-hop (peer) ASes observed it.
+	PeerASes int
+	// Confidence qualifies the inference (the paper leaves improving the
+	// heuristic as future work): the fraction of stuck routes whose path
+	// actually traverses the candidate, discounted when the candidate is
+	// also the first hop of every route (then the "culprit" may simply
+	// be the only vantage point, not the propagator).
+	Confidence float64
+}
+
+// SubpathString renders the common subpath like the paper quotes it.
+func (rc RootCause) SubpathString() string {
+	return bgp.NewASPath(rc.CommonSubpath...).String()
+}
+
+// InferRootCause runs the palm-tree heuristic over the stuck paths of an
+// outbreak. It returns false if the paths share nothing beyond the origin
+// or no usable path exists. The heuristic's caveats (the previous AS may
+// be the real culprit; route servers are invisible) are the paper's.
+func InferRootCause(paths []bgp.ASPath) (RootCause, bool) {
+	// Reverse each path to origin-first order and strip AS-path
+	// prepending (consecutive duplicates), which would break the trunk
+	// walk.
+	var rev [][]bgp.ASN
+	peerASes := make(map[bgp.ASN]bool)
+	for _, p := range paths {
+		asns := p.ASNs()
+		if len(asns) == 0 {
+			continue
+		}
+		peerASes[asns[0]] = true
+		r := make([]bgp.ASN, 0, len(asns))
+		for i := len(asns) - 1; i >= 0; i-- {
+			if len(r) > 0 && r[len(r)-1] == asns[i] {
+				continue
+			}
+			r = append(r, asns[i])
+		}
+		rev = append(rev, r)
+	}
+	if len(rev) == 0 {
+		return RootCause{}, false
+	}
+	// Longest common prefix of the origin-first paths = the trunk.
+	trunk := append([]bgp.ASN(nil), rev[0]...)
+	for _, r := range rev[1:] {
+		n := 0
+		for n < len(trunk) && n < len(r) && trunk[n] == r[n] {
+			n++
+		}
+		trunk = trunk[:n]
+	}
+	if len(trunk) == 0 {
+		return RootCause{}, false
+	}
+	// Back to wire order (nearest first).
+	sub := make([]bgp.ASN, len(trunk))
+	for i, a := range trunk {
+		sub[len(trunk)-1-i] = a
+	}
+	candidate := trunk[len(trunk)-1]
+	// Confidence: share of routes traversing the candidate (1.0 by
+	// construction of the common prefix), discounted when the candidate
+	// is every route's own first hop — then the evidence cannot separate
+	// "this AS propagates stale routes" from "this AS is merely the only
+	// one still holding one".
+	confidence := 1.0
+	firstHopOnly := true
+	for _, r := range rev {
+		if len(r) < 2 || r[len(r)-1] != candidate {
+			firstHopOnly = false
+			break
+		}
+	}
+	if firstHopOnly {
+		confidence = 0.5
+	}
+	if len(peerASes) == 1 {
+		// A single vantage point cannot confirm a shared trunk.
+		confidence /= 2
+	}
+	return RootCause{
+		Candidate:     candidate,
+		CommonSubpath: sub,
+		Routes:        len(rev),
+		PeerASes:      len(peerASes),
+		Confidence:    confidence,
+	}, true
+}
+
+// RouteDiff compares two sets of outbreaks (e.g. the legacy study's and
+// the revised methodology's) and reports what each side misses — the
+// paper's Table 3.
+type RouteDiff struct {
+	// RoutesOnlyInA / OnlyInB: zombie routes found by one side only,
+	// split by family.
+	RoutesOnlyInA4, RoutesOnlyInA6 int
+	RoutesOnlyInB4, RoutesOnlyInB6 int
+	// Outbreaks found by one side only, split by family.
+	OutbreaksOnlyInA4, OutbreaksOnlyInA6 int
+	OutbreaksOnlyInB4, OutbreaksOnlyInB6 int
+}
+
+type routeKey struct {
+	peer     PeerID
+	prefix   string
+	interval int64
+}
+
+type outbreakKey struct {
+	prefix   string
+	interval int64
+}
+
+func keysOf(obs []Outbreak) (map[routeKey]bool, map[outbreakKey]bool) {
+	rk := make(map[routeKey]bool)
+	ok := make(map[outbreakKey]bool)
+	for _, ob := range obs {
+		ok[outbreakKey{ob.Prefix.String(), ob.Interval.AnnounceAt.Unix()}] = true
+		for _, r := range ob.Routes {
+			rk[routeKey{r.Peer, r.Prefix.String(), r.Interval.AnnounceAt.Unix()}] = true
+		}
+	}
+	return rk, ok
+}
+
+// Diff computes the two-sided misses between outbreak sets A and B.
+func Diff(a, b []Outbreak) RouteDiff {
+	ra, oa := keysOf(a)
+	rb, ob := keysOf(b)
+	var d RouteDiff
+	countRoutes := func(obs []Outbreak, other map[routeKey]bool, c4, c6 *int) {
+		for _, ob := range obs {
+			for _, r := range ob.Routes {
+				k := routeKey{r.Peer, r.Prefix.String(), r.Interval.AnnounceAt.Unix()}
+				if !other[k] {
+					if r.Prefix.Addr().Is4() {
+						*c4++
+					} else {
+						*c6++
+					}
+				}
+			}
+		}
+	}
+	countRoutes(a, rb, &d.RoutesOnlyInA4, &d.RoutesOnlyInA6)
+	countRoutes(b, ra, &d.RoutesOnlyInB4, &d.RoutesOnlyInB6)
+	countObs := func(obs []Outbreak, other map[outbreakKey]bool, c4, c6 *int) {
+		for _, ob := range obs {
+			k := outbreakKey{ob.Prefix.String(), ob.Interval.AnnounceAt.Unix()}
+			if !other[k] {
+				if ob.Prefix.Addr().Is4() {
+					*c4++
+				} else {
+					*c6++
+				}
+			}
+		}
+	}
+	countObs(a, ob, &d.OutbreaksOnlyInA4, &d.OutbreaksOnlyInA6)
+	countObs(b, oa, &d.OutbreaksOnlyInB4, &d.OutbreaksOnlyInB6)
+	return d
+}
+
+// TopOutbreaksByImpact sorts outbreaks by how many peer routers were
+// infected (descending) — used to surface the paper's "impactful zombie"
+// case studies.
+func TopOutbreaksByImpact(obs []Outbreak) []Outbreak {
+	sorted := append([]Outbreak(nil), obs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if len(sorted[i].Routes) != len(sorted[j].Routes) {
+			return len(sorted[i].Routes) > len(sorted[j].Routes)
+		}
+		return sorted[i].Interval.AnnounceAt.Before(sorted[j].Interval.AnnounceAt)
+	})
+	return sorted
+}

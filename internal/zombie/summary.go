@@ -1,0 +1,130 @@
+package zombie
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+// Summary condenses a detection run into the figures an operator (or the
+// zombiehunt command) reports: counts under each correction, flagged
+// noisy peers, and the top outbreaks with root causes.
+type Summary struct {
+	Threshold time.Duration
+	// Announcements is the number of beacon intervals evaluated.
+	Announcements int
+	// Counts under the three methodology variants.
+	WithDoubleCounting Counts
+	Deduped            Counts
+	Clean              Counts // deduped + noisy peers excluded
+	// NoisyPeers flagged by the outlier detector.
+	NoisyPeers []PeerID
+	// TopOutbreaks, most impactful first (clean view), with inferred
+	// root causes where available.
+	TopOutbreaks []OutbreakSummary
+}
+
+// Counts pairs outbreak and route totals.
+type Counts struct {
+	Outbreaks int
+	Routes    int
+}
+
+// OutbreakSummary is one outbreak with its inference.
+type OutbreakSummary struct {
+	Outbreak Outbreak
+	// RootCause is valid when Inferred.
+	RootCause RootCause
+	Inferred  bool
+}
+
+// Summarize computes a Summary from a report, flagging noisy peers with
+// cfg and keeping at most topN outbreaks.
+func Summarize(rep *Report, cfg NoisyConfig, topN int) *Summary {
+	scores := ScorePeers(rep, false)
+	noisy := FlagNoisyPeers(scores, cfg)
+	byAS, _ := ExcludeSets(noisy)
+
+	withDup := rep.Filter(FilterOptions{IncludeDuplicates: true})
+	deduped := rep.Filter(FilterOptions{})
+	clean := rep.Filter(FilterOptions{ExcludePeerAS: byAS})
+
+	s := &Summary{
+		Threshold:          rep.Threshold,
+		Announcements:      len(rep.Intervals),
+		WithDoubleCounting: Counts{Outbreaks: len(withDup), Routes: CountRoutes(withDup)},
+		Deduped:            Counts{Outbreaks: len(deduped), Routes: CountRoutes(deduped)},
+		Clean:              Counts{Outbreaks: len(clean), Routes: CountRoutes(clean)},
+		NoisyPeers:         noisy,
+	}
+	if topN <= 0 {
+		topN = 5
+	}
+	for i, ob := range TopOutbreaksByImpact(clean) {
+		if i >= topN {
+			break
+		}
+		os := OutbreakSummary{Outbreak: ob}
+		if rc, ok := InferRootCause(ob.Paths()); ok {
+			os.RootCause = rc
+			os.Inferred = true
+		}
+		s.TopOutbreaks = append(s.TopOutbreaks, os)
+	}
+	return s
+}
+
+// AffectedFraction is the share of announcements that led to a clean
+// outbreak.
+func (s *Summary) AffectedFraction() float64 {
+	if s.Announcements == 0 {
+		return 0
+	}
+	return float64(s.Clean.Outbreaks) / float64(s.Announcements)
+}
+
+// Render writes the summary as the zombiehunt command prints it.
+func (s *Summary) Render(w io.Writer) {
+	if len(s.NoisyPeers) > 0 {
+		fmt.Fprintln(w, "noisy peers (excluded from the clean counts):")
+		for _, p := range s.NoisyPeers {
+			fmt.Fprintf(w, "  %s %s at %s\n", p.AS, p.Addr, p.Collector)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "zombie outbreaks at threshold %v:\n", s.Threshold)
+	fmt.Fprintf(w, "  with double-counting:     %d (%d routes)\n", s.WithDoubleCounting.Outbreaks, s.WithDoubleCounting.Routes)
+	fmt.Fprintf(w, "  deduped (Aggregator):     %d (%d routes)\n", s.Deduped.Outbreaks, s.Deduped.Routes)
+	fmt.Fprintf(w, "  deduped, noisy excluded:  %d (%d routes)\n", s.Clean.Outbreaks, s.Clean.Routes)
+	if s.Announcements > 0 {
+		fmt.Fprintf(w, "  announcements leading to outbreaks: %.2f%%\n", s.AffectedFraction()*100)
+	}
+	if len(s.TopOutbreaks) > 0 {
+		fmt.Fprintln(w, "\nmost impactful outbreaks:")
+		for _, os := range s.TopOutbreaks {
+			ob := os.Outbreak
+			fmt.Fprintf(w, "  %s (interval %s): %d routes, %d peer ASes\n",
+				ob.Prefix, ob.Interval.AnnounceAt.Format("2006-01-02 15:04"),
+				len(ob.Routes), len(ob.PeerASes()))
+			if os.Inferred {
+				fmt.Fprintf(w, "    common subpath: %s -> candidate %s\n",
+					os.RootCause.SubpathString(), os.RootCause.Candidate)
+			}
+		}
+	}
+}
+
+// NoisyASSet returns the flagged peers as an AS exclusion set.
+func (s *Summary) NoisyASSet() map[bgp.ASN]bool {
+	byAS, _ := ExcludeSets(s.NoisyPeers)
+	return byAS
+}
+
+// NoisyAddrSet returns the flagged peers as an address exclusion set.
+func (s *Summary) NoisyAddrSet() map[netip.Addr]bool {
+	_, byAddr := ExcludeSets(s.NoisyPeers)
+	return byAddr
+}

@@ -1,0 +1,96 @@
+package zombie
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	updates, ivs := noisyScenario(t)
+	rep, err := (&Detector{}).Detect(updates, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(rep, NoisyConfig{}, 3)
+	if s.Announcements != len(ivs) {
+		t.Errorf("announcements = %d, want %d", s.Announcements, len(ivs))
+	}
+	// The noisy peer (16347, ~80% stuck) is flagged and the clean counts
+	// drop to zero.
+	if len(s.NoisyPeers) != 1 || s.NoisyPeers[0].AS != 16347 {
+		t.Fatalf("noisy peers = %+v", s.NoisyPeers)
+	}
+	if s.Deduped.Outbreaks == 0 {
+		t.Error("no deduped outbreaks")
+	}
+	if s.Clean.Outbreaks != 0 {
+		t.Errorf("clean outbreaks = %d, want 0 after excluding the only zombie peer", s.Clean.Outbreaks)
+	}
+	if s.WithDoubleCounting.Outbreaks < s.Deduped.Outbreaks {
+		t.Error("with-dc count below deduped count")
+	}
+	if got := s.AffectedFraction(); got != 0 {
+		t.Errorf("affected fraction = %v", got)
+	}
+	if !s.NoisyASSet()[16347] {
+		t.Error("NoisyASSet missing the flagged AS")
+	}
+	if len(s.NoisyAddrSet()) != 1 {
+		t.Error("NoisyAddrSet wrong size")
+	}
+}
+
+func TestSummarizeTopOutbreaks(t *testing.T) {
+	updates, _, _, _ := buildScenario(t)
+	rep, err := (&Detector{}).Detect(updates, twoIntervals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable noisy flagging (MinProb above any possible likelihood) so
+	// the single stuck peer stays in the clean view.
+	s := Summarize(rep, NoisyConfig{MinProb: 2.0}, 5)
+	if len(s.TopOutbreaks) == 0 {
+		t.Fatal("no top outbreaks")
+	}
+	top := s.TopOutbreaks[0]
+	if !top.Inferred {
+		t.Error("no root cause inferred for the top outbreak")
+	}
+	if top.RootCause.Candidate == 0 {
+		t.Error("empty candidate")
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	updates, ivs := noisyScenario(t)
+	rep, err := (&Detector{}).Detect(updates, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(rep, NoisyConfig{}, 3)
+	var sb strings.Builder
+	s.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"noisy peers", "AS16347",
+		"with double-counting",
+		"deduped (Aggregator)",
+		"deduped, noisy excluded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeEmptyReport(t *testing.T) {
+	s := Summarize(&Report{}, NoisyConfig{}, 5)
+	if s.AffectedFraction() != 0 || s.Clean.Outbreaks != 0 || len(s.TopOutbreaks) != 0 {
+		t.Errorf("empty report summary: %+v", s)
+	}
+	var sb strings.Builder
+	s.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "zombie outbreaks") {
+		t.Error("empty render missing header")
+	}
+}
