@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"zombiescope/internal/bgp"
 	"zombiescope/internal/collector"
 	"zombiescope/internal/experiments"
+	"zombiescope/internal/livefeed"
 	"zombiescope/internal/mrt"
 	"zombiescope/internal/netsim"
 	"zombiescope/internal/topology"
@@ -282,6 +284,59 @@ func BenchmarkLifespanTracking(b *testing.B) {
 func benchAuthorConfig() experiments.AuthorConfig {
 	cfg := experiments.DefaultAuthorConfig(77, 16)
 	return cfg
+}
+
+// BenchmarkLivefeedFanout measures broker ingestion with one publisher
+// fanning out to 1, 16 and 128 concurrently-draining subscribers, for
+// each backpressure policy. Events carry a typical UPDATE payload; raw
+// bytes are omitted so the benchmark isolates fan-out, not MRT encoding.
+func BenchmarkLivefeedFanout(b *testing.B) {
+	ev := livefeed.Event{
+		Channel:   livefeed.ChannelUpdates,
+		Type:      livefeed.TypeUpdate,
+		Collector: "rrc00",
+		Timestamp: time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC),
+		PeerAS:    61573,
+		Peer:      netip.MustParseAddr("2001:db8:feed::1"),
+		Path:      []bgp.ASN{61573, 3356, 8298, 210312},
+		Announcements: []livefeed.Announcement{{
+			NextHop:  netip.MustParseAddr("2001:db8::1"),
+			Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1:1851::/48")},
+		}},
+	}
+	for _, policy := range []livefeed.Policy{
+		livefeed.PolicyDropOldest, livefeed.PolicyKickSlowest, livefeed.PolicyBlock,
+	} {
+		for _, subs := range []int{1, 16, 128} {
+			b.Run(fmt.Sprintf("%s/subs=%d", policy, subs), func(b *testing.B) {
+				broker := livefeed.NewBroker(livefeed.Config{RingSize: 1024, ReplaySize: -1})
+				var wg sync.WaitGroup
+				for i := 0; i < subs; i++ {
+					sub, _, err := broker.Subscribe(livefeed.Filter{}, policy, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							if _, err := sub.Next(); err != nil {
+								return
+							}
+						}
+					}()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					broker.Publish(ev)
+				}
+				b.StopTimer()
+				broker.Close()
+				wg.Wait()
+			})
+		}
+	}
 }
 
 // BenchmarkPalmTree measures root-cause inference over a large outbreak.

@@ -1,0 +1,237 @@
+// Command zombied is the live zombie-detection daemon: it serves a
+// RIS-Live-style feed of collector records plus a dedicated channel of
+// real-time zombie/resurrection alerts, implementing the paper's §6
+// "real-time detection of BGP zombies" as a network service.
+//
+// The daemon replays an MRT archive directory (as produced by beaconsim,
+// layout <dir>/<collector>/updates.mrt) or, with no -archive, generates
+// the paper's author-beacon scenario in memory. Records are published on
+// the "updates" feed channel; a server-side zombie.StreamDetector watches
+// the same stream and publishes alerts on the "zombie" channel the moment
+// a stuck route passes the threshold.
+//
+// Usage:
+//
+//	zombied -listen :4739 -http :8479 \
+//	        [-archive ./archive -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
+//	         -base 2a0d:3dc1::/32 -approach 15d -stride 1] \
+//	        [-seed 42 -scale 8]           (simulated scenario mode) \
+//	        [-threshold 90m] [-speed 0] [-policy-block] [-oneshot]
+//
+// Subscribers connect with livefeed.Client (or any implementation of the
+// frame protocol documented in internal/livefeed), choosing server-side
+// filters and a backpressure policy (drop-oldest, kick-slowest; block
+// only when -policy-block is set). -speed 0 replays as fast as possible;
+// -speed 3600 plays one simulated hour per wall second. /healthz reports
+// liveness and /metrics the broker counters (expvar-style JSON).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"zombiescope/internal/archive"
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/experiments"
+	"zombiescope/internal/livefeed"
+)
+
+func main() {
+	var (
+		listenAddr = flag.String("listen", ":4739", "feed TCP listen address")
+		httpAddr   = flag.String("http", ":8479", "HTTP listen address for /healthz and /metrics (empty disables)")
+		archiveDir = flag.String("archive", "", "MRT archive directory to replay (empty: simulate the author scenario)")
+		seed       = flag.Uint64("seed", 42, "simulation seed (scenario mode)")
+		scale      = flag.Int("scale", 8, "simulation scale divisor (scenario mode)")
+		schedKind  = flag.String("schedule", "author", "beacon schedule for archive mode: author | ris")
+		baseStr    = flag.String("base", "2a0d:3dc1::/32", "beacon base prefix (author schedule)")
+		approach   = flag.String("approach", "15d", "beacon recycle approach: 24h | 15d (author schedule)")
+		origin     = flag.Uint64("origin", 210312, "beacon origin ASN")
+		stride     = flag.Int("stride", 1, "beacon slot stride (archive mode)")
+		fromStr    = flag.String("from", "", "experiment start, RFC 3339 (archive mode)")
+		toStr      = flag.String("to", "", "experiment end, RFC 3339 (archive mode)")
+		threshold  = flag.Duration("threshold", 90*time.Minute, "zombie detection threshold")
+		speed      = flag.Float64("speed", 0, "replay speed: 0 = as fast as possible, N = N simulated seconds per wall second")
+		ringSize   = flag.Int("ring", 1024, "per-subscriber ring buffer size (events)")
+		replayBuf  = flag.Int("resume-buffer", 4096, "events retained for resume-from-sequence")
+		allowBlock = flag.Bool("policy-block", false, "allow subscribers to request the block backpressure policy")
+		oneshot    = flag.Bool("oneshot", false, "exit once the replay completes instead of serving forever")
+	)
+	flag.Parse()
+
+	feed, err := loadFeed(*archiveDir, *schedKind, *baseStr, *approach, *fromStr, *toStr, bgp.ASN(*origin), *stride, *seed, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := livefeed.MergeUpdates(feed.updates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("feed source: %d records from %d collectors, %d beacon intervals",
+		len(stream), len(feed.updates), len(feed.intervals))
+
+	broker := livefeed.NewBroker(livefeed.Config{RingSize: *ringSize, ReplaySize: *replayBuf})
+	pipe := livefeed.NewPipeline(broker, feed.intervals, *threshold)
+
+	srv := &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: *allowBlock}
+	l, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("feed listening on %s", l.Addr())
+	go func() {
+		if err := srv.Serve(l); err != nil && !done.Load() {
+			log.Printf("feed server: %v", err)
+		}
+	}()
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", broker.Metrics().Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"status":         "ok",
+				"seq":            broker.Seq(),
+				"subscribers":    broker.SubscriberCount(),
+				"pending_checks": pipe.PendingChecks(),
+				"replay_done":    done.Load(),
+			})
+		})
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("http (healthz, metrics) on %s", hl.Addr())
+		go http.Serve(hl, mux)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	replayed := make(chan error, 1)
+	go func() {
+		err := pipe.Replay(ctx, stream, feed.flushAt, *speed)
+		done.Store(true)
+		replayed <- err
+	}()
+
+	if *oneshot {
+		if err := <-replayed; err != nil && err != context.Canceled {
+			log.Fatal(err)
+		}
+		log.Printf("replay done: %d events published, exiting (oneshot)", broker.Seq())
+	} else {
+		select {
+		case err := <-replayed:
+			if err != nil && err != context.Canceled {
+				log.Fatal(err)
+			}
+			log.Printf("replay done: %d events published, serving subscribers (ctrl-c to exit)", broker.Seq())
+			<-ctx.Done()
+		case <-ctx.Done():
+		}
+	}
+	srv.Close()
+	broker.Close()
+}
+
+// done flips once the replay has finished (read by /healthz).
+var done atomic.Bool
+
+// feedSource is the resolved record source: per-collector update archives
+// plus the detection intervals covering them.
+type feedSource struct {
+	updates   map[string][]byte
+	intervals []beacon.Interval
+	flushAt   time.Time
+}
+
+// loadFeed resolves the daemon's record source: an on-disk archive with a
+// schedule reconstructed from flags, or the simulated author scenario.
+func loadFeed(dir, schedKind, baseStr, approach, fromStr, toStr string, origin bgp.ASN, stride int, seed uint64, scale int) (*feedSource, error) {
+	if dir == "" {
+		data, err := experiments.RunAuthorScenario(experiments.DefaultAuthorConfig(seed, scale))
+		if err != nil {
+			return nil, err
+		}
+		return &feedSource{
+			updates:   data.Updates,
+			intervals: data.Intervals,
+			flushAt:   data.Config.TrackUntil,
+		}, nil
+	}
+	intervals, err := scheduleIntervals(schedKind, baseStr, approach, fromStr, toStr, origin, stride)
+	if err != nil {
+		return nil, err
+	}
+	set, err := archive.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &feedSource{
+		updates:   set.Updates,
+		intervals: intervals,
+		flushAt:   flushInstant(intervals),
+	}, nil
+}
+
+// scheduleIntervals rebuilds the beacon detection intervals from the
+// schedule flags (mirroring zombiehunt).
+func scheduleIntervals(schedKind, baseStr, approach, fromStr, toStr string, origin bgp.ASN, stride int) ([]beacon.Interval, error) {
+	from, err := time.Parse(time.RFC3339, fromStr)
+	if err != nil {
+		return nil, fmt.Errorf("-from: %w", err)
+	}
+	to, err := time.Parse(time.RFC3339, toStr)
+	if err != nil {
+		return nil, fmt.Errorf("-to: %w", err)
+	}
+	var sched beacon.Schedule
+	switch schedKind {
+	case "author":
+		base, err := netip.ParsePrefix(baseStr)
+		if err != nil {
+			return nil, err
+		}
+		ap := beacon.Recycle15d
+		if approach == "24h" {
+			ap = beacon.Recycle24h
+		}
+		sched = &beacon.AuthorSchedule{Base: base, OriginAS: origin, Approach: ap, SlotStride: stride}
+	case "ris":
+		v4, v6 := beacon.DefaultRISPrefixes(origin)
+		sched = &beacon.RISSchedule{Prefixes4: v4, Prefixes6: v6, OriginAS: origin}
+	default:
+		return nil, fmt.Errorf("unknown -schedule %q", schedKind)
+	}
+	intervals := sched.Intervals(from, to)
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("no beacon intervals in [%s, %s]", from, to)
+	}
+	return intervals, nil
+}
+
+// flushInstant is when every interval check of the schedule has certainly
+// fired: the last recycle horizon plus a margin.
+func flushInstant(intervals []beacon.Interval) time.Time {
+	var last time.Time
+	for _, iv := range intervals {
+		if iv.End.After(last) {
+			last = iv.End
+		}
+	}
+	return last.Add(24 * time.Hour)
+}

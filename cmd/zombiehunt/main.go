@@ -7,7 +7,7 @@
 //
 //	zombiehunt -archive ./archive -base 2a0d:3dc1::/32 -approach 15d \
 //	           -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
-//	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris]
+//	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris] [-json]
 //
 // The beacon schedule (base prefix, approach, window) tells the detector
 // which prefixes to track and where the beacon intervals fall. Detection
@@ -17,8 +17,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"time"
@@ -42,6 +44,7 @@ func main() {
 		threshold  = flag.Duration("threshold", 90*time.Minute, "zombie detection threshold")
 		lifespans  = flag.Bool("lifespans", false, "track lifespans from RIB dumps")
 		dotOut     = flag.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
+		jsonOut    = flag.Bool("json", false, "emit the report as one JSON document on stdout instead of text")
 	)
 	flag.Parse()
 
@@ -86,7 +89,9 @@ func main() {
 		fatal(err)
 	}
 	updates, dumps := set.Updates, set.Dumps
-	fmt.Printf("archive: %d collectors, %d beacon intervals\n", len(updates), len(intervals))
+	if !*jsonOut {
+		fmt.Printf("archive: %d collectors, %d beacon intervals\n", len(updates), len(intervals))
+	}
 
 	det := &zombie.Detector{Threshold: *threshold}
 	rep, err := det.Detect(updates, intervals)
@@ -95,22 +100,33 @@ func main() {
 	}
 
 	summary := zombie.Summarize(rep, zombie.NoisyConfig{}, 5)
-	fmt.Println()
-	summary.Render(os.Stdout)
+	var lr *zombie.LifespanReport
+	if *lifespans {
+		if lr, err = zombie.TrackLifespans(dumps, intervals, zombie.LifespanConfig{}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSONReport(os.Stdout, len(updates), summary, lr); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println()
+		summary.Render(os.Stdout)
+	}
 
 	if *dotOut != "" && len(summary.TopOutbreaks) > 0 {
 		top := summary.TopOutbreaks[0].Outbreak
 		if err := os.WriteFile(*dotOut, []byte(zombie.OutbreakGraphDOT(&top)), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\npalm-tree graph of %s written to %s\n", top.Prefix, *dotOut)
+		if !*jsonOut {
+			fmt.Printf("\npalm-tree graph of %s written to %s\n", top.Prefix, *dotOut)
+		}
 	}
 
-	if *lifespans {
-		lr, err := zombie.TrackLifespans(dumps, intervals, zombie.LifespanConfig{})
-		if err != nil {
-			fatal(err)
-		}
+	if *lifespans && !*jsonOut {
 		durs := lr.Durations(24*time.Hour, summary.NoisyASSet(), summary.NoisyAddrSet())
 		fmt.Printf("\nlifespans (>= 1 day, noisy excluded): %d outbreaks\n", len(durs))
 		for _, d := range durs {
@@ -125,6 +141,141 @@ func main() {
 			}
 		}
 	}
+}
+
+// JSON report shapes (-json). Field names are stable: scripts depend on
+// them.
+type jsonReport struct {
+	ThresholdMinutes float64        `json:"threshold_minutes"`
+	Collectors       int            `json:"collectors"`
+	Announcements    int            `json:"announcements"`
+	Counts           jsonCounts     `json:"counts"`
+	AffectedPercent  float64        `json:"announcements_affected_percent"`
+	NoisyPeers       []jsonPeer     `json:"noisy_peers"`
+	TopOutbreaks     []jsonOutbreak `json:"top_outbreaks"`
+	// Lifespans is present only with -lifespans.
+	Lifespans *jsonLifespans `json:"lifespans,omitempty"`
+}
+
+type jsonCounts struct {
+	WithDoubleCounting jsonCount `json:"with_double_counting"`
+	Deduped            jsonCount `json:"deduped"`
+	Clean              jsonCount `json:"clean"`
+}
+
+type jsonCount struct {
+	Outbreaks int `json:"outbreaks"`
+	Routes    int `json:"routes"`
+}
+
+type jsonPeer struct {
+	Collector string `json:"collector"`
+	AS        uint32 `json:"as"`
+	Addr      string `json:"addr"`
+}
+
+type jsonOutbreak struct {
+	Prefix           string         `json:"prefix"`
+	IntervalStart    time.Time      `json:"interval_start"`
+	IntervalWithdraw time.Time      `json:"interval_withdraw"`
+	Routes           int            `json:"routes"`
+	PeerASes         int            `json:"peer_ases"`
+	RootCause        *jsonRootCause `json:"root_cause,omitempty"`
+}
+
+type jsonRootCause struct {
+	Candidate     uint32   `json:"candidate_as"`
+	CommonSubpath []uint32 `json:"common_subpath"`
+	Routes        int      `json:"routes"`
+	PeerASes      int      `json:"peer_ases"`
+	Confidence    float64  `json:"confidence"`
+}
+
+type jsonLifespans struct {
+	// DurationDays lists outbreak lifespans >= 1 day, noisy peers
+	// excluded, in days.
+	DurationDays  []float64          `json:"duration_days"`
+	Resurrections []jsonResurrection `json:"resurrections"`
+}
+
+type jsonResurrection struct {
+	Peer         jsonPeer  `json:"peer"`
+	Prefix       string    `json:"prefix"`
+	LastSeen     time.Time `json:"last_seen"`
+	ReappearedAt time.Time `json:"reappeared_at"`
+	Path         []uint32  `json:"path"`
+}
+
+func toJSONPeer(p zombie.PeerID) jsonPeer {
+	return jsonPeer{Collector: p.Collector, AS: uint32(p.AS), Addr: p.Addr.String()}
+}
+
+func toUint32s(asns []bgp.ASN) []uint32 {
+	out := make([]uint32, len(asns))
+	for i, as := range asns {
+		out[i] = uint32(as)
+	}
+	return out
+}
+
+// writeJSONReport renders the machine-readable counterpart of
+// Summary.Render plus the lifespan section.
+func writeJSONReport(w io.Writer, collectors int, s *zombie.Summary, lr *zombie.LifespanReport) error {
+	r := jsonReport{
+		ThresholdMinutes: s.Threshold.Minutes(),
+		Collectors:       collectors,
+		Announcements:    s.Announcements,
+		Counts: jsonCounts{
+			WithDoubleCounting: jsonCount(s.WithDoubleCounting),
+			Deduped:            jsonCount(s.Deduped),
+			Clean:              jsonCount(s.Clean),
+		},
+		AffectedPercent: s.AffectedFraction() * 100,
+		NoisyPeers:      []jsonPeer{},
+		TopOutbreaks:    []jsonOutbreak{},
+	}
+	for _, p := range s.NoisyPeers {
+		r.NoisyPeers = append(r.NoisyPeers, toJSONPeer(p))
+	}
+	for _, os := range s.TopOutbreaks {
+		ob := os.Outbreak
+		jo := jsonOutbreak{
+			Prefix:           ob.Prefix.String(),
+			IntervalStart:    ob.Interval.AnnounceAt,
+			IntervalWithdraw: ob.Interval.WithdrawAt,
+			Routes:           len(ob.Routes),
+			PeerASes:         len(ob.PeerASes()),
+		}
+		if os.Inferred {
+			jo.RootCause = &jsonRootCause{
+				Candidate:     uint32(os.RootCause.Candidate),
+				CommonSubpath: toUint32s(os.RootCause.CommonSubpath),
+				Routes:        os.RootCause.Routes,
+				PeerASes:      os.RootCause.PeerASes,
+				Confidence:    os.RootCause.Confidence,
+			}
+		}
+		r.TopOutbreaks = append(r.TopOutbreaks, jo)
+	}
+	if lr != nil {
+		ls := &jsonLifespans{DurationDays: []float64{}, Resurrections: []jsonResurrection{}}
+		for _, d := range lr.Durations(24*time.Hour, s.NoisyASSet(), s.NoisyAddrSet()) {
+			ls.DurationDays = append(ls.DurationDays, d.Hours()/24)
+		}
+		for _, res := range lr.Resurrections() {
+			ls.Resurrections = append(ls.Resurrections, jsonResurrection{
+				Peer:         toJSONPeer(res.Peer),
+				Prefix:       res.Prefix.String(),
+				LastSeen:     res.LastSeen,
+				ReappearedAt: res.ReappearedAt,
+				Path:         toUint32s(res.Path.ASNs()),
+			})
+		}
+		r.Lifespans = ls
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 func fatal(err error) {

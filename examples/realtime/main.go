@@ -1,79 +1,102 @@
-// Realtime: the paper's §6 future-work item, implemented — detect zombies
-// from a live collector stream instead of post-processing archives. The
-// program replays a simulated archive through the streaming detector in
-// timestamp order and prints alerts the moment each stuck route passes the
-// 90-minute threshold, including live resurrection notices.
+// Realtime: the paper's §6 future-work item as a network service. A
+// livefeed broker + TCP server replays a simulated collector archive with
+// a server-side streaming detector (exactly what the zombied daemon
+// runs), and a livefeed.Client subscribes to the "zombie" alert channel
+// over the wire — reconnect and resume-from-sequence included — printing
+// each stuck route the moment it passes the 90-minute threshold.
 package main
 
 import (
-	"bytes"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"sort"
+	"net"
 	"time"
 
+	"zombiescope/internal/bgp"
 	"zombiescope/internal/experiments"
-	"zombiescope/internal/mrt"
-	"zombiescope/internal/zombie"
+	"zombiescope/internal/livefeed"
 )
 
 func main() {
 	// Generate the collector feed (in production this would be a live
-	// RIS stream).
+	// RIS stream; zombied serves it from real archives the same way).
 	cfg := experiments.DefaultAuthorConfig(42, 8)
 	data, err := experiments.RunAuthorScenario(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	alerts := 0
-	sd := zombie.NewStreamDetector(data.Intervals, 90*time.Minute, func(ev zombie.ZombieEvent) {
-		if ev.Duplicate {
-			return // already alerted in an earlier interval
-		}
-		alerts++
-		tag := "ZOMBIE"
-		if ev.Resurrected {
-			tag = "RESURRECTION"
-		}
-		if alerts <= 25 {
-			fmt.Printf("[%s] %-12s %s stuck at %s (%s), path %s\n",
-				ev.DetectedAt.Format("2006-01-02 15:04"), tag,
-				ev.Prefix, ev.Peer.AS, ev.Peer.Collector, ev.Path)
-		}
-	})
-
-	// Merge all collector feeds into one timestamp-ordered stream, as a
-	// live consumer of multiple collectors would see it.
-	type tsRec struct {
-		name string
-		rec  mrt.Record
+	stream, err := livefeed.MergeUpdates(data.Updates)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var stream []tsRec
-	for name, raw := range data.Updates {
-		rd := mrt.NewReader(bytes.NewReader(raw))
-		for {
-			rec, err := rd.Next()
-			if err == io.EOF {
-				break
+
+	// Server side: broker + frame-protocol server + streaming detector.
+	broker := livefeed.NewBroker(livefeed.Config{})
+	pipe := livefeed.NewPipeline(broker, data.Intervals, 90*time.Minute)
+	srv := &livefeed.Server{Broker: broker, Name: "realtime-example/1"}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+
+	// Client side: subscribe to zombie alerts only, reconnecting client.
+	ctx, cancel := context.WithCancel(context.Background())
+	alerts, received := 0, make(chan struct{}, 1024)
+	client := &livefeed.Client{
+		Addr:   l.Addr().String(),
+		Filter: livefeed.Filter{Channels: []string{livefeed.ChannelZombie}},
+		Policy: livefeed.PolicyDropOldest,
+		OnEvent: func(ev livefeed.Event) {
+			defer func() { received <- struct{}{} }()
+			if ev.Alert == nil || ev.Alert.Duplicate {
+				return // already alerted in an earlier interval
 			}
-			if err != nil {
-				log.Fatal(err)
+			alerts++
+			tag := "ZOMBIE"
+			if ev.Type == livefeed.TypeResurrection {
+				tag = "RESURRECTION"
 			}
-			stream = append(stream, tsRec{name: name, rec: rec})
+			if alerts <= 25 {
+				fmt.Printf("[%s] %-12s %s stuck at %s (%s), path %s\n",
+					ev.Timestamp.Format("2006-01-02 15:04"), tag,
+					ev.Alert.Prefix, ev.PeerAS, ev.Collector,
+					bgp.NewASPath(ev.Alert.Path...))
+			}
+		},
+	}
+	clientDone := make(chan error, 1)
+	go func() { clientDone <- client.Run(ctx) }()
+
+	// Wait for the subscription before replaying: a fresh subscriber
+	// tails the feed from "now" and would miss alerts published earlier.
+	for broker.SubscriberCount() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	fmt.Printf("replaying %d collector records through the live feed...\n\n", len(stream))
+	if err := pipe.Replay(ctx, stream, cfg.TrackUntil, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drain: the alert count is known once the replay flushed; stop the
+	// client when it has received them all.
+	want := broker.Metrics().Snapshot()["alerts"]
+	for got := int64(0); got < want; {
+		select {
+		case <-received:
+			got++
+		case <-time.After(10 * time.Second):
+			log.Fatalf("stalled at %d of %d alerts (seq %d)", got, want, client.LastSeq())
 		}
 	}
-	sort.SliceStable(stream, func(i, j int) bool {
-		return stream[i].rec.RecordTime().Before(stream[j].rec.RecordTime())
-	})
+	cancel()
+	<-clientDone
+	srv.Close()
+	broker.Close()
 
-	fmt.Printf("replaying %d collector records through the streaming detector...\n\n", len(stream))
-	for _, r := range stream {
-		sd.Advance(r.rec.RecordTime())
-		sd.Observe(r.name, r.rec)
-	}
-	sd.Advance(cfg.TrackUntil) // flush the remaining interval checks
-	fmt.Printf("\n%d real-time zombie alerts emitted (%d checks total, %d still pending)\n",
-		alerts, len(data.Intervals), sd.PendingChecks())
+	m := broker.Metrics().Snapshot()
+	fmt.Printf("\n%d real-time zombie alerts over the wire (%d records in, %d events delivered, %d checks still pending)\n",
+		alerts, m["records_in"], m["events_out"], pipe.PendingChecks())
 }

@@ -1,0 +1,387 @@
+package livefeed
+
+import (
+	"fmt"
+	"sync"
+
+	"zombiescope/internal/mrt"
+)
+
+// Policy selects what happens when a subscriber's ring buffer is full at
+// publish time — the knob that guarantees one slow client can never stall
+// ingestion (drop-oldest, kick-slowest) unless explicitly asked to
+// (block).
+type Policy uint8
+
+const (
+	// PolicyDropOldest evicts the subscriber's oldest queued event to
+	// make room; the subscriber keeps the freshest window (default).
+	PolicyDropOldest Policy = iota
+	// PolicyKickSlowest disconnects the subscriber on overflow: a full
+	// buffer identifies it as the slowest consumer of its own stream.
+	PolicyKickSlowest
+	// PolicyBlock makes Publish wait for buffer space. It trades
+	// ingestion liveness for losslessness; use only for trusted in-
+	// process consumers (a stalled subscriber stalls the whole feed).
+	PolicyBlock
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyDropOldest:
+		return "drop-oldest"
+	case PolicyKickSlowest:
+		return "kick-slowest"
+	case PolicyBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses a policy name as carried in Subscribe frames; the
+// empty string means drop-oldest.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "drop-oldest":
+		return PolicyDropOldest, nil
+	case "kick-slowest":
+		return PolicyKickSlowest, nil
+	case "block":
+		return PolicyBlock, nil
+	default:
+		return 0, fmt.Errorf("livefeed: unknown backpressure policy %q", s)
+	}
+}
+
+// Config parameterizes a Broker.
+type Config struct {
+	// RingSize is the per-subscriber buffer capacity (events). Default
+	// 1024.
+	RingSize int
+	// ReplaySize is how many recent events the broker retains for
+	// resume-from-sequence. Default 4096; 0 uses the default, negative
+	// disables replay.
+	ReplaySize int
+	// OmitRaw drops the MRT encoding from events built by PublishRecord.
+	// By default the raw record rides along so subscribers can run
+	// byte-faithful pipelines (e.g. zombie.StreamDetector).
+	OmitRaw bool
+}
+
+func (c Config) ringSize() int {
+	if c.RingSize <= 0 {
+		return 1024
+	}
+	return c.RingSize
+}
+
+func (c Config) replaySize() int {
+	if c.ReplaySize == 0 {
+		return 4096
+	}
+	if c.ReplaySize < 0 {
+		return 0
+	}
+	return c.ReplaySize
+}
+
+// Broker assigns sequence numbers to published events, retains a bounded
+// replay window, and fans events out to subscribers.
+type Broker struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*Subscriber]struct{}
+	closed bool
+
+	// replay is a circular buffer of the most recent events, for
+	// resume-from-sequence. replay[i] for i in [start, start+count).
+	replay []Event
+	start  int
+	count  int
+}
+
+// NewBroker builds a broker with its own metrics.
+func NewBroker(cfg Config) *Broker {
+	b := &Broker{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		subs:    make(map[*Subscriber]struct{}),
+	}
+	if n := cfg.replaySize(); n > 0 {
+		b.replay = make([]Event, n)
+	}
+	return b
+}
+
+// Metrics returns the broker's counters.
+func (b *Broker) Metrics() *Metrics { return b.metrics }
+
+// Seq returns the sequence number of the most recently published event.
+func (b *Broker) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// SubscriberCount returns the number of attached subscribers.
+func (b *Broker) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Publish assigns the next sequence number to ev and fans it out to every
+// matching subscriber, applying each subscriber's backpressure policy.
+// It returns the assigned sequence number (0 when the broker is closed).
+func (b *Broker) Publish(ev Event) uint64 {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0
+	}
+	b.seq++
+	ev.Seq = b.seq
+	b.metrics.recordsIn.Add(1)
+	if ev.Channel == ChannelZombie {
+		b.metrics.alerts.Add(1)
+	}
+	if len(b.replay) > 0 {
+		if b.count == len(b.replay) {
+			b.start = (b.start + 1) % len(b.replay)
+			b.count--
+		}
+		b.replay[(b.start+b.count)%len(b.replay)] = ev
+		b.count++
+	}
+	var kicked []*Subscriber
+	for s := range b.subs {
+		if !s.filter.Match(&ev) {
+			continue
+		}
+		if s.push(ev, b.metrics) {
+			b.metrics.eventsOut.Add(1)
+		} else {
+			kicked = append(kicked, s)
+		}
+	}
+	for _, s := range kicked {
+		delete(b.subs, s)
+		b.metrics.subscribers.Add(-1)
+	}
+	seq := b.seq
+	b.mu.Unlock()
+	return seq
+}
+
+// PublishRecord converts a tapped collector record to an event and
+// publishes it. RIB-dump records are not streamed (ok is false).
+func (b *Broker) PublishRecord(collector string, rec mrt.Record) (seq uint64, ok bool) {
+	ev, ok := EventFromRecord(collector, rec, !b.cfg.OmitRaw)
+	if !ok {
+		return 0, false
+	}
+	return b.Publish(ev), true
+}
+
+// Subscribe attaches a subscriber with the given filter and policy.
+// resumeFrom > 0 asks for replay of retained events with sequence numbers
+// strictly greater than resumeFrom; lost reports how many of those were
+// no longer retained. Matching retained events are pre-loaded into the
+// subscriber's buffer (they count against its ring size under the same
+// policy).
+func (b *Broker) Subscribe(f Filter, policy Policy, resumeFrom uint64) (sub *Subscriber, lost uint64, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, 0, ErrBrokerClosed
+	}
+	sub = newSubscriber(b, f, policy, b.cfg.ringSize())
+	if resumeFrom > 0 && resumeFrom < b.seq {
+		firstAvail := b.seq + 1 - uint64(b.count) // oldest retained seq
+		if resumeFrom+1 < firstAvail {
+			lost = firstAvail - resumeFrom - 1
+		}
+		for i := 0; i < b.count; i++ {
+			ev := b.replay[(b.start+i)%len(b.replay)]
+			if ev.Seq <= resumeFrom || !f.Match(&ev) {
+				continue
+			}
+			if sub.push(ev, b.metrics) {
+				b.metrics.eventsOut.Add(1)
+			} else {
+				return nil, lost, ErrKicked
+			}
+		}
+	}
+	b.subs[sub] = struct{}{}
+	b.metrics.subscribers.Add(1)
+	b.metrics.subscribersTotal.Add(1)
+	return sub, lost, nil
+}
+
+// remove detaches a subscriber (called from Subscriber.Close, never while
+// holding the subscriber's lock).
+func (b *Broker) remove(s *Subscriber) {
+	b.mu.Lock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		b.metrics.subscribers.Add(-1)
+	}
+	b.mu.Unlock()
+}
+
+// Close shuts the broker down and closes every subscriber.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscriber, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[*Subscriber]struct{})
+	b.metrics.subscribers.Add(-int64(len(subs)))
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.closeDetached(ErrBrokerClosed)
+	}
+}
+
+// Subscriber is one attached feed consumer: a bounded ring of pending
+// events plus the policy applied when the ring is full.
+type Subscriber struct {
+	b      *Broker
+	filter Filter
+	policy Policy
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Event // fixed-capacity ring; buf[(head+i)%cap] for i<n
+	head   int
+	n      int
+	closed bool
+	reason error
+	drops  uint64
+}
+
+func newSubscriber(b *Broker, f Filter, policy Policy, ringSize int) *Subscriber {
+	s := &Subscriber{b: b, filter: f, policy: policy, buf: make([]Event, ringSize)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Policy returns the subscriber's backpressure policy.
+func (s *Subscriber) Policy() Policy { return s.policy }
+
+// push enqueues one event under the subscriber's policy. It returns false
+// when the subscriber was kicked (caller must detach it). Called with the
+// broker lock held; only the subscriber lock is taken here.
+func (s *Subscriber) push(ev Event, m *Metrics) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return true // already detached elsewhere; nothing to do
+	}
+	if s.n == len(s.buf) {
+		switch s.policy {
+		case PolicyDropOldest:
+			s.head = (s.head + 1) % len(s.buf)
+			s.n--
+			s.drops++
+			m.dropsDropOldest.Add(1)
+		case PolicyKickSlowest:
+			m.kicks.Add(1)
+			s.closed = true
+			s.reason = ErrKicked
+			s.cond.Broadcast()
+			return false
+		case PolicyBlock:
+			m.blockStalls.Add(1)
+			for s.n == len(s.buf) && !s.closed {
+				s.cond.Wait()
+			}
+			if s.closed {
+				return true
+			}
+		}
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.cond.Signal()
+	return true
+}
+
+// Next blocks until an event is available and returns it. It returns
+// ErrKicked if the subscriber was disconnected for being too slow, or
+// ErrClosed/ErrBrokerClosed after Close.
+func (s *Subscriber) Next() (Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.n == 0 {
+		reason := s.reason
+		if reason == nil {
+			reason = ErrClosed
+		}
+		return Event{}, reason
+	}
+	ev := s.buf[s.head]
+	s.buf[s.head] = Event{} // release references
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	s.cond.Signal() // wake a blocked publisher
+	return ev, nil
+}
+
+// Len returns how many events are queued.
+func (s *Subscriber) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Cap returns the ring capacity.
+func (s *Subscriber) Cap() int { return len(s.buf) }
+
+// Drops returns how many events this subscriber lost to drop-oldest.
+func (s *Subscriber) Drops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// Close detaches the subscriber: no further events are queued, a blocked
+// Next wakes, and once the remaining buffered events are drained Next
+// returns ErrClosed. Safe to call concurrently and repeatedly.
+func (s *Subscriber) Close() {
+	if !s.markClosed(ErrClosed) {
+		return
+	}
+	s.b.remove(s)
+}
+
+// closeDetached closes a subscriber already removed from the broker.
+func (s *Subscriber) closeDetached(reason error) { s.markClosed(reason) }
+
+// markClosed flips the closed flag; it never takes the broker lock, so it
+// is safe both from Publish (broker lock held) and from user code.
+func (s *Subscriber) markClosed(reason error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.reason = reason
+	s.cond.Broadcast()
+	return true
+}

@@ -1,0 +1,184 @@
+package livefeed
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn is one established feed connection after a successful handshake.
+type Conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	// Hello is the server's greeting; Ack the subscription confirmation.
+	Hello Hello
+	Ack   Ack
+}
+
+// Dial connects to a feed server, performs the handshake, and subscribes.
+// resumeFrom > 0 asks the server to replay retained events after that
+// sequence number.
+func Dial(addr string, f Filter, policy Policy, resumeFrom uint64) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := newConn(nc, f, policy, resumeFrom)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func newConn(nc net.Conn, f Filter, policy Policy, resumeFrom uint64) (*Conn, error) {
+	c := &Conn{conn: nc, br: bufio.NewReader(nc)}
+	if err := readFrameInto(c.br, FrameHello, &c.Hello); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
+	}
+	if c.Hello.Version != ProtocolVersion {
+		return nil, fmt.Errorf("%w: server speaks version %d", ErrBadVersion, c.Hello.Version)
+	}
+	if err := WriteFrame(nc, FrameSubscribe, Subscribe{
+		Filter:     f,
+		Policy:     policy.String(),
+		ResumeFrom: resumeFrom,
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
+	}
+	if err := readFrameInto(c.br, FrameAck, &c.Ack); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
+	}
+	return c, nil
+}
+
+// Next returns the next event from the stream. A server-sent error frame
+// (e.g. a kick) is surfaced as an error.
+func (c *Conn) Next() (Event, error) {
+	t, payload, err := ReadFrame(c.br)
+	if err != nil {
+		return Event{}, err
+	}
+	switch t {
+	case FrameEvent:
+		var ev Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return Event{}, fmt.Errorf("%w: event payload: %v", ErrBadFrame, err)
+		}
+		return ev, nil
+	case FrameError:
+		var ef ErrorFrame
+		if json.Unmarshal(payload, &ef) == nil && ef.Message == ErrKicked.Error() {
+			return Event{}, ErrKicked
+		}
+		return Event{}, fmt.Errorf("livefeed: server error: %s", ef.Message)
+	default:
+		return Event{}, fmt.Errorf("%w: unexpected %s frame in stream", ErrBadFrame, t)
+	}
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// Client is a reconnecting feed consumer: it dials, subscribes, delivers
+// events to OnEvent, and on any connection failure redials with
+// exponential backoff, resuming from the last received sequence number so
+// no retained event is delivered twice or silently skipped.
+type Client struct {
+	// Addr is the server address ("host:port").
+	Addr string
+	// Filter and Policy are the subscription parameters.
+	Filter Filter
+	Policy Policy
+	// OnEvent is called for every received event, in stream order, from a
+	// single goroutine.
+	OnEvent func(Event)
+	// OnConnect, if set, is called after each successful handshake with
+	// the ack (Lost > 0 reveals a replay gap after a reconnect).
+	OnConnect func(Ack)
+	// MinBackoff / MaxBackoff bound the reconnect delay. Defaults
+	// 100ms / 10s.
+	MinBackoff, MaxBackoff time.Duration
+
+	lastSeq uint64
+}
+
+func (c *Client) minBackoff() time.Duration {
+	if c.MinBackoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.MinBackoff
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 10 * time.Second
+	}
+	return c.MaxBackoff
+}
+
+// LastSeq returns the sequence number of the last event delivered.
+func (c *Client) LastSeq() uint64 { return c.lastSeq }
+
+// Run connects and consumes the feed until ctx is done, reconnecting on
+// failure. It returns ctx.Err() on cancellation, or ErrKicked if the
+// server kicked the subscription (reconnecting after a kick would kick
+// again; callers must slow down first).
+func (c *Client) Run(ctx context.Context) error {
+	backoff := c.minBackoff()
+	for {
+		err := c.runOnce(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err == ErrKicked:
+			return err
+		case err == nil:
+			backoff = c.minBackoff() // clean EOF after progress: retry soon
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > c.maxBackoff() {
+			backoff = c.maxBackoff()
+		}
+	}
+}
+
+// runOnce runs one connection lifetime. nil means the connection ended
+// after delivering at least one event (benign: server restart or rotate).
+func (c *Client) runOnce(ctx context.Context) error {
+	conn, err := Dial(c.Addr, c.Filter, c.Policy, c.lastSeq)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if c.OnConnect != nil {
+		c.OnConnect(conn.Ack)
+	}
+	// Tie the connection to ctx so Run can be cancelled while blocked in
+	// a read.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	delivered := false
+	for {
+		ev, err := conn.Next()
+		if err != nil {
+			if delivered && err != ErrKicked {
+				return nil
+			}
+			return err
+		}
+		c.lastSeq = ev.Seq
+		delivered = true
+		if c.OnEvent != nil {
+			c.OnEvent(ev)
+		}
+	}
+}

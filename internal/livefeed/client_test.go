@@ -1,0 +1,195 @@
+package livefeed
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer serves broker on a fresh loopback listener and returns its
+// address.
+func startServer(t *testing.T, b *Broker, allowBlock bool) (*Server, string) {
+	t.Helper()
+	srv := &Server{Broker: b, Name: "test/1", AllowBlock: allowBlock}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return srv, l.Addr().String()
+}
+
+// TestServerHandshake: Dial performs the full hello/subscribe/ack
+// handshake and events flow end to end.
+func TestServerHandshake(t *testing.T) {
+	b := NewBroker(Config{})
+	defer b.Close()
+	b.Publish(testEvent(0))
+	_, addr := startServer(t, b, false)
+
+	conn, err := Dial(addr, Filter{}, PolicyDropOldest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Hello.Server != "test/1" || conn.Hello.Version != ProtocolVersion {
+		t.Fatalf("hello = %+v", conn.Hello)
+	}
+	if conn.Hello.Head != 1 || conn.Ack.Head != 1 {
+		t.Fatalf("head: hello %d, ack %d, want 1", conn.Hello.Head, conn.Ack.Head)
+	}
+
+	b.Publish(testEvent(1))
+	ev, err := conn.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 2 || ev.Collector != "rrc00" {
+		t.Fatalf("event = %+v, want seq 2 from rrc00", ev)
+	}
+}
+
+// TestServerRefusesBlockPolicy: block must be an explicit server-side
+// opt-in; the refusal arrives as an Error frame.
+func TestServerRefusesBlockPolicy(t *testing.T) {
+	b := NewBroker(Config{})
+	defer b.Close()
+	_, addr := startServer(t, b, false)
+	if _, err := Dial(addr, Filter{}, PolicyBlock, 0); !errors.Is(err, ErrServerRefused) {
+		t.Fatalf("Dial with block policy = %v, want ErrServerRefused", err)
+	}
+	if n := b.SubscriberCount(); n != 0 {
+		t.Fatalf("%d subscribers left after refused handshake", n)
+	}
+
+	b2 := NewBroker(Config{})
+	defer b2.Close()
+	_, addr2 := startServer(t, b2, true)
+	conn, err := Dial(addr2, Filter{}, PolicyBlock, 0)
+	if err != nil {
+		t.Fatalf("Dial with block policy on AllowBlock server: %v", err)
+	}
+	conn.Close()
+}
+
+// TestServerKicksSlowClient: a client that stops reading under
+// kick-slowest gets disconnected with ErrKicked, and the publisher never
+// stalls.
+func TestServerKicksSlowClient(t *testing.T) {
+	b := NewBroker(Config{RingSize: 4, ReplaySize: -1})
+	defer b.Close()
+	_, addr := startServer(t, b, false)
+	conn, err := Dial(addr, Filter{}, PolicyKickSlowest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Overrun the 4-slot ring plus whatever the kernel socket buffers
+	// absorb; every Publish must return promptly.
+	publishN(t, b, 100000, 30*time.Second)
+	for b.SubscriberCount() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		if _, err := conn.Next(); err != nil {
+			if !errors.Is(err, ErrKicked) {
+				t.Fatalf("stream error = %v, want ErrKicked", err)
+			}
+			return
+		}
+	}
+}
+
+// TestClientReconnectResume: a Client surviving a server restart on the
+// same port resumes from its last sequence and misses nothing within the
+// replay window.
+func TestClientReconnectResume(t *testing.T) {
+	b := NewBroker(Config{ReplaySize: 1 << 12})
+	defer b.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv1 := &Server{Broker: b, Name: "restart-1"}
+	go srv1.Serve(l)
+
+	var mu sync.Mutex
+	var seqs []uint64
+	acks := make(chan Ack, 16)
+	client := &Client{
+		Addr:       addr,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			seqs = append(seqs, ev.Seq)
+			mu.Unlock()
+		},
+		OnConnect: func(a Ack) { acks <- a },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- client.Run(ctx) }()
+	<-acks // first connection up
+
+	waitSeqs := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			got := len(seqs)
+			mu.Unlock()
+			if got >= n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %d events (have %d)", n, got)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for i := 0; i < 10; i++ {
+		b.Publish(testEvent(i))
+	}
+	waitSeqs(10)
+
+	// Restart: kill the server (dropping the connection), publish while the
+	// client is down, then serve again on the same port.
+	srv1.Close()
+	for i := 10; i < 20; i++ {
+		b.Publish(testEvent(i))
+	}
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := &Server{Broker: b, Name: "restart-2"}
+	go srv2.Serve(l2)
+	defer srv2.Close()
+
+	ack := <-acks // reconnected
+	if ack.Lost != 0 {
+		t.Errorf("replay window covers the outage but ack.Lost = %d", ack.Lost)
+	}
+	waitSeqs(20)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("delivery %d has seq %d, want %d (gap or duplicate across the restart)", i, seq, i+1)
+		}
+	}
+}

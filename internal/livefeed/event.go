@@ -1,0 +1,186 @@
+package livefeed
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/mrt"
+	"zombiescope/internal/zombie"
+)
+
+// Feed channels.
+const (
+	// ChannelUpdates carries the raw collector record stream.
+	ChannelUpdates = "updates"
+	// ChannelZombie carries real-time detection alerts.
+	ChannelZombie = "zombie"
+)
+
+// Event types within a channel.
+const (
+	TypeUpdate       = "UPDATE"
+	TypeState        = "STATE"
+	TypeZombie       = "zombie"
+	TypeResurrection = "resurrection"
+)
+
+// Announcement is one set of NLRI sharing a next hop, RIS-Live style.
+type Announcement struct {
+	NextHop  netip.Addr     `json:"next_hop"`
+	Prefixes []netip.Prefix `json:"prefixes"`
+}
+
+// Alert is the payload of a zombie-channel event: one real-time detection
+// from the server-side StreamDetector.
+type Alert struct {
+	Prefix netip.Prefix `json:"prefix"`
+	Path   []bgp.ASN    `json:"path,omitempty"`
+	// AnnouncedAt is the announcement time recovered from the Aggregator
+	// BGP clock (falling back to the collector receive time).
+	AnnouncedAt time.Time `json:"announced_at"`
+	DetectedAt  time.Time `json:"detected_at"`
+	// IntervalStart / IntervalWithdraw anchor the beacon interval the
+	// detection ran in.
+	IntervalStart    time.Time `json:"interval_start"`
+	IntervalWithdraw time.Time `json:"interval_withdraw"`
+	// Duplicate marks a stuck route already reported in an earlier
+	// interval (Aggregator clock).
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// Event is one feed message. Update-channel events mirror RIS Live's
+// ris_message shape (collector host, peer, type, path, announcements,
+// withdrawals, optional raw record); zombie-channel events carry an Alert.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Channel   string    `json:"channel"`
+	Type      string    `json:"type"`
+	Collector string    `json:"collector,omitempty"`
+	Timestamp time.Time `json:"timestamp"`
+	PeerAS    bgp.ASN   `json:"peer_as,omitempty"`
+	Peer      netip.Addr `json:"peer,omitempty"`
+
+	// UPDATE fields.
+	Path          []bgp.ASN      `json:"path,omitempty"`
+	Announcements []Announcement `json:"announcements,omitempty"`
+	Withdrawals   []netip.Prefix `json:"withdrawals,omitempty"`
+
+	// STATE fields (BGP FSM states, RFC 6396 numbering).
+	OldState uint16 `json:"old_state,omitempty"`
+	NewState uint16 `json:"new_state,omitempty"`
+
+	// Raw is the MRT-encoded record (base64 in JSON), so subscribers can
+	// run byte-faithful pipelines — e.g. feed zombie.StreamDetector —
+	// exactly as if reading the archive.
+	Raw []byte `json:"raw,omitempty"`
+
+	// Alert is set on zombie-channel events.
+	Alert *Alert `json:"alert,omitempty"`
+}
+
+// EventFromRecord converts a tapped collector record into a feed event.
+// RIB-dump record types are not streamed; ok is false for them. When
+// includeRaw is set, the MRT encoding of the record rides along so
+// subscribers can reconstruct it with Event.Record.
+func EventFromRecord(collector string, rec mrt.Record, includeRaw bool) (Event, bool) {
+	ev := Event{
+		Channel:   ChannelUpdates,
+		Collector: collector,
+		Timestamp: rec.RecordTime(),
+	}
+	switch r := rec.(type) {
+	case *mrt.BGP4MPMessage:
+		ev.Type = TypeUpdate
+		ev.PeerAS = r.PeerAS
+		ev.Peer = r.PeerIP
+		u, err := r.Update()
+		if err == nil {
+			ev.Path = u.Attrs.ASPath.ASNs()
+			ev.Withdrawals = u.WithdrawnAll()
+			if nlri := u.Announced(); len(nlri) > 0 {
+				ev.Announcements = []Announcement{{
+					NextHop:  announceNextHop(u),
+					Prefixes: nlri,
+				}}
+			}
+		}
+	case *mrt.BGP4MPStateChange:
+		ev.Type = TypeState
+		ev.PeerAS = r.PeerAS
+		ev.Peer = r.PeerIP
+		ev.OldState = uint16(r.OldState)
+		ev.NewState = uint16(r.NewState)
+	default:
+		return Event{}, false
+	}
+	if includeRaw {
+		var buf bytes.Buffer
+		if err := mrt.NewWriter(&buf).Write(rec); err == nil {
+			ev.Raw = buf.Bytes()
+		}
+	}
+	return ev, true
+}
+
+func announceNextHop(u *bgp.Update) netip.Addr {
+	if u.Attrs.MPReach != nil {
+		return u.Attrs.MPReach.NextHop
+	}
+	return u.Attrs.NextHop
+}
+
+// AlertEvent converts a StreamDetector emission into a zombie-channel
+// event.
+func AlertEvent(ze zombie.ZombieEvent) Event {
+	typ := TypeZombie
+	if ze.Resurrected {
+		typ = TypeResurrection
+	}
+	return Event{
+		Channel:   ChannelZombie,
+		Type:      typ,
+		Collector: ze.Peer.Collector,
+		Timestamp: ze.DetectedAt,
+		PeerAS:    ze.Peer.AS,
+		Peer:      ze.Peer.Addr,
+		Alert: &Alert{
+			Prefix:           ze.Prefix,
+			Path:             ze.Path.ASNs(),
+			AnnouncedAt:      ze.AnnouncedAt,
+			DetectedAt:       ze.DetectedAt,
+			IntervalStart:    ze.Interval.AnnounceAt,
+			IntervalWithdraw: ze.Interval.WithdrawAt,
+			Duplicate:        ze.Duplicate,
+		},
+	}
+}
+
+// Record decodes the event's embedded MRT record. It fails on events
+// published without raw data.
+func (ev *Event) Record() (mrt.Record, error) {
+	if len(ev.Raw) == 0 {
+		return nil, fmt.Errorf("livefeed: event %d has no raw record", ev.Seq)
+	}
+	rec, err := mrt.NewReader(bytes.NewReader(ev.Raw)).Next()
+	if err == io.EOF {
+		return nil, fmt.Errorf("livefeed: event %d raw record empty", ev.Seq)
+	}
+	return rec, err
+}
+
+// Prefixes returns every prefix the event concerns: announced plus
+// withdrawn NLRI for updates, the alert prefix for zombie events.
+func (ev *Event) Prefixes() []netip.Prefix {
+	if ev.Alert != nil {
+		return []netip.Prefix{ev.Alert.Prefix}
+	}
+	out := make([]netip.Prefix, 0, len(ev.Withdrawals)+1)
+	for _, a := range ev.Announcements {
+		out = append(out, a.Prefixes...)
+	}
+	return append(out, ev.Withdrawals...)
+}

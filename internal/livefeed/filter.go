@@ -1,0 +1,87 @@
+package livefeed
+
+import (
+	"net/netip"
+
+	"zombiescope/internal/bgp"
+)
+
+// Filter is a server-side subscription filter, evaluated against every
+// published event before it is queued for a subscriber. The zero value
+// matches everything. Each populated dimension must match (AND across
+// dimensions, OR within one).
+type Filter struct {
+	// Channels restricts to the named feed channels ("updates",
+	// "zombie"). Empty means all channels.
+	Channels []string `json:"channels,omitempty"`
+	// Collectors restricts to events from the named collectors.
+	Collectors []string `json:"collectors,omitempty"`
+	// PeerAS restricts to events from the given peer ASNs.
+	PeerAS []bgp.ASN `json:"peer_as,omitempty"`
+	// Prefixes restricts to events concerning one of these prefixes or a
+	// more-specific of one (RIS Live's prefix + moreSpecific matching).
+	// Events carrying no prefix at all (session STATE changes) are
+	// excluded when this dimension is set.
+	Prefixes []netip.Prefix `json:"prefixes,omitempty"`
+	// Types restricts to event types ("UPDATE", "STATE", "zombie",
+	// "resurrection").
+	Types []string `json:"types,omitempty"`
+}
+
+// Match reports whether the event passes the filter.
+func (f *Filter) Match(ev *Event) bool {
+	if len(f.Channels) > 0 && !containsString(f.Channels, ev.Channel) {
+		return false
+	}
+	if len(f.Types) > 0 && !containsString(f.Types, ev.Type) {
+		return false
+	}
+	if len(f.Collectors) > 0 && !containsString(f.Collectors, ev.Collector) {
+		return false
+	}
+	if len(f.PeerAS) > 0 {
+		ok := false
+		for _, as := range f.PeerAS {
+			if as == ev.PeerAS {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Prefixes) > 0 && !f.matchPrefixes(ev) {
+		return false
+	}
+	return true
+}
+
+func (f *Filter) matchPrefixes(ev *Event) bool {
+	for _, p := range ev.Prefixes() {
+		for _, want := range f.Prefixes {
+			if coversOrEqual(want, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coversOrEqual reports whether candidate equals want or is a
+// more-specific inside it.
+func coversOrEqual(want, candidate netip.Prefix) bool {
+	if want.Addr().Is4() != candidate.Addr().Is4() {
+		return false
+	}
+	return candidate.Bits() >= want.Bits() && want.Contains(candidate.Addr())
+}
+
+func containsString(set []string, s string) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package livefeed
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the broker's operational counters. All fields are safe
+// for concurrent use; read them through Snapshot (or the expvar-style
+// HTTP handler) rather than directly.
+type Metrics struct {
+	// Ingestion / fan-out.
+	recordsIn atomic.Int64 // events published into the broker
+	eventsOut atomic.Int64 // events queued to subscribers (post-filter)
+
+	// Backpressure, per policy.
+	dropsDropOldest atomic.Int64 // events evicted under drop-oldest
+	blockStalls     atomic.Int64 // publishes that had to wait under block
+	kicks           atomic.Int64 // subscribers kicked under kick-slowest
+
+	// Subscribers.
+	subscribers      atomic.Int64 // currently attached
+	subscribersTotal atomic.Int64 // ever attached
+
+	// Detection.
+	alerts         atomic.Int64 // zombie-channel events published
+	detectLagNanos atomic.Int64 // cumulative detection latency
+	detectLagCount atomic.Int64
+}
+
+// ObserveDetectionLatency records how far behind the record stream a
+// detection fired (watermark at firing minus the scheduled check time).
+func (m *Metrics) ObserveDetectionLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.detectLagNanos.Add(int64(d))
+	m.detectLagCount.Add(1)
+}
+
+// Snapshot returns the counters as a flat map, expvar style.
+func (m *Metrics) Snapshot() map[string]int64 {
+	out := map[string]int64{
+		"records_in":        m.recordsIn.Load(),
+		"events_out":        m.eventsOut.Load(),
+		"drops_drop_oldest": m.dropsDropOldest.Load(),
+		"block_stalls":      m.blockStalls.Load(),
+		"kicks":             m.kicks.Load(),
+		"subscribers":       m.subscribers.Load(),
+		"subscribers_total": m.subscribersTotal.Load(),
+		"alerts":            m.alerts.Load(),
+	}
+	if n := m.detectLagCount.Load(); n > 0 {
+		out["detect_latency_avg_us"] = m.detectLagNanos.Load() / n / int64(time.Microsecond)
+		out["detect_latency_count"] = n
+	}
+	return out
+}
+
+// Handler serves the snapshot as JSON (an expvar-style /metrics page).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot())
+	})
+}

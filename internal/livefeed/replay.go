@@ -1,0 +1,121 @@
+package livefeed
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sort"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/mrt"
+	"zombiescope/internal/zombie"
+)
+
+// SourcedRecord is one MRT record tagged with its collector, the unit the
+// feed ingests.
+type SourcedRecord struct {
+	Collector string
+	Rec       mrt.Record
+}
+
+// MergeUpdates decodes per-collector update archives and merges them into
+// one timestamp-ordered stream, as a live consumer of multiple collectors
+// would see it. Collector names are visited in sorted order so ties are
+// deterministic.
+func MergeUpdates(updates map[string][]byte) ([]SourcedRecord, error) {
+	names := make([]string, 0, len(updates))
+	for name := range updates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var stream []SourcedRecord
+	for _, name := range names {
+		rd := mrt.NewReader(bytes.NewReader(updates[name]))
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			stream = append(stream, SourcedRecord{Collector: name, Rec: rec})
+		}
+	}
+	sort.SliceStable(stream, func(i, j int) bool {
+		return stream[i].Rec.RecordTime().Before(stream[j].Rec.RecordTime())
+	})
+	return stream, nil
+}
+
+// Pipeline wires a record source into a broker: every record is published
+// on the updates channel AND observed by a server-side StreamDetector
+// whose emissions are published on the zombie channel. This is the core
+// of the zombied daemon; tests and examples reuse it in-process.
+type Pipeline struct {
+	Broker *Broker
+	// Threshold is the zombie detection threshold (default 90m).
+	Threshold time.Duration
+
+	sd        *zombie.StreamDetector
+	watermark time.Time
+}
+
+// NewPipeline builds a pipeline detecting over the given beacon
+// intervals.
+func NewPipeline(b *Broker, intervals []beacon.Interval, threshold time.Duration) *Pipeline {
+	p := &Pipeline{Broker: b, Threshold: threshold}
+	p.sd = zombie.NewStreamDetector(intervals, threshold, func(ev zombie.ZombieEvent) {
+		// Detection latency: how far the record watermark had advanced
+		// past the scheduled check instant when the check actually fired.
+		b.Metrics().ObserveDetectionLatency(p.watermark.Sub(ev.DetectedAt))
+		b.Publish(AlertEvent(ev))
+	})
+	return p
+}
+
+// Ingest advances the detection clock to the record's timestamp (firing
+// any due checks) and publishes the record to the feed.
+func (p *Pipeline) Ingest(sr SourcedRecord) {
+	p.watermark = sr.Rec.RecordTime()
+	p.sd.Advance(p.watermark)
+	p.sd.Observe(sr.Collector, sr.Rec)
+	p.Broker.PublishRecord(sr.Collector, sr.Rec)
+}
+
+// Flush advances the detection clock past the end of the experiment so
+// every remaining interval check fires.
+func (p *Pipeline) Flush(until time.Time) {
+	p.watermark = until
+	p.sd.Advance(until)
+}
+
+// PendingChecks reports how many interval checks have not fired yet.
+func (p *Pipeline) PendingChecks() int { return p.sd.PendingChecks() }
+
+// Replay feeds a pre-merged record stream through the pipeline. speed 0
+// replays as fast as possible; otherwise record timestamp deltas are
+// scaled by 1/speed wall time (speed 3600 plays an hour per second).
+// Replay stops early when ctx is cancelled.
+func (p *Pipeline) Replay(ctx context.Context, stream []SourcedRecord, flushAt time.Time, speed float64) error {
+	var prev time.Time
+	for _, sr := range stream {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		at := sr.Rec.RecordTime()
+		if speed > 0 && !prev.IsZero() && at.After(prev) {
+			wait := time.Duration(float64(at.Sub(prev)) / speed)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		}
+		prev = at
+		p.Ingest(sr)
+	}
+	p.Flush(flushAt)
+	return nil
+}

@@ -1,0 +1,195 @@
+package livefeed
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server serves a Broker's feed over TCP using the frame protocol.
+// Each accepted connection performs the hello/subscribe/ack handshake and
+// then receives a stream of Event frames; the subscriber's backpressure
+// policy is chosen by the client (subject to AllowBlock).
+type Server struct {
+	Broker *Broker
+	// Name is reported in the Hello frame (e.g. "zombied/1").
+	Name string
+	// HandshakeTimeout bounds the wait for the Subscribe frame. Default
+	// 10s.
+	HandshakeTimeout time.Duration
+	// AllowBlock permits clients to request the block policy. Off by
+	// default: a remote subscriber that stalls under block would stall
+	// ingestion for everyone.
+	AllowBlock bool
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+func (s *Server) handshakeTimeout() time.Duration {
+	if s.HandshakeTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return s.HandshakeTimeout
+}
+
+// Serve accepts connections on l until the listener fails or Close is
+// called. It always returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.track(conn)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves. Addr returns the bound
+// address once listening.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting and closes every active connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	bw := bufio.NewWriter(conn)
+	if err := WriteFrame(bw, FrameHello, Hello{
+		Version: ProtocolVersion,
+		Server:  s.Name,
+		Head:    s.Broker.Seq(),
+	}); err != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+
+	conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout()))
+	var req Subscribe
+	if err := readFrameInto(conn, FrameSubscribe, &req); err != nil {
+		refuse(bw, fmt.Sprintf("bad subscribe: %v", err))
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	policy, err := ParsePolicy(req.Policy)
+	if err != nil {
+		refuse(bw, err.Error())
+		return
+	}
+	if policy == PolicyBlock && !s.AllowBlock {
+		refuse(bw, "block policy not allowed on this server")
+		return
+	}
+	sub, lost, err := s.Broker.Subscribe(req.Filter, policy, req.ResumeFrom)
+	if err != nil {
+		refuse(bw, err.Error())
+		return
+	}
+	defer sub.Close()
+
+	if err := WriteFrame(bw, FrameAck, Ack{Head: s.Broker.Seq(), Lost: lost}); err != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+
+	// Reader side: the client sends nothing after Subscribe; a read
+	// returning means the connection is gone, so unblock the writer.
+	go func() {
+		io.Copy(io.Discard, conn)
+		sub.Close()
+	}()
+
+	for {
+		ev, err := sub.Next()
+		if err != nil {
+			if errors.Is(err, ErrKicked) {
+				// Best effort: tell the client why before closing.
+				WriteFrame(bw, FrameError, ErrorFrame{Message: ErrKicked.Error()})
+				bw.Flush()
+			}
+			return
+		}
+		if err := WriteFrame(bw, FrameEvent, &ev); err != nil {
+			return
+		}
+		// Flush eagerly when the queue is empty so low-rate feeds have
+		// low latency; under load, frames batch up in the buffer.
+		if sub.Len() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+func refuse(w *bufio.Writer, msg string) {
+	WriteFrame(w, FrameError, ErrorFrame{Message: msg})
+	w.Flush()
+}

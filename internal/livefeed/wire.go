@@ -1,0 +1,184 @@
+// Package livefeed is the network-facing streaming layer of the
+// reproduction: a RIS-Live-style broker that turns collector output into a
+// live, subscribable feed. Records tapped from the collector fleet are
+// framed in a versioned length-prefixed wire protocol over TCP (NDJSON
+// payloads, like RIS Live), and fanned out to any number of concurrent
+// subscribers, each with server-side filters and a bounded ring buffer
+// whose backpressure policy decides what happens when the subscriber
+// cannot keep up (block, drop-oldest, kick-slowest). A dedicated "zombie"
+// channel carries real-time detection alerts from zombie.StreamDetector.
+//
+// Wire protocol (version 1): every frame is
+//
+//	magic   uint16  0x5A46 ("ZF")
+//	version uint8   1
+//	type    uint8   frame type (see FrameType)
+//	length  uint32  payload length, big endian
+//	payload []byte  one JSON object terminated by '\n' (NDJSON)
+//
+// After connecting, the server sends a Hello frame; the client answers
+// with a Subscribe frame carrying its filter, backpressure policy and
+// resume sequence; the server acknowledges with an Ack frame and then
+// streams Event frames until either side closes the connection. Errors
+// during the handshake are reported in an Error frame before close.
+package livefeed
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the wire protocol version this package speaks.
+const ProtocolVersion = 1
+
+// frameMagic marks every frame ("ZF" big endian).
+const frameMagic uint16 = 0x5A46
+
+// MaxFramePayload bounds the payload length accepted by ReadFrame,
+// protecting against corrupted length fields.
+const MaxFramePayload = 1 << 22
+
+// FrameType identifies a frame's payload.
+type FrameType uint8
+
+// Frame types of protocol version 1.
+const (
+	FrameHello     FrameType = 1 // server -> client, on connect
+	FrameSubscribe FrameType = 2 // client -> server, the only client frame
+	FrameAck       FrameType = 3 // server -> client, subscription accepted
+	FrameError     FrameType = 4 // server -> client, handshake failure
+	FrameEvent     FrameType = 5 // server -> client, one feed event
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameSubscribe:
+		return "subscribe"
+	case FrameAck:
+		return "ack"
+	case FrameError:
+		return "error"
+	case FrameEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// Sentinel errors of the feed layer.
+var (
+	ErrBadFrame      = fmt.Errorf("livefeed: malformed frame")
+	ErrFrameTooBig   = fmt.Errorf("livefeed: frame payload exceeds limit")
+	ErrBadVersion    = fmt.Errorf("livefeed: unsupported protocol version")
+	ErrClosed        = fmt.Errorf("livefeed: subscriber closed")
+	ErrKicked        = fmt.Errorf("livefeed: subscriber kicked (too slow)")
+	ErrBrokerClosed  = fmt.Errorf("livefeed: broker closed")
+	ErrHandshake     = fmt.Errorf("livefeed: handshake failed")
+	ErrServerRefused = fmt.Errorf("livefeed: server refused subscription")
+)
+
+// Hello is the server's first frame.
+type Hello struct {
+	Version int    `json:"version"`
+	Server  string `json:"server"`
+	// Head is the sequence number of the most recently published event
+	// (0 if nothing has been published yet).
+	Head uint64 `json:"head"`
+}
+
+// Subscribe is the client's subscription request.
+type Subscribe struct {
+	Filter Filter `json:"filter"`
+	// Policy selects the server-side backpressure behavior for this
+	// subscriber; empty means drop-oldest.
+	Policy string `json:"policy,omitempty"`
+	// ResumeFrom asks the server to replay retained events with sequence
+	// numbers strictly greater than this value. 0 means "from now".
+	ResumeFrom uint64 `json:"resume_from,omitempty"`
+}
+
+// Ack confirms a subscription.
+type Ack struct {
+	Head uint64 `json:"head"`
+	// Lost is how many events between ResumeFrom and the server's oldest
+	// retained event were no longer available for replay.
+	Lost uint64 `json:"lost,omitempty"`
+}
+
+// ErrorFrame reports a handshake failure.
+type ErrorFrame struct {
+	Message string `json:"message"`
+}
+
+// WriteFrame encodes v as one NDJSON payload and writes a full frame.
+func WriteFrame(w io.Writer, t FrameType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("livefeed: encode %s frame: %w", t, err)
+	}
+	payload = append(payload, '\n')
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = ProtocolVersion
+	hdr[3] = uint8(t)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame and returns its type and raw NDJSON payload
+// (including the trailing newline).
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if hdr[2] != ProtocolVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	t := FrameType(hdr[3])
+	length := binary.BigEndian.Uint32(hdr[4:])
+	if length > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	if length == 0 || payload[length-1] != '\n' {
+		return 0, nil, fmt.Errorf("%w: payload not newline-terminated", ErrBadFrame)
+	}
+	return t, payload, nil
+}
+
+// readFrameInto reads one frame, requires type want, and decodes it.
+func readFrameInto(r io.Reader, want FrameType, v any) error {
+	t, payload, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if t == FrameError {
+		var ef ErrorFrame
+		if json.Unmarshal(payload, &ef) == nil && ef.Message != "" {
+			return fmt.Errorf("%w: %s", ErrServerRefused, ef.Message)
+		}
+		return ErrServerRefused
+	}
+	if t != want {
+		return fmt.Errorf("%w: got %s frame, want %s", ErrBadFrame, t, want)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %s payload: %v", ErrBadFrame, want, err)
+	}
+	return nil
+}

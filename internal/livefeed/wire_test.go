@@ -1,0 +1,147 @@
+package livefeed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"zombiescope/internal/bgp"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Subscribe{
+		Filter: Filter{
+			Channels:   []string{ChannelZombie},
+			Collectors: []string{"rrc00", "rrc01"},
+			PeerAS:     []bgp.ASN{64500},
+			Prefixes:   []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1::/32")},
+			Types:      []string{TypeZombie},
+		},
+		Policy:     PolicyKickSlowest.String(),
+		ResumeFrom: 42,
+	}
+	if err := WriteFrame(&buf, FrameSubscribe, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FrameSubscribe {
+		t.Fatalf("frame type = %s, want subscribe", typ)
+	}
+	if payload[len(payload)-1] != '\n' {
+		t.Fatal("payload not NDJSON (missing trailing newline)")
+	}
+	var got Subscribe
+	if err := json.Unmarshal(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ResumeFrom != want.ResumeFrom || got.Policy != want.Policy {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	if len(got.Filter.Prefixes) != 1 || got.Filter.Prefixes[0] != want.Filter.Prefixes[0] {
+		t.Fatalf("filter prefixes did not survive JSON: %+v", got.Filter)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	header := func(magic uint16, version, typ uint8, length uint32) []byte {
+		var hdr [8]byte
+		binary.BigEndian.PutUint16(hdr[0:], magic)
+		hdr[2] = version
+		hdr[3] = typ
+		binary.BigEndian.PutUint32(hdr[4:], length)
+		return hdr[:]
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"bad magic", append(header(0x4242, ProtocolVersion, 1, 3), "{}\n"...), ErrBadFrame},
+		{"future version", append(header(frameMagic, ProtocolVersion+1, 1, 3), "{}\n"...), ErrBadVersion},
+		{"oversized length", header(frameMagic, ProtocolVersion, 1, MaxFramePayload+1), ErrFrameTooBig},
+		{"truncated payload", append(header(frameMagic, ProtocolVersion, 1, 10), "{}\n"...), ErrBadFrame},
+		{"zero-length payload", header(frameMagic, ProtocolVersion, 1, 0), ErrBadFrame},
+		{"missing newline", append(header(frameMagic, ProtocolVersion, 1, 2), "{}"...), ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadFrame(bytes.NewReader(tc.in)); !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFrame = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"":             PolicyDropOldest,
+		"drop-oldest":  PolicyDropOldest,
+		"kick-slowest": PolicyKickSlowest,
+		"block":        PolicyBlock,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	update := Event{
+		Channel:   ChannelUpdates,
+		Type:      TypeUpdate,
+		Collector: "rrc01",
+		PeerAS:    64500,
+		Announcements: []Announcement{{
+			Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1:100::/48")},
+		}},
+		Withdrawals: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+	}
+	state := Event{Channel: ChannelUpdates, Type: TypeState, Collector: "rrc01", PeerAS: 64500}
+	alert := Event{
+		Channel: ChannelZombie, Type: TypeZombie, Collector: "rrc03", PeerAS: 64501,
+		Alert: &Alert{Prefix: netip.MustParsePrefix("2a0d:3dc1:200::/48")},
+	}
+	cases := []struct {
+		name string
+		f    Filter
+		ev   Event
+		want bool
+	}{
+		{"zero filter matches updates", Filter{}, update, true},
+		{"zero filter matches alerts", Filter{}, alert, true},
+		{"channel match", Filter{Channels: []string{ChannelZombie}}, alert, true},
+		{"channel mismatch", Filter{Channels: []string{ChannelZombie}}, update, false},
+		{"type match", Filter{Types: []string{TypeState}}, state, true},
+		{"type mismatch", Filter{Types: []string{TypeState}}, update, false},
+		{"collector match", Filter{Collectors: []string{"rrc00", "rrc01"}}, update, true},
+		{"collector mismatch", Filter{Collectors: []string{"rrc00"}}, update, false},
+		{"peer AS match", Filter{PeerAS: []bgp.ASN{64500}}, update, true},
+		{"peer AS mismatch", Filter{PeerAS: []bgp.ASN{64999}}, update, false},
+		{"exact prefix", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1:100::/48")}}, update, true},
+		{"covering prefix matches more-specific", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1::/32")}}, update, true},
+		{"more-specific filter does not match covering announcement", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1:100:aa::/64")}}, update, false},
+		{"withdrawal prefix counts", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")}}, update, true},
+		{"family mismatch", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}}, update, false},
+		{"prefix filter drops STATE events", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1::/32")}}, state, false},
+		{"prefix filter sees alert prefix", Filter{Prefixes: []netip.Prefix{netip.MustParsePrefix("2a0d:3dc1::/32")}}, alert, true},
+		{"AND across dimensions", Filter{Channels: []string{ChannelUpdates}, Collectors: []string{"rrc03"}}, update, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.f.Match(&tc.ev); got != tc.want {
+				t.Fatalf("Match = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
