@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"zombiescope/internal/livefeed"
 	"zombiescope/internal/mrt"
 	"zombiescope/internal/netsim"
+	"zombiescope/internal/pipeline"
 	"zombiescope/internal/topology"
 	"zombiescope/internal/zombie"
 )
@@ -284,6 +286,86 @@ func BenchmarkLifespanTracking(b *testing.B) {
 func benchAuthorConfig() experiments.AuthorConfig {
 	cfg := experiments.DefaultAuthorConfig(77, 16)
 	return cfg
+}
+
+// pipelineWorkerCounts are the parallelism levels the pipeline benchmarks
+// sweep: sequential baseline, single worker (pipeline overhead), a fixed
+// mid-point, and every core.
+func pipelineWorkerCounts() []int {
+	counts := []int{0, 1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkPipelineDecode measures concurrent chunked MRT decoding of the
+// author-scenario update archives against the sequential reader (workers=0).
+func BenchmarkPipelineDecode(b *testing.B) {
+	d, err := experiments.RunAuthorScenario(benchAuthorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int
+	for _, data := range d.Updates {
+		total += len(data)
+	}
+	for _, workers := range pipelineWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(total))
+			for i := 0; i < b.N; i++ {
+				if workers == 0 {
+					n := 0
+					for _, data := range d.Updates {
+						recs, err := mrt.ReadAll(bytes.NewReader(data))
+						if err != nil {
+							b.Fatal(err)
+						}
+						n += len(recs)
+					}
+					if n == 0 {
+						b.Fatal("no records")
+					}
+					continue
+				}
+				e := &pipeline.Engine{Workers: workers, Metrics: &pipeline.Metrics{}}
+				files, err := e.DecodeArchives(d.Updates)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(files) == 0 {
+					b.Fatal("no files")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineDetect measures the full detection path — archive decode,
+// sharded history build, merge, interval evaluation — per worker count
+// (workers=0 is the sequential fallback).
+func BenchmarkPipelineDetect(b *testing.B) {
+	d, err := experiments.RunAuthorScenario(benchAuthorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int
+	for _, data := range d.Updates {
+		total += len(data)
+	}
+	for _, workers := range pipelineWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			det := &zombie.Detector{Parallelism: workers}
+			b.SetBytes(int64(total))
+			for i := 0; i < b.N; i++ {
+				rep, err := det.Detect(d.Updates, d.Intervals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = rep.Filter(zombie.FilterOptions{})
+			}
+		})
+	}
 }
 
 // BenchmarkLivefeedFanout measures broker ingestion with one publisher

@@ -23,7 +23,8 @@
 // filters and a backpressure policy (drop-oldest, kick-slowest; block
 // only when -policy-block is set). -speed 0 replays as fast as possible;
 // -speed 3600 plays one simulated hour per wall second. /healthz reports
-// liveness and /metrics the broker counters (expvar-style JSON).
+// liveness, /metrics the broker counters (expvar-style JSON), and
+// /metrics/pipeline the shared decode/detection pipeline counters.
 package main
 
 import (
@@ -46,6 +47,7 @@ import (
 	"zombiescope/internal/bgp"
 	"zombiescope/internal/experiments"
 	"zombiescope/internal/livefeed"
+	"zombiescope/internal/pipeline"
 )
 
 func main() {
@@ -100,6 +102,7 @@ func main() {
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", broker.Metrics().Handler())
+		mux.Handle("/metrics/pipeline", pipeline.Default.Handler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(map[string]any{

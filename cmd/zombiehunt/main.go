@@ -23,6 +23,7 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"runtime"
 	"time"
 
 	"zombiescope/internal/archive"
@@ -32,36 +33,48 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report on w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("zombiehunt", flag.ContinueOnError)
 	var (
-		archiveDir = flag.String("archive", "archive", "MRT archive directory")
-		schedKind  = flag.String("schedule", "author", "beacon schedule: author | ris")
-		baseStr    = flag.String("base", "2a0d:3dc1::/32", "beacon base prefix (author schedule)")
-		approach   = flag.String("approach", "15d", "beacon recycle approach: 24h | 15d (author schedule)")
-		fromStr    = flag.String("from", "", "experiment start (RFC 3339)")
-		toStr      = flag.String("to", "", "experiment end (RFC 3339)")
-		origin     = flag.Uint64("origin", 210312, "beacon origin ASN")
-		stride     = flag.Int("stride", 1, "beacon slot stride (announcements every stride*15min)")
-		threshold  = flag.Duration("threshold", 90*time.Minute, "zombie detection threshold")
-		lifespans  = flag.Bool("lifespans", false, "track lifespans from RIB dumps")
-		dotOut     = flag.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
-		jsonOut    = flag.Bool("json", false, "emit the report as one JSON document on stdout instead of text")
+		archiveDir = fs.String("archive", "archive", "MRT archive directory")
+		schedKind  = fs.String("schedule", "author", "beacon schedule: author | ris")
+		baseStr    = fs.String("base", "2a0d:3dc1::/32", "beacon base prefix (author schedule)")
+		approach   = fs.String("approach", "15d", "beacon recycle approach: 24h | 15d (author schedule)")
+		fromStr    = fs.String("from", "", "experiment start (RFC 3339)")
+		toStr      = fs.String("to", "", "experiment end (RFC 3339)")
+		origin     = fs.Uint64("origin", 210312, "beacon origin ASN")
+		stride     = fs.Int("stride", 1, "beacon slot stride (announcements every stride*15min)")
+		threshold  = fs.Duration("threshold", 90*time.Minute, "zombie detection threshold")
+		lifespans  = fs.Bool("lifespans", false, "track lifespans from RIB dumps")
+		dotOut     = fs.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
+		jsonOut    = fs.Bool("json", false, "emit the report as one JSON document on stdout instead of text")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "pipeline workers for decode/detection (0 = sequential; the report is identical either way)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	from, err := time.Parse(time.RFC3339, *fromStr)
 	if err != nil {
-		fatal(fmt.Errorf("-from: %w", err))
+		return fmt.Errorf("-from: %w", err)
 	}
 	to, err := time.Parse(time.RFC3339, *toStr)
 	if err != nil {
-		fatal(fmt.Errorf("-to: %w", err))
+		return fmt.Errorf("-to: %w", err)
 	}
 	var sched beacon.Schedule
 	switch *schedKind {
 	case "author":
 		base, err := netip.ParsePrefix(*baseStr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ap := beacon.Recycle15d
 		if *approach == "24h" {
@@ -77,70 +90,71 @@ func main() {
 		v4, v6 := beacon.DefaultRISPrefixes(bgp.ASN(*origin))
 		sched = &beacon.RISSchedule{Prefixes4: v4, Prefixes6: v6, OriginAS: bgp.ASN(*origin)}
 	default:
-		fatal(fmt.Errorf("unknown -schedule %q", *schedKind))
+		return fmt.Errorf("unknown -schedule %q", *schedKind)
 	}
 	intervals := sched.Intervals(from, to)
 	if len(intervals) == 0 {
-		fatal(fmt.Errorf("no beacon intervals in [%s, %s]", from, to))
+		return fmt.Errorf("no beacon intervals in [%s, %s]", from, to)
 	}
 
 	set, err := archive.Load(*archiveDir)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	updates, dumps := set.Updates, set.Dumps
 	if !*jsonOut {
-		fmt.Printf("archive: %d collectors, %d beacon intervals\n", len(updates), len(intervals))
+		fmt.Fprintf(w, "archive: %d collectors, %d beacon intervals\n", len(updates), len(intervals))
 	}
 
-	det := &zombie.Detector{Threshold: *threshold}
+	det := &zombie.Detector{Threshold: *threshold, Parallelism: *parallel}
 	rep, err := det.Detect(updates, intervals)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	summary := zombie.Summarize(rep, zombie.NoisyConfig{}, 5)
 	var lr *zombie.LifespanReport
 	if *lifespans {
-		if lr, err = zombie.TrackLifespans(dumps, intervals, zombie.LifespanConfig{}); err != nil {
-			fatal(err)
+		if lr, err = zombie.TrackLifespans(dumps, intervals, zombie.LifespanConfig{Parallelism: *parallel}); err != nil {
+			return err
 		}
 	}
 
 	if *jsonOut {
-		if err := writeJSONReport(os.Stdout, len(updates), summary, lr); err != nil {
-			fatal(err)
+		if err := writeJSONReport(w, len(updates), summary, lr); err != nil {
+			return err
 		}
 	} else {
-		fmt.Println()
-		summary.Render(os.Stdout)
+		fmt.Fprintln(w)
+		summary.Render(w)
 	}
 
 	if *dotOut != "" && len(summary.TopOutbreaks) > 0 {
 		top := summary.TopOutbreaks[0].Outbreak
 		if err := os.WriteFile(*dotOut, []byte(zombie.OutbreakGraphDOT(&top)), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		if !*jsonOut {
-			fmt.Printf("\npalm-tree graph of %s written to %s\n", top.Prefix, *dotOut)
+			fmt.Fprintf(w, "\npalm-tree graph of %s written to %s\n", top.Prefix, *dotOut)
 		}
 	}
 
 	if *lifespans && !*jsonOut {
 		durs := lr.Durations(24*time.Hour, summary.NoisyASSet(), summary.NoisyAddrSet())
-		fmt.Printf("\nlifespans (>= 1 day, noisy excluded): %d outbreaks\n", len(durs))
+		fmt.Fprintf(w, "\nlifespans (>= 1 day, noisy excluded): %d outbreaks\n", len(durs))
 		for _, d := range durs {
-			fmt.Printf("  %.1f days\n", d.Hours()/24)
+			fmt.Fprintf(w, "  %.1f days\n", d.Hours()/24)
 		}
 		if res := lr.Resurrections(); len(res) > 0 {
-			fmt.Println("\nresurrections:")
+			fmt.Fprintln(w, "\nresurrections:")
 			for _, r := range res {
-				fmt.Printf("  %s at %s %s: vanished %s, reappeared %s (path %s)\n",
+				fmt.Fprintf(w, "  %s at %s %s: vanished %s, reappeared %s (path %s)\n",
 					r.Prefix, r.Peer.AS, r.Peer.Collector,
 					r.LastSeen.Format(time.DateOnly), r.ReappearedAt.Format(time.DateOnly), r.Path)
 			}
 		}
 	}
+	return nil
 }
 
 // JSON report shapes (-json). Field names are stable: scripts depend on
@@ -276,9 +290,4 @@ func writeJSONReport(w io.Writer, collectors int, s *zombie.Summary, lr *zombie.
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"zombiescope/internal/archive"
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/netsim"
+	"zombiescope/internal/topology"
+)
+
+// Regenerate the committed fixture and golden file with:
+//
+//	go test ./cmd/zombiehunt -run TestGoldenJSON -update
+var update = flag.Bool("update", false, "regenerate testdata fixture and golden file")
+
+const (
+	fixtureDir = "testdata/archive"
+	goldenFile = "testdata/golden.json"
+)
+
+// goldenArgs pins every input of the golden run. The window covers one day
+// of the author 15-day schedule at stride 8 (an announcement every 2h).
+func goldenArgs(parallel string) []string {
+	return []string{
+		"-archive", fixtureDir,
+		"-schedule", "author",
+		"-base", "2a0d:3dc1::/32",
+		"-approach", "15d",
+		"-stride", "8",
+		"-from", "2024-06-10T00:00:00Z",
+		"-to", "2024-06-11T00:00:00Z",
+		"-origin", "100",
+		"-lifespans",
+		"-json",
+		"-parallel", parallel,
+	}
+}
+
+func goldenSchedule() beacon.Schedule {
+	return &beacon.AuthorSchedule{
+		Base:       netip.MustParsePrefix("2a0d:3dc1::/32"),
+		OriginAS:   100,
+		Approach:   beacon.Recycle15d,
+		SlotStride: 8,
+	}
+}
+
+// writeFixture simulates the golden scenario — a wedged link plus a noisy
+// collector peer, enough for outbreaks, lifespans and a root cause — and
+// writes the MRT archive the golden run loads.
+func writeFixture(t *testing.T) {
+	t.Helper()
+	g := topology.New()
+	for _, a := range []struct {
+		asn  bgp.ASN
+		tier int
+	}{{1, 1}, {2, 1}, {10, 2}, {11, 2}, {12, 2}, {100, 3}, {200, 3}, {300, 3}} {
+		g.AddAS(a.asn, "", a.tier)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddP2P(1, 2))
+	must(g.AddC2P(10, 1))
+	must(g.AddC2P(11, 1))
+	must(g.AddC2P(11, 2))
+	must(g.AddC2P(12, 2))
+	must(g.AddC2P(100, 10))
+	must(g.AddC2P(200, 11))
+	must(g.AddC2P(300, 12))
+
+	sim := netsim.New(g, netsim.Config{Seed: 4242})
+	fleet := collector.NewFleet()
+	sim.SetSink(fleet)
+	for _, s := range []netsim.Session{
+		{Collector: "rrc00", PeerAS: 200, PeerIP: netip.MustParseAddr("2001:db8:feed::200"), AFI: bgp.AFIIPv6},
+		{Collector: "rrc01", PeerAS: 300, PeerIP: netip.MustParseAddr("2001:db8:feed::300"), AFI: bgp.AFIIPv6},
+	} {
+		must(sim.AddCollectorSession(s))
+	}
+
+	from := time.Date(2024, 6, 10, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2024, 6, 11, 0, 0, 0, 0, time.UTC)
+	// A day-long wedge on 1→11: withdrawals never reach 11, so rrc00's
+	// peer 200 keeps reporting the beacons long past every withdrawal.
+	sim.Faults().WedgeLink(1, 11, 0, from.Add(3*time.Hour), to.Add(20*time.Hour), nil)
+	sim.Faults().DropCollectorWithdrawals(300, 0.4, nil)
+
+	for _, ev := range goldenSchedule().Events(from, to) {
+		if ev.Announce {
+			must(sim.ScheduleAnnounce(ev.At, 100, ev.Prefix, ev.Aggregator))
+		} else {
+			must(sim.ScheduleWithdraw(ev.At, 100, ev.Prefix))
+		}
+	}
+
+	sim.EstablishCollectorSessions(from.Add(-time.Hour))
+	for at := from.Add(8 * time.Hour); at.Before(to.Add(24 * time.Hour)); at = at.Add(8 * time.Hour) {
+		sim.Run(at)
+		fleet.SnapshotRIBs(at)
+	}
+	sim.RunAll()
+	must(fleet.Err())
+
+	must(os.RemoveAll(fixtureDir))
+	must(os.MkdirAll(filepath.Dir(fixtureDir), 0o755))
+	must(archive.WriteFleet(fixtureDir, fleet))
+}
+
+// canonicalJSON re-marshals a JSON document through a generic value, so keys
+// come out sorted and formatting is normalized before comparison.
+func canonicalJSON(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGoldenJSON(t *testing.T) {
+	if *update {
+		writeFixture(t)
+		var buf bytes.Buffer
+		if err := run(goldenArgs("0"), &buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes) and %s", fixtureDir, buf.Len(), goldenFile)
+	}
+	golden, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	want := canonicalJSON(t, golden)
+
+	// The sequential run and every parallel run must match the committed
+	// golden byte for byte after canonicalization.
+	for _, par := range []string{"0", "1", "4"} {
+		var buf bytes.Buffer
+		if err := run(goldenArgs(par), &buf); err != nil {
+			t.Fatalf("-parallel %s: %v", par, err)
+		}
+		got := canonicalJSON(t, buf.Bytes())
+		if !bytes.Equal(got, want) {
+			t.Errorf("-parallel %s: JSON report diverges from golden file\n--- got ---\n%s\n--- want ---\n%s",
+				par, got, want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-from", "not-a-time"}, &buf); err == nil {
+		t.Error("bad -from accepted")
+	}
+	if err := run(goldenArgs("0")[:0], &buf); err == nil {
+		t.Error("missing -from/-to accepted")
+	}
+}

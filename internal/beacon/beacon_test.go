@@ -52,6 +52,82 @@ func TestDecodeAggregatorClockRejectsNonClock(t *testing.T) {
 	}
 }
 
+func TestDecodeAggregatorClockTable(t *testing.T) {
+	ref := time.Date(2024, 6, 19, 2, 0, 2, 0, time.UTC)
+	cases := []struct {
+		name string
+		addr string
+		ref  time.Time
+		want time.Time
+		ok   bool
+	}{
+		{
+			name: "zero value is the month start",
+			addr: "10.0.0.0",
+			ref:  ref,
+			want: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC),
+			ok:   true,
+		},
+		{
+			name: "one second into the month",
+			addr: "10.0.0.1",
+			ref:  ref,
+			want: time.Date(2024, 6, 1, 0, 0, 1, 0, time.UTC),
+			ok:   true,
+		},
+		{
+			// The attribute only counts seconds since "the" month start:
+			// across a month boundary the decoder re-anchors to ref's
+			// month, so a late-June encoding read with a July ref lands in
+			// July. This ambiguity is inherent to the clock, and the reason
+			// the detector passes the receive time as ref.
+			name: "month rollover re-anchors to ref month",
+			addr: "10.0.0.16", // 16 s after a month start
+			ref:  time.Date(2024, 7, 1, 0, 1, 0, 0, time.UTC),
+			want: time.Date(2024, 7, 1, 0, 0, 16, 0, time.UTC),
+			ok:   true,
+		},
+		{
+			// The 24-bit counter tops out above any month length; the
+			// decoder does not clamp — garbage in, late timestamp out.
+			name: "max 24-bit value extends past the month",
+			addr: "10.255.255.255",
+			ref:  ref,
+			want: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC).Add(16777215 * time.Second),
+			ok:   true,
+		},
+		{
+			name: "non-UTC ref anchors to the UTC month",
+			addr: "10.0.0.0",
+			ref:  time.Date(2024, 6, 19, 2, 0, 2, 0, time.FixedZone("CEST", 2*3600)),
+			want: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC),
+			ok:   true,
+		},
+		{name: "non-RIS IPv4 outside 10/8", addr: "11.0.0.1", ref: ref},
+		{name: "public IPv4 aggregator", addr: "193.0.0.56", ref: ref},
+		{name: "IPv6 aggregator", addr: "2001:7fb::1", ref: ref},
+		{
+			// A 4-in-6 mapped clock is not Is4: collectors hand the
+			// attribute around as raw 4 bytes, so a mapped form means
+			// someone re-encoded it — reject rather than guess.
+			name: "IPv4-mapped IPv6 form rejected",
+			addr: "::ffff:10.0.0.1",
+			ref:  ref,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := DecodeAggregatorClock(netip.MustParseAddr(tc.addr), tc.ref)
+			if ok != tc.ok {
+				t.Fatalf("DecodeAggregatorClock(%s) ok = %v, want %v", tc.addr, ok, tc.ok)
+			}
+			if ok && !got.Equal(tc.want) {
+				t.Errorf("DecodeAggregatorClock(%s) = %v, want %v", tc.addr, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestEncodeAuthorPrefix24h(t *testing.T) {
 	cases := []struct {
 		hour, minute int

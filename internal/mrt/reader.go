@@ -47,10 +47,7 @@ func (rd *Reader) next() (Record, error) {
 		}
 		return nil, err
 	}
-	ts := time.Unix(int64(binary.BigEndian.Uint32(rd.header[0:])), 0).UTC()
-	typ := binary.BigEndian.Uint16(rd.header[4:])
-	subtype := binary.BigEndian.Uint16(rd.header[6:])
-	length := binary.BigEndian.Uint32(rd.header[8:])
+	ts, typ, subtype, length := ParseHeader(rd.header)
 	if length > MaxRecordLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, length)
 	}
@@ -58,6 +55,21 @@ func (rd *Reader) next() (Record, error) {
 	if _, err := io.ReadFull(rd.r, body); err != nil {
 		return nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
 	}
+	return DecodeRecord(ts, typ, subtype, body)
+}
+
+// ParseHeader splits an MRT common header into its fields.
+func ParseHeader(h [HeaderLen]byte) (ts time.Time, typ, subtype uint16, length uint32) {
+	ts = time.Unix(int64(binary.BigEndian.Uint32(h[0:])), 0).UTC()
+	typ = binary.BigEndian.Uint16(h[4:])
+	subtype = binary.BigEndian.Uint16(h[6:])
+	length = binary.BigEndian.Uint32(h[8:])
+	return ts, typ, subtype, length
+}
+
+// DecodeRecord decodes a single MRT record body given its header fields.
+// Record types this package does not model decode to (nil, nil).
+func DecodeRecord(ts time.Time, typ, subtype uint16, body []byte) (Record, error) {
 	switch typ {
 	case TypeBGP4MP:
 		switch subtype {

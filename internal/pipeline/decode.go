@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"zombiescope/internal/mrt"
+)
+
+// minChunkBytes keeps chunks large enough to amortize task scheduling.
+const minChunkBytes = 64 << 10
+
+// FileChunk identifies one record-aligned chunk of one archive during a
+// fold. Record indexes are exact (the boundary scan counts every record),
+// so accumulators can reproduce the sequential reader's global ordering.
+type FileChunk struct {
+	// Name is the archive (collector) name.
+	Name string
+	// File is the archive's index in sorted-name order.
+	File int
+	// Chunk is the chunk's index within the file.
+	Chunk int
+	// Base is the number of records preceding the chunk within the file.
+	Base int
+	// FileBase is the number of records preceding the file across the
+	// whole archive set, in sorted-name order.
+	FileBase int
+}
+
+// FileError locates a malformed record inside an archive set. It is the
+// error FoldRecords returns, chosen deterministically: the smallest
+// (file, record) position, exactly the record the sequential reader would
+// have tripped on first.
+type FileError struct {
+	Name   string
+	Record int
+	Err    error
+}
+
+func (e *FileError) Error() string { return fmt.Sprintf("%s: record %d: %v", e.Name, e.Record, e.Err) }
+
+// Unwrap exposes the underlying decode error.
+func (e *FileError) Unwrap() error { return e.Err }
+
+// chunk is a record-aligned byte range of one archive stream.
+type chunk struct {
+	off, end int
+	base     int // records preceding the chunk in the stream
+	records  int
+}
+
+// posError is a malformed-record error with its record index.
+type posError struct {
+	record int
+	err    error
+}
+
+// scanChunks walks the MRT common headers of data (without decoding
+// bodies) and splits the stream into at most `parts` record-aligned
+// chunks. Framing errors are returned with their record position so they
+// can be ranked against decode errors from earlier records.
+func scanChunks(data []byte, parts int) ([]chunk, *posError) {
+	if parts < 1 {
+		parts = 1
+	}
+	target := len(data) / parts
+	if target < minChunkBytes {
+		target = minChunkBytes
+	}
+	var (
+		chunks  []chunk
+		cur     = chunk{}
+		pos     int
+		rec     int
+		scanErr *posError
+	)
+	for pos < len(data) {
+		if len(data)-pos < mrt.HeaderLen {
+			scanErr = &posError{record: rec, err: fmt.Errorf("%w: mid-header", mrt.ErrTruncated)}
+			break
+		}
+		length := binary.BigEndian.Uint32(data[pos+8:])
+		if length > mrt.MaxRecordLen {
+			scanErr = &posError{record: rec, err: fmt.Errorf("%w: %d bytes", mrt.ErrRecordTooBig, length)}
+			break
+		}
+		end := pos + mrt.HeaderLen + int(length)
+		if end > len(data) {
+			scanErr = &posError{record: rec, err: fmt.Errorf("%w: record body: %v", mrt.ErrTruncated, io.ErrUnexpectedEOF)}
+			break
+		}
+		pos = end
+		rec++
+		cur.records++
+		if pos-cur.off >= target {
+			cur.end = pos
+			chunks = append(chunks, cur)
+			cur = chunk{off: pos, base: rec}
+		}
+	}
+	if cur.records > 0 {
+		cur.end = pos
+		chunks = append(chunks, cur)
+	}
+	return chunks, scanErr
+}
+
+// FoldRecords decodes every archive concurrently in record-aligned chunks
+// and folds each chunk's records into an accumulator from newAcc. fn runs
+// once per decoded record with the record's exact index within its file;
+// unsupported record types are counted but not passed to fn, mirroring the
+// sequential Reader's skip behavior. Accumulators come back grouped per
+// file (sorted-name order) with chunks in stream order, so callers can
+// merge deterministically. On malformed input the error is the same one a
+// sequential scan in name order would have hit first.
+//
+// fn and newAcc must be safe for concurrent use across chunks; each
+// accumulator itself is only touched by one goroutine at a time.
+func FoldRecords[A any](e *Engine, archives map[string][]byte,
+	newAcc func(fc FileChunk) A,
+	fn func(acc A, fc FileChunk, idx int, rec mrt.Record) error,
+) (names []string, accs [][]A, err error) {
+	start := time.Now()
+	m := e.metrics()
+	names = make([]string, 0, len(archives))
+	for name := range archives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Stage 1: boundary scan. Cheap (headers only) but parallel anyway.
+	fileChunks := make([][]chunk, len(names))
+	scanErrs := make([]*posError, len(names))
+	e.For(len(names), func(i int) {
+		fileChunks[i], scanErrs[i] = scanChunks(archives[names[i]], e.workers())
+	})
+
+	// Stage 2: concurrent chunk decode + fold.
+	type task struct {
+		fc   FileChunk
+		data []byte
+	}
+	var tasks []task
+	fileBase := 0
+	for i, name := range names {
+		data := archives[name]
+		for j, c := range fileChunks[i] {
+			tasks = append(tasks, task{
+				fc:   FileChunk{Name: name, File: i, Chunk: j, Base: c.base, FileBase: fileBase},
+				data: data[c.off:c.end],
+			})
+		}
+		for _, c := range fileChunks[i] {
+			fileBase += c.records
+		}
+	}
+	accs = make([][]A, len(names))
+	for i := range names {
+		accs[i] = make([]A, len(fileChunks[i]))
+	}
+	decodeErrs := make([]*posError, len(tasks))
+	e.For(len(tasks), func(t int) {
+		tk := tasks[t]
+		acc := newAcc(tk.fc)
+		accs[tk.fc.File][tk.fc.Chunk] = acc
+		pos, idx := 0, 0
+		for pos < len(tk.data) {
+			ts, typ, subtype, length := mrt.ParseHeader([mrt.HeaderLen]byte(tk.data[pos : pos+mrt.HeaderLen]))
+			body := tk.data[pos+mrt.HeaderLen : pos+mrt.HeaderLen+int(length)]
+			pos += mrt.HeaderLen + int(length)
+			rec, err := mrt.DecodeRecord(ts, typ, subtype, body)
+			if err == nil && rec != nil {
+				err = fn(acc, tk.fc, tk.fc.Base+idx, rec)
+			}
+			if err != nil {
+				m.AddDecodeError()
+				decodeErrs[t] = &posError{record: tk.fc.Base + idx, err: err}
+				break
+			}
+			idx++
+		}
+		m.AddDecoded(idx, len(tk.data))
+	})
+	m.AddFiles(len(names))
+	m.ObserveDecode(time.Since(start))
+
+	// Deterministic error selection: the smallest (file, record) position,
+	// ranking chunk decode errors against the file's framing error.
+	for t := range tasks {
+		pe := decodeErrs[t]
+		if pe == nil {
+			continue
+		}
+		i := tasks[t].fc.File
+		if scanErrs[i] == nil || pe.record < scanErrs[i].record {
+			scanErrs[i] = pe
+		}
+	}
+	for i, pe := range scanErrs {
+		if pe != nil {
+			return names, accs, &FileError{Name: names[i], Record: pe.record, Err: pe.err}
+		}
+	}
+	return names, accs, nil
+}
+
+// DecodedFile is one archive decoded into records, in stream order.
+type DecodedFile struct {
+	Name    string
+	Records []mrt.Record
+}
+
+// DecodeArchives decodes every archive concurrently and returns the files
+// in sorted-name order with records in stream order — the same sequence a
+// sequential Reader pass over each file would produce.
+func (e *Engine) DecodeArchives(archives map[string][]byte) ([]DecodedFile, error) {
+	names, accs, err := FoldRecords(e, archives,
+		func(FileChunk) *[]mrt.Record { return new([]mrt.Record) },
+		func(acc *[]mrt.Record, _ FileChunk, _ int, rec mrt.Record) error {
+			*acc = append(*acc, rec)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DecodedFile, len(names))
+	for i, name := range names {
+		df := DecodedFile{Name: name}
+		for _, chunkRecs := range accs[i] {
+			df.Records = append(df.Records, *chunkRecs...)
+		}
+		out[i] = df
+	}
+	return out, nil
+}

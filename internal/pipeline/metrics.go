@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the pipeline's per-stage operational counters, following
+// the broker metrics pattern: all fields are safe for concurrent use; read
+// them through Snapshot (or the expvar-style HTTP handler).
+type Metrics struct {
+	// Decode stage.
+	filesDecoded   atomic.Int64 // archive files decoded
+	chunksDecoded  atomic.Int64 // record-aligned chunks decoded
+	recordsDecoded atomic.Int64 // MRT records decoded
+	bytesDecoded   atomic.Int64 // archive bytes consumed
+	decodeErrors   atomic.Int64 // malformed records encountered
+	decodeNanos    atomic.Int64 // cumulative wall time of decode stages
+
+	// Shard / merge stages.
+	eventsSharded atomic.Int64 // items routed to shards
+	shardsMerged  atomic.Int64 // shard fragments merged
+	buildNanos    atomic.Int64 // cumulative wall time of shard-build stages
+	mergeNanos    atomic.Int64 // cumulative wall time of merge stages
+
+	// Detection stage.
+	intervalsEvaluated atomic.Int64 // beacon intervals evaluated
+	detectNanos        atomic.Int64 // cumulative wall time of detect stages
+}
+
+// Default is the process-wide metrics sink, used by engines that do not
+// carry their own (the pattern expvar uses for its package-level map).
+var Default = &Metrics{}
+
+// AddDecoded accounts one decoded chunk's records and bytes.
+func (m *Metrics) AddDecoded(records, bytes int) {
+	if m == nil {
+		return
+	}
+	m.chunksDecoded.Add(1)
+	m.recordsDecoded.Add(int64(records))
+	m.bytesDecoded.Add(int64(bytes))
+}
+
+// AddFiles accounts fully decoded archive files.
+func (m *Metrics) AddFiles(n int) {
+	if m == nil {
+		return
+	}
+	m.filesDecoded.Add(int64(n))
+}
+
+// AddDecodeError accounts a malformed record.
+func (m *Metrics) AddDecodeError() {
+	if m == nil {
+		return
+	}
+	m.decodeErrors.Add(1)
+}
+
+// AddSharded accounts items routed to shards.
+func (m *Metrics) AddSharded(n int) {
+	if m == nil {
+		return
+	}
+	m.eventsSharded.Add(int64(n))
+}
+
+// AddMerged accounts merged shard fragments.
+func (m *Metrics) AddMerged(n int) {
+	if m == nil {
+		return
+	}
+	m.shardsMerged.Add(int64(n))
+}
+
+// AddIntervals accounts evaluated beacon intervals.
+func (m *Metrics) AddIntervals(n int) {
+	if m == nil {
+		return
+	}
+	m.intervalsEvaluated.Add(int64(n))
+}
+
+// ObserveDecode records decode stage wall time.
+func (m *Metrics) ObserveDecode(d time.Duration) {
+	if m != nil {
+		observe(&m.decodeNanos, d)
+	}
+}
+
+// ObserveBuild records shard-build stage wall time.
+func (m *Metrics) ObserveBuild(d time.Duration) {
+	if m != nil {
+		observe(&m.buildNanos, d)
+	}
+}
+
+// ObserveMerge records merge stage wall time.
+func (m *Metrics) ObserveMerge(d time.Duration) {
+	if m != nil {
+		observe(&m.mergeNanos, d)
+	}
+}
+
+// ObserveDetect records detection stage wall time.
+func (m *Metrics) ObserveDetect(d time.Duration) {
+	if m != nil {
+		observe(&m.detectNanos, d)
+	}
+}
+
+func observe(c *atomic.Int64, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.Add(int64(d))
+}
+
+// Snapshot returns the counters as a flat map, expvar style.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"files_decoded":       m.filesDecoded.Load(),
+		"chunks_decoded":      m.chunksDecoded.Load(),
+		"records_decoded":     m.recordsDecoded.Load(),
+		"bytes_decoded":       m.bytesDecoded.Load(),
+		"decode_errors":       m.decodeErrors.Load(),
+		"events_sharded":      m.eventsSharded.Load(),
+		"shards_merged":       m.shardsMerged.Load(),
+		"intervals_evaluated": m.intervalsEvaluated.Load(),
+		"decode_us":           m.decodeNanos.Load() / int64(time.Microsecond),
+		"build_us":            m.buildNanos.Load() / int64(time.Microsecond),
+		"merge_us":            m.mergeNanos.Load() / int64(time.Microsecond),
+		"detect_us":           m.detectNanos.Load() / int64(time.Microsecond),
+	}
+}
+
+// Handler serves the snapshot as JSON (an expvar-style metrics page).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot())
+	})
+}

@@ -1,0 +1,77 @@
+// Package pipeline is the parallel ingestion engine behind the detection
+// paths: it decodes MRT archives concurrently in record-aligned chunks,
+// fans per-record work out over a bounded worker pool, and gives callers
+// the primitives to shard state-building by hash and merge shards back
+// deterministically.
+//
+// The engine is deliberately generic: it knows MRT framing but nothing
+// about zombie detection. The zombie package builds its sharded history
+// reconstruction on top of FoldRecords and Engine.For, which is what keeps
+// the parallel path provably equivalent to the sequential one — both paths
+// share the per-record semantics and differ only in scheduling, and the
+// differential harness in this package checks the outputs bit for bit.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine bounds the concurrency of a pipeline run.
+type Engine struct {
+	// Workers is the maximum number of concurrent goroutines (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// Metrics receives per-stage counters when non-nil.
+	Metrics *Metrics
+}
+
+func (e *Engine) workers() int {
+	if e == nil || e.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Workers
+}
+
+func (e *Engine) metrics() *Metrics {
+	if e == nil || e.Metrics == nil {
+		return Default
+	}
+	return e.Metrics
+}
+
+// For runs fn(i) for every i in [0, n), at most Workers at a time. With one
+// worker the calls happen inline in index order, so a single-worker engine
+// is a plain loop — the property the differential harness leans on.
+func (e *Engine) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
+	"zombiescope/internal/pipeline"
 )
 
 // Detector runs the paper's revised zombie detection over reconstructed
@@ -29,6 +30,11 @@ type Detector struct {
 	// value of one of the revised methodology's ingredients (the legacy
 	// looking-glass pipeline behaved this way).
 	IgnoreSessionState bool
+	// Parallelism routes archive decoding, history building and interval
+	// evaluation through internal/pipeline with that many workers
+	// (0 = sequential). The report is identical for any value — the
+	// differential harness in internal/pipeline proves it.
+	Parallelism int
 }
 
 func (d *Detector) threshold() time.Duration {
@@ -56,83 +62,118 @@ func (d *Detector) Detect(updates map[string][]byte, intervals []beacon.Interval
 			prefixes = append(prefixes, iv.Prefix)
 		}
 	}
-	h, err := BuildHistory(updates, NewTrackSet(prefixes))
+	h, err := BuildHistoryParallel(updates, NewTrackSet(prefixes), d.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	return d.DetectFromHistory(h, intervals), nil
 }
 
-// DetectFromHistory runs detection over an already-built history.
+// intervalResult is the outcome of evaluating one beacon interval.
+type intervalResult struct {
+	visible bool
+	routes  []Route
+	pathObs []PathObservation
+}
+
+// evalInterval evaluates one interval against the history. It is shared by
+// the sequential and parallel paths of DetectFromHistory so the per-interval
+// semantics cannot drift between them.
+func (d *Detector) evalInterval(h *History, iv beacon.Interval) intervalResult {
+	var res intervalResult
+	if h.SeenAnnounced(iv.Prefix, iv.AnnounceAt, iv.WithdrawAt) {
+		res.visible = true
+	}
+	checkAt := iv.WithdrawAt.Add(d.threshold())
+	stateAt := h.StateAt
+	if d.IgnoreSessionState {
+		stateAt = h.stateAtIgnoringSessions
+	}
+	for _, peer := range h.Peers() {
+		st := stateAt(peer, iv.Prefix, checkAt)
+		var normalLen int
+		var normalPath bgp.ASPath
+		if d.RecordPaths {
+			pre := stateAt(peer, iv.Prefix, iv.WithdrawAt)
+			if pre.Present {
+				normalLen = pre.Path.Length()
+				normalPath = pre.Path
+			}
+		}
+		if !st.Present {
+			if d.RecordPaths && normalLen > 0 {
+				res.pathObs = append(res.pathObs, PathObservation{
+					Peer: peer, Prefix: iv.Prefix, Interval: iv,
+					NormalLen: normalLen,
+				})
+			}
+			continue
+		}
+		announcedAt := st.At
+		if st.Agg != nil {
+			if t, ok := beacon.DecodeAggregatorClock(st.Agg.Addr, st.At); ok {
+				announcedAt = t
+			}
+		}
+		dup := announcedAt.Before(iv.AnnounceAt.Add(-d.tolerance()))
+		r := Route{
+			Peer:        peer,
+			Prefix:      iv.Prefix,
+			Interval:    iv,
+			Path:        st.Path,
+			AnnouncedAt: announcedAt,
+			LastUpdate:  st.LastEvent,
+			Duplicate:   dup,
+		}
+		res.routes = append(res.routes, r)
+		if d.RecordPaths {
+			res.pathObs = append(res.pathObs, PathObservation{
+				Peer: peer, Prefix: iv.Prefix, Interval: iv,
+				NormalLen:   normalLen,
+				ZombieLen:   st.Path.Length(),
+				Zombie:      true,
+				PathChanged: !st.Path.Equal(normalPath),
+				Duplicate:   dup,
+			})
+		}
+	}
+	return res
+}
+
+// DetectFromHistory runs detection over an already-built history. With
+// Parallelism > 1 the intervals are evaluated concurrently (the history is
+// read-only at this point) and the results merged in interval order, so the
+// report is identical to the sequential evaluation.
 func (d *Detector) DetectFromHistory(h *History, intervals []beacon.Interval) *Report {
 	rep := &Report{
 		Threshold: d.threshold(),
 		Intervals: intervals,
 		Peers:     h.Peers(),
 	}
-	for _, iv := range intervals {
-		if h.SeenAnnounced(iv.Prefix, iv.AnnounceAt, iv.WithdrawAt) {
+	results := make([]intervalResult, len(intervals))
+	if d.Parallelism > 1 {
+		start := time.Now()
+		e := &pipeline.Engine{Workers: d.Parallelism}
+		e.For(len(intervals), func(i int) {
+			results[i] = d.evalInterval(h, intervals[i])
+		})
+		pipeline.Default.AddIntervals(len(intervals))
+		pipeline.Default.ObserveDetect(time.Since(start))
+	} else {
+		for i, iv := range intervals {
+			results[i] = d.evalInterval(h, iv)
+		}
+	}
+	for i, res := range results {
+		if res.visible {
 			rep.VisiblePrefixes++
 		}
-		checkAt := iv.WithdrawAt.Add(d.threshold())
-		stateAt := h.StateAt
-		if d.IgnoreSessionState {
-			stateAt = h.stateAtIgnoringSessions
-		}
-		var routes []Route
-		for _, peer := range h.Peers() {
-			st := stateAt(peer, iv.Prefix, checkAt)
-			var normalLen int
-			var normalPath bgp.ASPath
-			if d.RecordPaths {
-				pre := stateAt(peer, iv.Prefix, iv.WithdrawAt)
-				if pre.Present {
-					normalLen = pre.Path.Length()
-					normalPath = pre.Path
-				}
-			}
-			if !st.Present {
-				if d.RecordPaths && normalLen > 0 {
-					rep.PathObs = append(rep.PathObs, PathObservation{
-						Peer: peer, Prefix: iv.Prefix, Interval: iv,
-						NormalLen: normalLen,
-					})
-				}
-				continue
-			}
-			announcedAt := st.At
-			if st.Agg != nil {
-				if t, ok := beacon.DecodeAggregatorClock(st.Agg.Addr, st.At); ok {
-					announcedAt = t
-				}
-			}
-			dup := announcedAt.Before(iv.AnnounceAt.Add(-d.tolerance()))
-			r := Route{
-				Peer:        peer,
-				Prefix:      iv.Prefix,
-				Interval:    iv,
-				Path:        st.Path,
-				AnnouncedAt: announcedAt,
-				LastUpdate:  st.LastEvent,
-				Duplicate:   dup,
-			}
-			routes = append(routes, r)
-			if d.RecordPaths {
-				rep.PathObs = append(rep.PathObs, PathObservation{
-					Peer: peer, Prefix: iv.Prefix, Interval: iv,
-					NormalLen:   normalLen,
-					ZombieLen:   st.Path.Length(),
-					Zombie:      true,
-					PathChanged: !st.Path.Equal(normalPath),
-					Duplicate:   dup,
-				})
-			}
-		}
-		if len(routes) > 0 {
+		rep.PathObs = append(rep.PathObs, res.pathObs...)
+		if len(res.routes) > 0 {
 			rep.Outbreaks = append(rep.Outbreaks, Outbreak{
-				Prefix:   iv.Prefix,
-				Interval: iv,
-				Routes:   routes,
+				Prefix:   intervals[i].Prefix,
+				Interval: intervals[i],
+				Routes:   res.routes,
 			})
 		}
 	}
@@ -164,6 +205,29 @@ func Sweep(h *History, intervals []beacon.Interval, thresholds []time.Duration, 
 		}
 		out = append(out, SweepPoint{Threshold: th, Outbreaks: len(obs), Fraction: frac})
 	}
+	return out
+}
+
+// SweepParallel is Sweep with the thresholds evaluated concurrently
+// (parallelism <= 1 falls back to Sweep). Points come back indexed by
+// threshold position, so the result is identical to the sequential sweep.
+func SweepParallel(h *History, intervals []beacon.Interval, thresholds []time.Duration, opts FilterOptions, parallelism int) []SweepPoint {
+	if parallelism <= 1 {
+		return Sweep(h, intervals, thresholds, opts)
+	}
+	out := make([]SweepPoint, len(thresholds))
+	e := &pipeline.Engine{Workers: parallelism}
+	e.For(len(thresholds), func(i int) {
+		th := thresholds[i]
+		d := &Detector{Threshold: th, Parallelism: 1}
+		rep := d.DetectFromHistory(h, intervals)
+		obs := rep.Filter(opts)
+		frac := 0.0
+		if len(intervals) > 0 {
+			frac = float64(len(obs)) / float64(len(intervals))
+		}
+		out[i] = SweepPoint{Threshold: th, Outbreaks: len(obs), Fraction: frac}
+	})
 	return out
 }
 

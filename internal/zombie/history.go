@@ -78,44 +78,58 @@ func BuildHistory(updates map[string][]byte, track TrackSet) (*History, error) {
 				return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
 			}
 			order++
-			switch r := rec.(type) {
-			case *mrt.BGP4MPMessage:
-				peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
-				u, err := r.Update()
-				if err != nil {
-					return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
-				}
-				for _, p := range u.WithdrawnAll() {
-					if track[p] {
-						h.add(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
-					}
-				}
-				for _, p := range u.Announced() {
-					if track[p] {
-						h.add(peer, p, histEvent{
-							at:    r.Timestamp,
-							order: order,
-							kind:  evAnnounce,
-							path:  u.Attrs.ASPath,
-							agg:   u.Attrs.Aggregator,
-						})
-					}
-				}
-			case *mrt.BGP4MPStateChange:
-				peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
-				kind := evSessionUp
-				if r.Down() {
-					kind = evSessionDown
-				} else if !r.Up() {
-					continue
-				}
-				h.session[peer] = append(h.session[peer], histEvent{at: r.Timestamp, order: order, kind: kind})
-				h.touch(peer)
+			if err := recordEvents(name, order, rec, track, h.add, h.addSession); err != nil {
+				return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
 			}
 		}
 	}
 	h.finish()
 	return h, nil
+}
+
+// recordEvents converts one update-file record into its history events.
+// It is shared by the sequential builder and the pipeline builder so the
+// two paths cannot drift: only the scheduling differs, never the per-record
+// semantics. Within one record, withdrawals are emitted before
+// announcements — the tie the stable event sort preserves.
+func recordEvents(name string, order int, rec mrt.Record, track TrackSet,
+	prefixEv func(peer PeerID, p netip.Prefix, ev histEvent),
+	sessionEv func(peer PeerID, ev histEvent),
+) error {
+	switch r := rec.(type) {
+	case *mrt.BGP4MPMessage:
+		peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
+		u, err := r.Update()
+		if err != nil {
+			return err
+		}
+		for _, p := range u.WithdrawnAll() {
+			if track[p] {
+				prefixEv(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
+			}
+		}
+		for _, p := range u.Announced() {
+			if track[p] {
+				prefixEv(peer, p, histEvent{
+					at:    r.Timestamp,
+					order: order,
+					kind:  evAnnounce,
+					path:  u.Attrs.ASPath,
+					agg:   u.Attrs.Aggregator,
+				})
+			}
+		}
+	case *mrt.BGP4MPStateChange:
+		peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
+		kind := evSessionUp
+		if r.Down() {
+			kind = evSessionDown
+		} else if !r.Up() {
+			return nil
+		}
+		sessionEv(peer, histEvent{at: r.Timestamp, order: order, kind: kind})
+	}
+	return nil
 }
 
 func (h *History) add(peer PeerID, p netip.Prefix, ev histEvent) {
@@ -126,6 +140,11 @@ func (h *History) add(peer PeerID, p netip.Prefix, ev histEvent) {
 		h.peers = append(h.peers, peer)
 	}
 	m[p] = append(m[p], ev)
+}
+
+func (h *History) addSession(peer PeerID, ev histEvent) {
+	h.session[peer] = append(h.session[peer], ev)
+	h.touch(peer)
 }
 
 func (h *History) touch(peer PeerID) {

@@ -90,6 +90,10 @@ type LifespanConfig struct {
 	// is a resurrection, like the paper's outbreaks that became visible
 	// a month after the last beacon withdrawal. Default 24h.
 	ResurrectionGrace time.Duration
+	// Parallelism routes dump parsing and series building through
+	// internal/pipeline with that many workers (0 = sequential). The
+	// output is identical either way.
+	Parallelism int
 }
 
 func (c LifespanConfig) gap() time.Duration {
@@ -112,20 +116,51 @@ type ribObs struct {
 	path bgp.ASPath
 }
 
+// peerPrefix keys one observation series: one prefix at one collector peer.
+type peerPrefix struct {
+	peer   PeerID
+	prefix netip.Prefix
+}
+
+// comparePeers orders PeerIDs by (Collector, AS, Addr) — the canonical
+// order finish() uses, reused as the deterministic tie-break everywhere a
+// sort key alone is not total.
+func comparePeers(a, b PeerID) int {
+	if a.Collector != b.Collector {
+		if a.Collector < b.Collector {
+			return -1
+		}
+		return 1
+	}
+	if a.AS != b.AS {
+		if a.AS < b.AS {
+			return -1
+		}
+		return 1
+	}
+	if a.Addr != b.Addr {
+		if a.Addr.Less(b.Addr) {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // TrackLifespans parses RIB dump archives (keyed by collector name) and
 // builds per-prefix lifespans for the tracked beacon prefixes. intervals
 // provide the withdrawal anchors and rule out reappearances explained by
-// real announcements.
+// real announcements. With cfg.Parallelism > 0 the dump parsing and series
+// building run on the pipeline engine; the report is identical either way.
 func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg LifespanConfig) (*LifespanReport, error) {
+	if cfg.Parallelism > 0 {
+		return trackLifespansParallel(dumps, intervals, cfg)
+	}
 	track := make(TrackSet)
 	for _, iv := range intervals {
 		track[iv.Prefix] = true
 	}
-	type pp struct {
-		peer   PeerID
-		prefix netip.Prefix
-	}
-	series := make(map[pp][]ribObs)
+	series := make(map[peerPrefix][]ribObs)
 	names := make([]string, 0, len(dumps))
 	for n := range dumps {
 		names = append(names, n)
@@ -158,77 +193,98 @@ func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg Li
 					}
 					pe := table.Peers[e.PeerIndex]
 					peer := PeerID{Collector: name, AS: pe.AS, Addr: pe.Addr}
-					k := pp{peer: peer, prefix: r.Prefix}
+					k := peerPrefix{peer: peer, prefix: r.Prefix}
 					series[k] = append(series[k], ribObs{at: r.Timestamp, path: e.Attrs.ASPath})
 				}
 			}
 		}
 	}
 	rep := &LifespanReport{Prefixes: make(map[netip.Prefix]*PrefixLifespan)}
-	gap := cfg.gap()
 	for k, obs := range series {
-		sort.Slice(obs, func(i, j int) bool { return obs[i].at.Before(obs[j].at) })
-		pl := rep.Prefixes[k.prefix]
-		if pl == nil {
-			pl = &PrefixLifespan{Prefix: k.prefix}
-			rep.Prefixes[k.prefix] = pl
+		cfg.foldSeries(rep, k, obs, intervals)
+	}
+	finishLifespans(rep, intervals)
+	return rep, nil
+}
+
+// foldSeries turns one (peer, prefix) observation series into episodes and
+// resurrections on rep. Shared by the sequential and pipeline trackers so
+// the two paths cannot drift.
+func (cfg LifespanConfig) foldSeries(rep *LifespanReport, k peerPrefix, obs []ribObs, intervals []beacon.Interval) {
+	gap := cfg.gap()
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].at.Before(obs[j].at) })
+	pl := rep.Prefixes[k.prefix]
+	if pl == nil {
+		pl = &PrefixLifespan{Prefix: k.prefix}
+		rep.Prefixes[k.prefix] = pl
+	}
+	// A first appearance long after the withdrawal, unexplained by a
+	// new announcement, is itself a resurrection (the stuck route was
+	// re-announced to this peer by an infected router).
+	if len(obs) > 0 {
+		first := obs[0].at
+		anchor := withdrawAnchor(intervals, k.prefix, first)
+		if !anchor.IsZero() && first.Sub(anchor) > cfg.grace() &&
+			!announcedBetween(intervals, k.prefix, anchor, first) {
+			pl.Resurrections = append(pl.Resurrections, Resurrection{
+				Peer:         k.peer,
+				Prefix:       k.prefix,
+				LastSeen:     anchor,
+				ReappearedAt: first,
+				Path:         obs[0].path,
+			})
 		}
-		// A first appearance long after the withdrawal, unexplained by a
-		// new announcement, is itself a resurrection (the stuck route was
-		// re-announced to this peer by an infected router).
-		if len(obs) > 0 {
-			first := obs[0].at
-			anchor := withdrawAnchor(intervals, k.prefix, first)
-			if !anchor.IsZero() && first.Sub(anchor) > cfg.grace() &&
-				!announcedBetween(intervals, k.prefix, anchor, first) {
-				pl.Resurrections = append(pl.Resurrections, Resurrection{
-					Peer:         k.peer,
-					Prefix:       k.prefix,
-					LastSeen:     anchor,
-					ReappearedAt: first,
-					Path:         obs[0].path,
-				})
-			}
-		}
-		var cur *Episode
-		for _, o := range obs {
-			if cur != nil && o.at.Sub(cur.LastSeen) <= gap {
-				cur.LastSeen = o.at
-				cur.Path = o.path
-				cur.Observations++
-				continue
-			}
-			if cur != nil {
-				pl.Episodes = append(pl.Episodes, *cur)
-				// A new episode after a gap is a resurrection unless a
-				// beacon announcement of the prefix happened in between.
-				if !announcedBetween(intervals, k.prefix, cur.LastSeen, o.at) {
-					pl.Resurrections = append(pl.Resurrections, Resurrection{
-						Peer:         k.peer,
-						Prefix:       k.prefix,
-						LastSeen:     cur.LastSeen,
-						ReappearedAt: o.at,
-						Path:         o.path,
-					})
-				}
-			}
-			cur = &Episode{Peer: k.peer, FirstSeen: o.at, LastSeen: o.at, Path: o.path, Observations: 1}
+	}
+	var cur *Episode
+	for _, o := range obs {
+		if cur != nil && o.at.Sub(cur.LastSeen) <= gap {
+			cur.LastSeen = o.at
+			cur.Path = o.path
+			cur.Observations++
+			continue
 		}
 		if cur != nil {
 			pl.Episodes = append(pl.Episodes, *cur)
+			// A new episode after a gap is a resurrection unless a
+			// beacon announcement of the prefix happened in between.
+			if !announcedBetween(intervals, k.prefix, cur.LastSeen, o.at) {
+				pl.Resurrections = append(pl.Resurrections, Resurrection{
+					Peer:         k.peer,
+					Prefix:       k.prefix,
+					LastSeen:     cur.LastSeen,
+					ReappearedAt: o.at,
+					Path:         o.path,
+				})
+			}
 		}
+		cur = &Episode{Peer: k.peer, FirstSeen: o.at, LastSeen: o.at, Path: o.path, Observations: 1}
 	}
-	// Anchor withdrawals: the latest interval withdrawal at or before the
-	// prefix's first observation.
+	if cur != nil {
+		pl.Episodes = append(pl.Episodes, *cur)
+	}
+}
+
+// finishLifespans imposes the canonical ordering and anchors withdrawals:
+// the latest interval withdrawal at or before the prefix's first
+// observation. The sort keys are total orders (peer identity breaks every
+// tie), so the result is independent of series map iteration — the
+// property that lets the sharded tracker merge and finish exactly like the
+// sequential one.
+func finishLifespans(rep *LifespanReport, intervals []beacon.Interval) {
 	for p, pl := range rep.Prefixes {
 		sort.Slice(pl.Episodes, func(i, j int) bool {
-			if !pl.Episodes[i].FirstSeen.Equal(pl.Episodes[j].FirstSeen) {
-				return pl.Episodes[i].FirstSeen.Before(pl.Episodes[j].FirstSeen)
+			a, b := pl.Episodes[i], pl.Episodes[j]
+			if !a.FirstSeen.Equal(b.FirstSeen) {
+				return a.FirstSeen.Before(b.FirstSeen)
 			}
-			return pl.Episodes[i].Peer.Addr.Less(pl.Episodes[j].Peer.Addr)
+			return comparePeers(a.Peer, b.Peer) < 0
 		})
 		sort.Slice(pl.Resurrections, func(i, j int) bool {
-			return pl.Resurrections[i].ReappearedAt.Before(pl.Resurrections[j].ReappearedAt)
+			a, b := pl.Resurrections[i], pl.Resurrections[j]
+			if !a.ReappearedAt.Equal(b.ReappearedAt) {
+				return a.ReappearedAt.Before(b.ReappearedAt)
+			}
+			return comparePeers(a.Peer, b.Peer) < 0
 		})
 		first := time.Time{}
 		if len(pl.Episodes) > 0 {
@@ -236,7 +292,6 @@ func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg Li
 		}
 		pl.WithdrawAt = withdrawAnchor(intervals, p, first)
 	}
-	return rep, nil
 }
 
 func announcedBetween(intervals []beacon.Interval, p netip.Prefix, from, to time.Time) bool {
@@ -298,6 +353,18 @@ func (rep *LifespanReport) Resurrections() []Resurrection {
 	for _, pl := range rep.Prefixes {
 		out = append(out, pl.Resurrections...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ReappearedAt.Before(out[j].ReappearedAt) })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.ReappearedAt.Equal(b.ReappearedAt) {
+			return a.ReappearedAt.Before(b.ReappearedAt)
+		}
+		if a.Prefix != b.Prefix {
+			if a.Prefix.Addr() != b.Prefix.Addr() {
+				return a.Prefix.Addr().Less(b.Prefix.Addr())
+			}
+			return a.Prefix.Bits() < b.Prefix.Bits()
+		}
+		return comparePeers(a.Peer, b.Peer) < 0
+	})
 	return out
 }

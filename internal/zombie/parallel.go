@@ -1,0 +1,307 @@
+package zombie
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/mrt"
+	"zombiescope/internal/pipeline"
+)
+
+// This file is the parallel counterpart of history.go and lifespan.go:
+// archives are decoded concurrently in record-aligned chunks by the
+// pipeline engine, extracted events are routed to PeerID-hashed (or
+// prefix-hashed) shards, each shard builds its slice of the state lock-free
+// in stream order, and the shards merge into the same canonical structures
+// the sequential builders produce. The differential harness in
+// internal/pipeline asserts the equivalence on randomized scenarios.
+
+// shardOfPeer routes a peer to its shard. FNV-1a keeps the assignment
+// stable across processes (no per-run hash seed), which the differential
+// harness and golden tests rely on.
+func shardOfPeer(peer PeerID, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(peer.Collector))
+	var b [20]byte
+	b[0] = byte(peer.AS >> 24)
+	b[1] = byte(peer.AS >> 16)
+	b[2] = byte(peer.AS >> 8)
+	b[3] = byte(peer.AS)
+	a16 := peer.Addr.As16()
+	copy(b[4:], a16[:])
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+// shardOfPrefix routes a prefix to its shard.
+func shardOfPrefix(p netip.Prefix, n int) int {
+	h := fnv.New64a()
+	a16 := p.Addr().As16()
+	h.Write(a16[:])
+	h.Write([]byte{byte(p.Bits())})
+	return int(h.Sum64() % uint64(n))
+}
+
+// wrapFileError rewraps a pipeline position error into the sequential
+// builder's error shape.
+func wrapFileError(err error) error {
+	var fe *pipeline.FileError
+	if errors.As(err, &fe) {
+		return fmt.Errorf("zombie: collector %s: %w", fe.Name, fe.Err)
+	}
+	return err
+}
+
+// peerEvent is one extracted history event tagged with its destination.
+type peerEvent struct {
+	peer    PeerID
+	prefix  netip.Prefix
+	session bool
+	ev      histEvent
+}
+
+// eventBuckets is a per-chunk accumulator: extracted events pre-routed to
+// their peer shard, in stream order within the chunk.
+type eventBuckets struct {
+	shards [][]peerEvent
+}
+
+// BuildHistoryParallel is BuildHistory over the pipeline engine with the
+// given worker count (<= 0 falls back to the sequential builder). The
+// result is canonical: identical to the sequential History for any
+// parallelism, because every (peer, prefix) sees its events in stream
+// order and the final ordering pass is shared.
+func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism int) (*History, error) {
+	if parallelism <= 0 {
+		return BuildHistory(updates, track)
+	}
+	e := &pipeline.Engine{Workers: parallelism}
+	nshards := parallelism
+	names, accs, err := pipeline.FoldRecords(e, updates,
+		func(pipeline.FileChunk) *eventBuckets {
+			return &eventBuckets{shards: make([][]peerEvent, nshards)}
+		},
+		func(acc *eventBuckets, fc pipeline.FileChunk, idx int, rec mrt.Record) error {
+			// order only has to be monotone in stream position per file
+			// (events of one PeerID never span files); FileBase+idx also
+			// matches the global sequential numbering up to skipped
+			// record types.
+			return recordEvents(fc.Name, fc.FileBase+idx+1, rec, track,
+				func(peer PeerID, p netip.Prefix, ev histEvent) {
+					s := shardOfPeer(peer, nshards)
+					acc.shards[s] = append(acc.shards[s], peerEvent{peer: peer, prefix: p, ev: ev})
+				},
+				func(peer PeerID, ev histEvent) {
+					s := shardOfPeer(peer, nshards)
+					acc.shards[s] = append(acc.shards[s], peerEvent{peer: peer, session: true, ev: ev})
+				})
+		})
+	if err != nil {
+		return nil, wrapFileError(err)
+	}
+
+	// Shard build: each shard replays its events walking files and chunks
+	// in stream order, so the stable event sort in finish() sees the same
+	// insertion order as the sequential builder. Lock-free: a PeerID maps
+	// to exactly one shard.
+	m := e.Metrics
+	if m == nil {
+		m = pipeline.Default
+	}
+	buildStart := time.Now()
+	frags := make([]*History, nshards)
+	e.For(nshards, func(s int) {
+		h := &History{
+			events:  make(map[PeerID]map[netip.Prefix][]histEvent),
+			session: make(map[PeerID][]histEvent),
+		}
+		n := 0
+		for i := range names {
+			for _, acc := range accs[i] {
+				for _, pe := range acc.shards[s] {
+					if pe.session {
+						h.addSession(pe.peer, pe.ev)
+					} else {
+						h.add(pe.peer, pe.prefix, pe.ev)
+					}
+					n++
+				}
+			}
+		}
+		frags[s] = h
+		m.AddSharded(n)
+	})
+	m.ObserveBuild(time.Since(buildStart))
+
+	// Merge: PeerIDs are disjoint across shards, so the union is a move;
+	// finish() imposes the canonical ordering.
+	mergeStart := time.Now()
+	h := &History{
+		events:  make(map[PeerID]map[netip.Prefix][]histEvent),
+		session: make(map[PeerID][]histEvent),
+	}
+	for _, f := range frags {
+		for peer, byPrefix := range f.events {
+			h.events[peer] = byPrefix
+		}
+		for peer, evs := range f.session {
+			h.session[peer] = evs
+		}
+		h.peers = append(h.peers, f.peers...)
+	}
+	h.finish()
+	m.AddMerged(nshards)
+	m.ObserveMerge(time.Since(mergeStart))
+	return h, nil
+}
+
+// ribChunk is a per-chunk accumulator for RIB dump streams: the peer index
+// tables of the chunk plus the tracked RIB records, each remembering how
+// many tables preceded it inside the chunk (0 = the table is in an earlier
+// chunk).
+type ribChunk struct {
+	tables []*mrt.PeerIndexTable
+	items  []ribItem
+}
+
+type ribItem struct {
+	tablesBefore int
+	rib          *mrt.RIB
+}
+
+// trackLifespansParallel is the pipeline counterpart of TrackLifespans.
+// Chunked decode breaks the "RIB entries follow their PeerIndexTable in the
+// same file" invariant, so every shard walks the chunk list of each file in
+// order, carrying the effective table across chunk boundaries, and applies
+// only its own prefixes — cheap, lock-free, and order-identical.
+func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval, cfg LifespanConfig) (*LifespanReport, error) {
+	track := make(TrackSet)
+	for _, iv := range intervals {
+		track[iv.Prefix] = true
+	}
+	e := &pipeline.Engine{Workers: cfg.Parallelism}
+	nshards := cfg.Parallelism
+	names, accs, err := pipeline.FoldRecords(e, dumps,
+		func(pipeline.FileChunk) *ribChunk { return &ribChunk{} },
+		func(acc *ribChunk, _ pipeline.FileChunk, _ int, rec mrt.Record) error {
+			switch r := rec.(type) {
+			case *mrt.PeerIndexTable:
+				acc.tables = append(acc.tables, r)
+			case *mrt.RIB:
+				if track[r.Prefix] {
+					acc.items = append(acc.items, ribItem{tablesBefore: len(acc.tables), rib: r})
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, wrapDumpError(err)
+	}
+
+	m := e.Metrics
+	if m == nil {
+		m = pipeline.Default
+	}
+	buildStart := time.Now()
+	type shardResult struct {
+		rep    *LifespanReport
+		err    error
+		errPos [3]int // (file, chunk, item) of the first error, for ranking
+	}
+	results := make([]shardResult, nshards)
+	e.For(nshards, func(s int) {
+		series := make(map[peerPrefix][]ribObs)
+		n := 0
+		fail := func(pos [3]int, err error) {
+			if results[s].err == nil {
+				results[s].err, results[s].errPos = err, pos
+			}
+		}
+		for i := range names {
+			var carry *mrt.PeerIndexTable
+			for ci, acc := range accs[i] {
+				for ii, it := range acc.items {
+					table := carry
+					if it.tablesBefore > 0 {
+						table = acc.tables[it.tablesBefore-1]
+					}
+					if shardOfPrefix(it.rib.Prefix, nshards) != s {
+						continue
+					}
+					if table == nil {
+						fail([3]int{i, ci, ii}, fmt.Errorf("zombie: dumps %s: %w", names[i], mrt.ErrNoPeerIndex))
+						continue
+					}
+					for _, entry := range it.rib.Entries {
+						if int(entry.PeerIndex) >= len(table.Peers) {
+							fail([3]int{i, ci, ii}, fmt.Errorf("zombie: dumps %s: %w", names[i], mrt.ErrBadPeerIndex))
+							continue
+						}
+						pe := table.Peers[entry.PeerIndex]
+						k := peerPrefix{
+							peer:   PeerID{Collector: names[i], AS: pe.AS, Addr: pe.Addr},
+							prefix: it.rib.Prefix,
+						}
+						series[k] = append(series[k], ribObs{at: it.rib.Timestamp, path: entry.Attrs.ASPath})
+						n++
+					}
+				}
+				if len(acc.tables) > 0 {
+					carry = acc.tables[len(acc.tables)-1]
+				}
+			}
+		}
+		if results[s].err != nil {
+			return
+		}
+		rep := &LifespanReport{Prefixes: make(map[netip.Prefix]*PrefixLifespan)}
+		for k, obs := range series {
+			cfg.foldSeries(rep, k, obs, intervals)
+		}
+		results[s].rep = rep
+		m.AddSharded(n)
+	})
+	m.ObserveBuild(time.Since(buildStart))
+
+	// The first error in stream order wins, as in the sequential scan.
+	var firstErr error
+	var firstPos [3]int
+	for _, r := range results {
+		if r.err != nil && (firstErr == nil ||
+			r.errPos[0] < firstPos[0] ||
+			(r.errPos[0] == firstPos[0] && r.errPos[1] < firstPos[1]) ||
+			(r.errPos[0] == firstPos[0] && r.errPos[1] == firstPos[1] && r.errPos[2] < firstPos[2])) {
+			firstErr, firstPos = r.err, r.errPos
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Merge: prefixes are disjoint across shards.
+	mergeStart := time.Now()
+	rep := &LifespanReport{Prefixes: make(map[netip.Prefix]*PrefixLifespan)}
+	for _, r := range results {
+		for p, pl := range r.rep.Prefixes {
+			rep.Prefixes[p] = pl
+		}
+	}
+	finishLifespans(rep, intervals)
+	m.AddMerged(nshards)
+	m.ObserveMerge(time.Since(mergeStart))
+	return rep, nil
+}
+
+// wrapDumpError rewraps a pipeline position error into TrackLifespans'
+// error shape.
+func wrapDumpError(err error) error {
+	var fe *pipeline.FileError
+	if errors.As(err, &fe) {
+		return fmt.Errorf("zombie: dumps %s: %w", fe.Name, fe.Err)
+	}
+	return err
+}

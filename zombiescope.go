@@ -105,6 +105,14 @@ var (
 	FlagNoisyPeers = zombie.FlagNoisyPeers
 	// Sweep evaluates several detection thresholds over one history.
 	Sweep = zombie.Sweep
+	// SweepParallel is Sweep with concurrent threshold evaluation; the
+	// result is identical.
+	SweepParallel = zombie.SweepParallel
+	// BuildHistoryParallel is BuildHistory over the internal/pipeline
+	// worker engine; the History is identical for any parallelism (set
+	// Detector.Parallelism or LifespanConfig.Parallelism to route whole
+	// detections through the pipeline).
+	BuildHistoryParallel = zombie.BuildHistoryParallel
 )
 
 // DefaultThreshold is the conservative 90-minute stuck-route threshold.
