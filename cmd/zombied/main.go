@@ -22,9 +22,21 @@
 // frame protocol documented in internal/livefeed), choosing server-side
 // filters and a backpressure policy (drop-oldest, kick-slowest; block
 // only when -policy-block is set). -speed 0 replays as fast as possible;
-// -speed 3600 plays one simulated hour per wall second. /healthz reports
-// liveness, /metrics the broker counters (expvar-style JSON), and
-// /metrics/pipeline the shared decode/detection pipeline counters.
+// -speed 3600 plays one simulated hour per wall second.
+//
+// The HTTP endpoint is the daemon's observability surface:
+//
+//	/metrics           Prometheus text exposition of every subsystem
+//	                   (livefeed broker + detector, pipeline stages,
+//	                   collector fleet) as one scrape target
+//	/metrics/livefeed  legacy expvar-style JSON broker counters
+//	/metrics/pipeline  legacy expvar-style JSON pipeline counters
+//	/healthz           pure liveness (200 once the HTTP server is up)
+//	/readyz            readiness: 503 until the archive replay completes
+//	/debug/pprof/      the standard Go profiler endpoints
+//
+// Logs are structured (log/slog); -log-format selects text or json and
+// -log-level the threshold.
 package main
 
 import (
@@ -32,9 +44,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -45,8 +57,10 @@ import (
 	"zombiescope/internal/archive"
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
 	"zombiescope/internal/experiments"
 	"zombiescope/internal/livefeed"
+	"zombiescope/internal/obs"
 	"zombiescope/internal/pipeline"
 )
 
@@ -70,54 +84,66 @@ func main() {
 		replayBuf  = flag.Int("resume-buffer", 4096, "events retained for resume-from-sequence")
 		allowBlock = flag.Bool("policy-block", false, "allow subscribers to request the block backpressure policy")
 		oneshot    = flag.Bool("oneshot", false, "exit once the replay completes instead of serving forever")
+		logFormat  = flag.String("log-format", "text", "log output format: text | json")
+		logLevel   = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	base, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := obs.Component(base, "zombied")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	feed, err := loadFeed(*archiveDir, *schedKind, *baseStr, *approach, *fromStr, *toStr, bgp.ASN(*origin), *stride, *seed, *scale)
 	if err != nil {
-		log.Fatal(err)
+		fatal("loading feed source", err)
 	}
 	stream, err := livefeed.MergeUpdates(feed.updates)
 	if err != nil {
-		log.Fatal(err)
+		fatal("merging update archives", err)
 	}
-	log.Printf("feed source: %d records from %d collectors, %d beacon intervals",
-		len(stream), len(feed.updates), len(feed.intervals))
+	logger.Info("feed source ready",
+		"records", len(stream),
+		"collectors", len(feed.updates),
+		"intervals", len(feed.intervals))
 
-	broker := livefeed.NewBroker(livefeed.Config{RingSize: *ringSize, ReplaySize: *replayBuf})
+	// One registry carries the broker + detector instruments; /metrics
+	// unions it with the pipeline and collector-fleet registries so the
+	// daemon is a single scrape target.
+	reg := obs.NewRegistry()
+	broker := livefeed.NewBroker(livefeed.Config{
+		RingSize:   *ringSize,
+		ReplaySize: *replayBuf,
+		Metrics:    livefeed.NewMetrics(reg),
+	})
 	pipe := livefeed.NewPipeline(broker, feed.intervals, *threshold)
 
 	srv := &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: *allowBlock}
 	l, err := net.Listen("tcp", *listenAddr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("feed listen", err)
 	}
-	log.Printf("feed listening on %s", l.Addr())
+	logger.Info("feed listening", "addr", l.Addr().String())
 	go func() {
 		if err := srv.Serve(l); err != nil && !done.Load() {
-			log.Printf("feed server: %v", err)
+			logger.Error("feed server", "err", err)
 		}
 	}()
 
 	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", broker.Metrics().Handler())
-		mux.Handle("/metrics/pipeline", pipeline.Default.Handler())
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(map[string]any{
-				"status":         "ok",
-				"seq":            broker.Seq(),
-				"subscribers":    broker.SubscriberCount(),
-				"pending_checks": pipe.PendingChecks(),
-				"replay_done":    done.Load(),
-			})
-		})
+		mux := newHTTPMux(reg, broker, pipe)
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("http listen", err)
 		}
-		log.Printf("http (healthz, metrics) on %s", hl.Addr())
+		logger.Info("http listening", "addr", hl.Addr().String(),
+			"endpoints", "/metrics /metrics/livefeed /metrics/pipeline /healthz /readyz /debug/pprof/")
 		go http.Serve(hl, mux)
 	}
 
@@ -133,22 +159,59 @@ func main() {
 
 	if *oneshot {
 		if err := <-replayed; err != nil && err != context.Canceled {
-			log.Fatal(err)
+			fatal("replay", err)
 		}
-		log.Printf("replay done: %d events published, exiting (oneshot)", broker.Seq())
+		logger.Info("replay done, exiting (oneshot)", "events", broker.Seq())
 	} else {
 		select {
 		case err := <-replayed:
 			if err != nil && err != context.Canceled {
-				log.Fatal(err)
+				fatal("replay", err)
 			}
-			log.Printf("replay done: %d events published, serving subscribers (ctrl-c to exit)", broker.Seq())
+			logger.Info("replay done, serving subscribers (ctrl-c to exit)", "events", broker.Seq())
 			<-ctx.Done()
 		case <-ctx.Done():
 		}
 	}
 	srv.Close()
 	broker.Close()
+}
+
+// newHTTPMux assembles the daemon's observability surface: a unified
+// Prometheus scrape, the legacy JSON snapshots, split liveness/readiness
+// probes, and the Go profiler.
+func newHTTPMux(reg *obs.Registry, broker *livefeed.Broker, pipe *livefeed.Pipeline) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MultiHandler(reg, pipeline.Default.Registry(), collector.Registry()))
+	mux.Handle("/metrics/livefeed", broker.Metrics().Handler())
+	mux.Handle("/metrics/pipeline", pipeline.Default.Handler())
+	// /healthz is pure liveness: the process is up and serving HTTP.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+	})
+	// /readyz gates on the replay: a fresh daemon is not ready until the
+	// archive has been fed through the detector (load balancers should
+	// not route live subscribers to a daemon still warming up).
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ready := done.Load()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"ready":          ready,
+			"seq":            broker.Seq(),
+			"subscribers":    broker.SubscriberCount(),
+			"pending_checks": pipe.PendingChecks(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // done flips once the replay has finished (read by /healthz).

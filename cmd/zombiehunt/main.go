@@ -7,7 +7,14 @@
 //
 //	zombiehunt -archive ./archive -base 2a0d:3dc1::/32 -approach 15d \
 //	           -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
-//	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris] [-json]
+//	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris] [-json] \
+//	           [-trace trace.json] [-progress 5s]
+//
+// -trace writes the run's span tree as Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto) — decode, shard build, merge and interval
+// evaluation show up as nested slices. -progress logs a structured
+// pipeline heartbeat to stderr at the given interval, for watching a
+// long archive run without polluting the report on stdout.
 //
 // The beacon schedule (base prefix, approach, window) tells the detector
 // which prefixes to track and where the beacon intervals fall. Detection
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/netip"
 	"os"
 	"runtime"
@@ -29,6 +37,8 @@ import (
 	"zombiescope/internal/archive"
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
+	"zombiescope/internal/obs"
+	"zombiescope/internal/pipeline"
 	"zombiescope/internal/zombie"
 )
 
@@ -40,7 +50,7 @@ func main() {
 }
 
 // run is the whole command behind a testable seam: flags in, report on w.
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("zombiehunt", flag.ContinueOnError)
 	var (
 		archiveDir = fs.String("archive", "archive", "MRT archive directory")
@@ -56,9 +66,29 @@ func run(args []string, w io.Writer) error {
 		dotOut     = fs.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
 		jsonOut    = fs.Bool("json", false, "emit the report as one JSON document on stdout instead of text")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "pipeline workers for decode/detection (0 = sequential; the report is identical either way)")
+		traceOut   = fs.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
+		progress   = fs.Duration("progress", 0, "log a pipeline progress heartbeat to stderr at this interval (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		tr := obs.NewTracer()
+		obs.SetTracer(tr)
+		defer func() {
+			obs.SetTracer(nil)
+			if werr := writeTrace(tr, *traceOut); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *progress > 0 {
+		logger, lerr := obs.NewLogger(os.Stderr, "text", "info")
+		if lerr != nil {
+			return lerr
+		}
+		defer startProgress(obs.Component(logger, "zombiehunt"), *progress)()
 	}
 
 	from, err := time.Parse(time.RFC3339, *fromStr)
@@ -155,6 +185,46 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeTrace flushes the collected spans as Chrome trace-event JSON.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProgress launches the heartbeat goroutine and returns its stop
+// function. Each tick logs the shared pipeline counters, so a long run
+// shows decode/detection advancing even before any report is printed.
+func startProgress(l *slog.Logger, every time.Duration) func() {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s := pipeline.Default.Snapshot()
+				l.Info("pipeline progress",
+					"records_decoded", s["records_decoded"],
+					"bytes_decoded", s["bytes_decoded"],
+					"events_sharded", s["events_sharded"],
+					"intervals_evaluated", s["intervals_evaluated"],
+					"decode_us", s["decode_us"],
+					"detect_us", s["detect_us"])
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // JSON report shapes (-json). Field names are stable: scripts depend on

@@ -168,6 +168,41 @@ func TestGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestTraceOutput runs the golden scenario with -trace and checks the
+// emitted Chrome trace-event JSON carries the detection stack's spans.
+func TestTraceOutput(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run(append(goldenArgs("4"), "-trace", traceFile), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := make(map[string]bool)
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Errorf("event phase %v, want X", ev["ph"])
+		}
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	for _, want := range []string{"pipeline.fold", "pipeline.decode", "zombie.build_history", "zombie.detect"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-from", "not-a-time"}, &buf); err == nil {

@@ -23,6 +23,7 @@ import (
 	"zombiescope/internal/bgp"
 	"zombiescope/internal/mrt"
 	"zombiescope/internal/netsim"
+	"zombiescope/internal/obs"
 )
 
 // LocalAS is the AS number collectors use on their side of peering
@@ -62,6 +63,10 @@ type Collector struct {
 	seq4, seq6 uint32
 	records    int
 	err        error
+
+	// Cached registry children (see metrics.go).
+	obsRecords   *obs.Counter
+	obsSnapshots *obs.Counter
 }
 
 // Tap observes every update-stream record a collector writes, in write
@@ -75,10 +80,12 @@ func (c *Collector) SetTap(t Tap) { c.tap = t }
 
 func newCollector(name string) *Collector {
 	c := &Collector{
-		Name:     name,
-		ID:       collectorID(name),
-		sessions: make(map[sessionKey]netsim.Session),
-		state:    make(map[sessionKey]map[netip.Prefix]ribRoute),
+		Name:         name,
+		ID:           collectorID(name),
+		sessions:     make(map[sessionKey]netsim.Session),
+		state:        make(map[sessionKey]map[netip.Prefix]ribRoute),
+		obsRecords:   recordsVec.With(name),
+		obsSnapshots: snapshotsVec.With(name),
 	}
 	c.uw = mrt.NewWriter(&c.updates)
 	c.dw = mrt.NewWriter(&c.dumps)
@@ -226,7 +233,7 @@ func (c *Collector) writeMessage(at time.Time, sess netsim.Session, u *bgp.Updat
 		c.fail(err)
 		return
 	}
-	c.records++
+	c.noteRecord()
 	if c.tap != nil {
 		c.tap(c.Name, rec)
 	}
@@ -280,7 +287,7 @@ func (c *Collector) PeerState(at time.Time, sess netsim.Session, old, new mrt.Se
 		c.fail(err)
 		return
 	}
-	c.records++
+	c.noteRecord()
 	if c.tap != nil {
 		c.tap(c.Name, rec)
 	}
@@ -307,6 +314,8 @@ func (c *Collector) sortedSessionKeys() []sessionKey {
 // view to its dump archive: a peer index table followed by one RIB record
 // per prefix present at any peer.
 func (c *Collector) SnapshotRIB(at time.Time) {
+	start := time.Now()
+	defer c.noteSnapshot(start)
 	keys := c.sortedSessionKeys()
 	table := &mrt.PeerIndexTable{
 		Timestamp:   at,
@@ -326,7 +335,7 @@ func (c *Collector) SnapshotRIB(at time.Time) {
 		c.fail(err)
 		return
 	}
-	c.records++
+	c.noteRecord()
 	// Gather all prefixes present anywhere, sorted for determinism.
 	prefixSet := make(map[netip.Prefix]bool)
 	for _, st := range c.state {
@@ -389,7 +398,7 @@ func (c *Collector) SnapshotRIB(at time.Time) {
 			c.fail(err)
 			return
 		}
-		c.records++
+		c.noteRecord()
 	}
 }
 

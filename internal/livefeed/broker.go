@@ -3,6 +3,7 @@ package livefeed
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"zombiescope/internal/mrt"
 )
@@ -67,6 +68,10 @@ type Config struct {
 	// By default the raw record rides along so subscribers can run
 	// byte-faithful pipelines (e.g. zombie.StreamDetector).
 	OmitRaw bool
+	// Metrics is the instrument sink the broker accounts into. Nil means
+	// a private Metrics on its own registry; pass NewMetrics(sharedReg)
+	// to scrape the broker alongside other subsystems.
+	Metrics *Metrics
 }
 
 func (c Config) ringSize() int {
@@ -104,11 +109,18 @@ type Broker struct {
 	count  int
 }
 
-// NewBroker builds a broker with its own metrics.
+// NewBroker builds a broker with the configured metrics sink (its own
+// when Config.Metrics is nil).
 func NewBroker(cfg Config) *Broker {
+	m := cfg.Metrics
+	if m == nil {
+		m = NewMetrics(nil)
+	} else {
+		m.init()
+	}
 	b := &Broker{
 		cfg:     cfg,
-		metrics: &Metrics{},
+		metrics: m,
 		subs:    make(map[*Subscriber]struct{}),
 	}
 	if n := cfg.replaySize(); n > 0 {
@@ -138,6 +150,7 @@ func (b *Broker) SubscriberCount() int {
 // matching subscriber, applying each subscriber's backpressure policy.
 // It returns the assigned sequence number (0 when the broker is closed).
 func (b *Broker) Publish(ev Event) uint64 {
+	start := time.Now()
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -174,6 +187,7 @@ func (b *Broker) Publish(ev Event) uint64 {
 	}
 	seq := b.seq
 	b.mu.Unlock()
+	b.metrics.publishSeconds.Observe(time.Since(start).Seconds())
 	return seq
 }
 
@@ -247,7 +261,7 @@ func (b *Broker) Close() {
 		subs = append(subs, s)
 	}
 	b.subs = make(map[*Subscriber]struct{})
-	b.metrics.subscribers.Add(-int64(len(subs)))
+	b.metrics.subscribers.Add(-float64(len(subs)))
 	b.mu.Unlock()
 	for _, s := range subs {
 		s.closeDetached(ErrBrokerClosed)

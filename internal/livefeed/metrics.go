@@ -3,63 +3,137 @@ package livefeed
 import (
 	"encoding/json"
 	"net/http"
-	"sync/atomic"
+	"sync"
 	"time"
+
+	"zombiescope/internal/obs"
 )
 
-// Metrics holds the broker's operational counters. All fields are safe
-// for concurrent use; read them through Snapshot (or the expvar-style
-// HTTP handler) rather than directly.
+// publishBuckets cover the broker's in-process fan-out, which is orders of
+// magnitude faster than the stage latencies DefBuckets are cut for.
+var publishBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2, 0.1,
+}
+
+// Metrics holds the broker's instruments on an obs registry. The JSON
+// Snapshot (and its expvar-style handler) keeps the original flat-map
+// shape as a thin view; the registry serves the same state as Prometheus
+// exposition, including the latency distributions the flat map can only
+// summarize. The zero value is usable (it lazily builds a private
+// registry); pass a shared registry through Config.Metrics /
+// NewMetrics to scrape several subsystems as one target.
 type Metrics struct {
+	once sync.Once
+	reg  *obs.Registry
+
 	// Ingestion / fan-out.
-	recordsIn atomic.Int64 // events published into the broker
-	eventsOut atomic.Int64 // events queued to subscribers (post-filter)
+	recordsIn      *obs.Counter
+	eventsOut      *obs.Counter
+	publishSeconds *obs.Histogram
 
 	// Backpressure, per policy.
-	dropsDropOldest atomic.Int64 // events evicted under drop-oldest
-	blockStalls     atomic.Int64 // publishes that had to wait under block
-	kicks           atomic.Int64 // subscribers kicked under kick-slowest
+	dropsDropOldest *obs.Counter
+	blockStalls     *obs.Counter
+	kicks           *obs.Counter
 
 	// Subscribers.
-	subscribers      atomic.Int64 // currently attached
-	subscribersTotal atomic.Int64 // ever attached
+	subscribers      *obs.Gauge
+	subscribersTotal *obs.Counter
 
-	// Detection.
-	alerts         atomic.Int64 // zombie-channel events published
-	detectLagNanos atomic.Int64 // cumulative detection latency
-	detectLagCount atomic.Int64
+	// Detection (the server-side StreamDetector wired by Pipeline).
+	alerts        *obs.Counter
+	detectLatency *obs.Histogram
+	checksFired   *obs.Counter
+	pendingChecks *obs.Gauge
+	peerRate      *obs.GaugeVec
+}
+
+// NewMetrics builds a Metrics registered on reg (nil: a fresh private
+// registry).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{reg: reg}
+	m.init()
+	return m
+}
+
+func (m *Metrics) init() {
+	m.once.Do(func() {
+		if m.reg == nil {
+			m.reg = obs.NewRegistry()
+		}
+		m.recordsIn = m.reg.Counter("livefeed_records_in_total", "Events published into the broker.")
+		m.eventsOut = m.reg.Counter("livefeed_events_out_total", "Events queued to subscribers (post-filter).")
+		m.publishSeconds = m.reg.Histogram("livefeed_publish_seconds",
+			"Broker fan-out latency per published event.", publishBuckets)
+		m.dropsDropOldest = m.reg.Counter("livefeed_drops_drop_oldest_total", "Events evicted under drop-oldest.")
+		m.blockStalls = m.reg.Counter("livefeed_block_stalls_total", "Publishes that had to wait under block.")
+		m.kicks = m.reg.Counter("livefeed_kicks_total", "Subscribers kicked under kick-slowest.")
+		m.subscribers = m.reg.Gauge("livefeed_subscribers", "Currently attached subscribers.")
+		m.subscribersTotal = m.reg.Counter("livefeed_subscribers_total", "Subscribers ever attached.")
+		m.alerts = m.reg.Counter("livefeed_alerts_total", "Zombie-channel events published.")
+		m.detectLatency = m.reg.Histogram("detector_latency_seconds",
+			"How far behind the record stream detections fire.", obs.DefBuckets)
+		m.checksFired = m.reg.Counter("detector_checks_fired_total", "Beacon interval checks fired.")
+		m.pendingChecks = m.reg.Gauge("detector_pending_checks", "Interval checks not fired yet.")
+		m.peerRate = m.reg.GaugeVec("detector_peer_zombie_rate",
+			"Per-peer zombie likelihood: deduped zombie routes over beacon announcements of the family (the paper's noisy-peer table, live).",
+			"collector", "peer_as", "afi")
+	})
+}
+
+// Registry returns the registry backing the metrics, for Prometheus
+// exposition alongside other subsystems.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	m.init()
+	return m.reg
 }
 
 // ObserveDetectionLatency records how far behind the record stream a
 // detection fired (watermark at firing minus the scheduled check time).
 func (m *Metrics) ObserveDetectionLatency(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.init()
 	if d < 0 {
 		d = 0
 	}
-	m.detectLagNanos.Add(int64(d))
-	m.detectLagCount.Add(1)
+	m.detectLatency.Observe(d.Seconds())
 }
 
-// Snapshot returns the counters as a flat map, expvar style.
+// Snapshot returns the counters as a flat map, expvar style — the legacy
+// JSON shape, now a view over the registry. A nil receiver returns the
+// all-zero snapshot.
 func (m *Metrics) Snapshot() map[string]int64 {
 	out := map[string]int64{
-		"records_in":        m.recordsIn.Load(),
-		"events_out":        m.eventsOut.Load(),
-		"drops_drop_oldest": m.dropsDropOldest.Load(),
-		"block_stalls":      m.blockStalls.Load(),
-		"kicks":             m.kicks.Load(),
-		"subscribers":       m.subscribers.Load(),
-		"subscribers_total": m.subscribersTotal.Load(),
-		"alerts":            m.alerts.Load(),
+		"records_in": 0, "events_out": 0, "drops_drop_oldest": 0,
+		"block_stalls": 0, "kicks": 0, "subscribers": 0,
+		"subscribers_total": 0, "alerts": 0,
 	}
-	if n := m.detectLagCount.Load(); n > 0 {
-		out["detect_latency_avg_us"] = m.detectLagNanos.Load() / n / int64(time.Microsecond)
-		out["detect_latency_count"] = n
+	if m == nil {
+		return out
+	}
+	m.init()
+	out["records_in"] = m.recordsIn.Value()
+	out["events_out"] = m.eventsOut.Value()
+	out["drops_drop_oldest"] = m.dropsDropOldest.Value()
+	out["block_stalls"] = m.blockStalls.Value()
+	out["kicks"] = m.kicks.Value()
+	out["subscribers"] = int64(m.subscribers.Value())
+	out["subscribers_total"] = m.subscribersTotal.Value()
+	out["alerts"] = m.alerts.Value()
+	if n := m.detectLatency.Count(); n > 0 {
+		out["detect_latency_avg_us"] = int64(m.detectLatency.Sum()*1e6) / int64(n)
+		out["detect_latency_count"] = int64(n)
 	}
 	return out
 }
 
 // Handler serves the snapshot as JSON (an expvar-style /metrics page).
+// Safe on a nil receiver: it serves the all-zero snapshot.
 func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

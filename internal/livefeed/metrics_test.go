@@ -1,0 +1,183 @@
+package livefeed
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"zombiescope/internal/experiments"
+	"zombiescope/internal/obs"
+)
+
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestBrokerSnapshotPrometheusParity drives a broker through publishes,
+// drops, and a kick, then asserts the legacy JSON snapshot and the
+// Prometheus exposition agree on every shared series.
+func TestBrokerSnapshotPrometheusParity(t *testing.T) {
+	b := NewBroker(Config{RingSize: 2, ReplaySize: -1})
+	sub, _, err := b.Subscribe(Filter{}, PolicyDropOldest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Channel: ChannelUpdates})
+	}
+	b.Publish(Event{Channel: ChannelZombie})
+	b.Metrics().ObserveDetectionLatency(42 * time.Millisecond)
+	_ = sub
+
+	snap := b.Metrics().Snapshot()
+	var buf bytes.Buffer
+	if err := b.Metrics().Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := parseExposition(t, buf.String())
+
+	for jsonKey, promKey := range map[string]string{
+		"records_in":        "livefeed_records_in_total",
+		"events_out":        "livefeed_events_out_total",
+		"drops_drop_oldest": "livefeed_drops_drop_oldest_total",
+		"block_stalls":      "livefeed_block_stalls_total",
+		"kicks":             "livefeed_kicks_total",
+		"subscribers":       "livefeed_subscribers",
+		"subscribers_total": "livefeed_subscribers_total",
+		"alerts":            "livefeed_alerts_total",
+	} {
+		pv, ok := prom[promKey]
+		if !ok {
+			t.Errorf("prometheus series %s missing", promKey)
+			continue
+		}
+		if int64(pv) != snap[jsonKey] {
+			t.Errorf("%s: prometheus %v != snapshot %d", jsonKey, pv, snap[jsonKey])
+		}
+	}
+	if snap["records_in"] != 6 || snap["alerts"] != 1 {
+		t.Errorf("unexpected snapshot: %v", snap)
+	}
+	// Latency histogram: snapshot carries avg+count, exposition the
+	// full distribution; count and sum-derived average must agree.
+	n := prom["detector_latency_seconds_count"]
+	if int64(n) != snap["detect_latency_count"] {
+		t.Errorf("latency count: prometheus %v != snapshot %d", n, snap["detect_latency_count"])
+	}
+	avgUS := int64(prom["detector_latency_seconds_sum"]*1e6) / int64(n)
+	if avgUS != snap["detect_latency_avg_us"] {
+		t.Errorf("latency avg: prometheus %d us != snapshot %d us", avgUS, snap["detect_latency_avg_us"])
+	}
+	// Publish fan-out histogram must expose buckets.
+	if prom["livefeed_publish_seconds_count"] != 6 {
+		t.Errorf("publish count = %v, want 6", prom["livefeed_publish_seconds_count"])
+	}
+	if _, ok := prom[`livefeed_publish_seconds_bucket{le="+Inf"}`]; !ok {
+		t.Error("publish histogram has no +Inf bucket")
+	}
+}
+
+// TestSharedRegistryScrape wires broker metrics onto a caller-owned
+// registry (the zombied pattern) and checks one scrape carries both the
+// caller's and the broker's series.
+func TestSharedRegistryScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("app_other_total", "other subsystem").Inc()
+	b := NewBroker(Config{Metrics: NewMetrics(reg)})
+	b.Publish(Event{Channel: ChannelUpdates})
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if !strings.Contains(body, "livefeed_records_in_total 1") {
+		t.Errorf("broker series missing from shared registry:\n%s", body)
+	}
+	if !strings.Contains(body, "app_other_total 1") {
+		t.Errorf("caller series missing from shared registry:\n%s", body)
+	}
+}
+
+// TestDetectorInstrumentWiring replays a scenario with known zombies and
+// checks the stream-detector instruments the Pipeline maintains: every
+// interval check fires, none stay pending, and at least one per-peer
+// zombie-rate gauge lands in (0, 1].
+func TestDetectorInstrumentWiring(t *testing.T) {
+	data, err := experiments.RunAuthorScenario(experiments.DefaultAuthorConfig(42, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := MergeUpdates(data.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(Config{RingSize: 1 << 16})
+	pipe := NewPipeline(b, data.Intervals, 0)
+	if err := pipe.Replay(context.Background(), stream, data.Config.TrackUntil, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Metrics().Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := parseExposition(t, buf.String())
+	if got := prom["detector_checks_fired_total"]; got != float64(len(data.Intervals)) {
+		t.Errorf("checks fired = %v, want %d", got, len(data.Intervals))
+	}
+	if got := prom["detector_pending_checks"]; got != 0 {
+		t.Errorf("pending checks = %v, want 0", got)
+	}
+	rates := 0
+	for series, v := range prom {
+		if !strings.HasPrefix(series, "detector_peer_zombie_rate{") {
+			continue
+		}
+		rates++
+		if v <= 0 || v > 1 {
+			t.Errorf("%s = %v, want in (0, 1]", series, v)
+		}
+		if !strings.Contains(series, `afi="`) || !strings.Contains(series, `peer_as="`) {
+			t.Errorf("%s missing expected labels", series)
+		}
+	}
+	if rates == 0 {
+		t.Error("no detector_peer_zombie_rate series; scenario produced zombies but the gauge never moved")
+	}
+}
+
+func TestNilLivefeedMetrics(t *testing.T) {
+	var m *Metrics
+	m.ObserveDetectionLatency(time.Second)
+	snap := m.Snapshot()
+	for k, v := range snap {
+		if v != 0 {
+			t.Errorf("nil snapshot %s = %d, want 0", k, v)
+		}
+	}
+	if m.Registry() != nil {
+		t.Error("nil Registry() != nil")
+	}
+}

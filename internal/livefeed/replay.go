@@ -1,14 +1,15 @@
 package livefeed
 
 import (
-	"bytes"
 	"context"
-	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/mrt"
+	"zombiescope/internal/obs"
+	"zombiescope/internal/pipeline"
 	"zombiescope/internal/zombie"
 )
 
@@ -21,31 +22,29 @@ type SourcedRecord struct {
 
 // MergeUpdates decodes per-collector update archives and merges them into
 // one timestamp-ordered stream, as a live consumer of multiple collectors
-// would see it. Collector names are visited in sorted order so ties are
-// deterministic.
+// would see it. Decoding runs through the pipeline engine (so a zombied
+// replay accounts into the pipeline stage metrics like any batch run);
+// collector names sort ties deterministically because the stable merge
+// visits files in sorted-name order.
 func MergeUpdates(updates map[string][]byte) ([]SourcedRecord, error) {
-	names := make([]string, 0, len(updates))
-	for name := range updates {
-		names = append(names, name)
+	sp := obs.StartSpan("livefeed.merge_updates")
+	defer sp.End()
+	files, err := (&pipeline.Engine{Trace: sp}).DecodeArchives(updates)
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(names)
 	var stream []SourcedRecord
-	for _, name := range names {
-		rd := mrt.NewReader(bytes.NewReader(updates[name]))
-		for {
-			rec, err := rd.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			stream = append(stream, SourcedRecord{Collector: name, Rec: rec})
+	for _, f := range files {
+		for _, rec := range f.Records {
+			stream = append(stream, SourcedRecord{Collector: f.Name, Rec: rec})
 		}
 	}
+	sortSp := sp.Start("livefeed.sort_stream")
 	sort.SliceStable(stream, func(i, j int) bool {
 		return stream[i].Rec.RecordTime().Before(stream[j].Rec.RecordTime())
 	})
+	sortSp.End()
+	sp.SetArg("records", len(stream))
 	return stream, nil
 }
 
@@ -60,19 +59,80 @@ type Pipeline struct {
 
 	sd        *zombie.StreamDetector
 	watermark time.Time
+
+	// Per-family beacon announcement counts and per-(peer, family)
+	// deduped zombie counts back the detector_peer_zombie_rate gauges —
+	// the paper's noisy-peer likelihood, computed live. Only touched from
+	// the single ingest goroutine.
+	annByFam    [2]int
+	zombieCount map[peerFam]int
+	lastPending int
+}
+
+type peerFam struct {
+	peer zombie.PeerID
+	v6   bool
 }
 
 // NewPipeline builds a pipeline detecting over the given beacon
 // intervals.
 func NewPipeline(b *Broker, intervals []beacon.Interval, threshold time.Duration) *Pipeline {
-	p := &Pipeline{Broker: b, Threshold: threshold}
+	p := &Pipeline{Broker: b, Threshold: threshold, zombieCount: make(map[peerFam]int)}
+	for _, iv := range intervals {
+		p.annByFam[famIdx(iv.Prefix.Addr().Is6())]++
+	}
 	p.sd = zombie.NewStreamDetector(intervals, threshold, func(ev zombie.ZombieEvent) {
 		// Detection latency: how far the record watermark had advanced
 		// past the scheduled check instant when the check actually fired.
 		b.Metrics().ObserveDetectionLatency(p.watermark.Sub(ev.DetectedAt))
 		b.Publish(AlertEvent(ev))
+		p.notePeerZombie(ev)
 	})
+	p.lastPending = p.sd.PendingChecks()
+	b.Metrics().pendingChecks.Set(float64(p.lastPending))
 	return p
+}
+
+func famIdx(v6 bool) int {
+	if v6 {
+		return 1
+	}
+	return 0
+}
+
+// notePeerZombie folds one detection into the per-peer zombie-rate gauge:
+// non-duplicate zombie routes of the peer's family over the family's
+// beacon announcements.
+func (p *Pipeline) notePeerZombie(ev zombie.ZombieEvent) {
+	if ev.Duplicate {
+		return
+	}
+	v6 := ev.Prefix.Addr().Is6()
+	k := peerFam{peer: ev.Peer, v6: v6}
+	p.zombieCount[k]++
+	ann := p.annByFam[famIdx(v6)]
+	if ann == 0 {
+		return
+	}
+	afi := "ipv4"
+	if v6 {
+		afi = "ipv6"
+	}
+	p.Broker.Metrics().peerRate.
+		With(ev.Peer.Collector, strconv.FormatUint(uint64(ev.Peer.AS), 10), afi).
+		Set(float64(p.zombieCount[k]) / float64(ann))
+}
+
+// syncChecks mirrors the stream detector's check queue into the fired
+// counter and pending gauge after every clock advance.
+func (p *Pipeline) syncChecks() {
+	pending := p.sd.PendingChecks()
+	m := p.Broker.Metrics()
+	if fired := p.lastPending - pending; fired > 0 {
+		m.checksFired.Add(int64(fired))
+	}
+	p.lastPending = pending
+	m.pendingChecks.Set(float64(pending))
 }
 
 // Ingest advances the detection clock to the record's timestamp (firing
@@ -81,6 +141,7 @@ func (p *Pipeline) Ingest(sr SourcedRecord) {
 	p.watermark = sr.Rec.RecordTime()
 	p.sd.Advance(p.watermark)
 	p.sd.Observe(sr.Collector, sr.Rec)
+	p.syncChecks()
 	p.Broker.PublishRecord(sr.Collector, sr.Rec)
 }
 
@@ -89,6 +150,7 @@ func (p *Pipeline) Ingest(sr SourcedRecord) {
 func (p *Pipeline) Flush(until time.Time) {
 	p.watermark = until
 	p.sd.Advance(until)
+	p.syncChecks()
 }
 
 // PendingChecks reports how many interval checks have not fired yet.
@@ -99,6 +161,9 @@ func (p *Pipeline) PendingChecks() int { return p.sd.PendingChecks() }
 // scaled by 1/speed wall time (speed 3600 plays an hour per second).
 // Replay stops early when ctx is cancelled.
 func (p *Pipeline) Replay(ctx context.Context, stream []SourcedRecord, flushAt time.Time, speed float64) error {
+	sp := obs.StartSpan("livefeed.replay")
+	sp.SetArg("records", len(stream))
+	defer sp.End()
 	var prev time.Time
 	for _, sr := range stream {
 		if ctx.Err() != nil {

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family of the registry in the Prometheus
+// text exposition format, families sorted by name and children sorted by
+// label values, so the output is deterministic for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// write renders one family: HELP and TYPE header plus one line per child
+// sample (histograms expand to buckets, sum, and count).
+func (f *family) write(w *bufio.Writer) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+
+	for i, key := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(key, labelSep)
+		}
+		switch c := children[i].(type) {
+		case *Counter:
+			writeSample(w, f.name, f.labels, values, "", "", strconv.FormatInt(c.Value(), 10))
+		case *Gauge:
+			writeSample(w, f.name, f.labels, values, "", "", formatFloat(c.Value()))
+		case *Histogram:
+			bounds, cum := c.Buckets()
+			for bi, bound := range bounds {
+				writeSample(w, f.name+"_bucket", f.labels, values,
+					"le", formatFloat(bound), strconv.FormatUint(cum[bi], 10))
+			}
+			count := c.Count()
+			writeSample(w, f.name+"_bucket", f.labels, values, "le", "+Inf", strconv.FormatUint(count, 10))
+			writeSample(w, f.name+"_sum", f.labels, values, "", "", formatFloat(c.Sum()))
+			writeSample(w, f.name+"_count", f.labels, values, "", "", strconv.FormatUint(count, 10))
+		}
+	}
+}
+
+// writeSample renders one exposition line. extraName/extraValue append a
+// trailing label (the histogram `le` bound) after the family labels.
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraName, extraValue, rendered string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, ln := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(ln)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(rendered)
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, with the special values spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return MultiHandler(r)
+}
+
+// MultiHandler serves the union of several registries on one endpoint —
+// the zombied pattern, where the broker, the shared pipeline engine, and
+// the collector fleet each own a registry but scrape as one target. Nil
+// registries are skipped; duplicate family names across registries are the
+// caller's responsibility.
+func MultiHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			r.WritePrometheus(w)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every metric kind in a
+// deterministic state.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.").Add(1234)
+	cv := r.CounterVec("app_errors_total", "Errors by class.", "class")
+	cv.With("decode").Add(3)
+	cv.With("io").Add(1)
+	r.Gauge("app_temperature_celsius", "Current temperature.").Set(36.6)
+	gv := r.GaugeVec(`app_peer_rate`, `Per-peer rate with "quoted" and back\slash labels.`, "collector", "peer_as")
+	gv.With(`rrc21`, "16347").Set(0.428)
+	gv.With(`rrc"quote`, `back\slash`).Set(1)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition diverges from golden file (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	goldenRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != ContentType {
+		t.Errorf("content type %q, want %q", got, ContentType)
+	}
+	if rec.Body.Len() == 0 {
+		t.Error("empty exposition")
+	}
+}
+
+func TestMultiHandlerMergesRegistries(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("a_total", "").Inc()
+	b := NewRegistry()
+	b.Counter("b_total", "").Add(2)
+	rec := httptest.NewRecorder()
+	MultiHandler(a, nil, b).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "a_total 1\n") || !strings.Contains(body, "b_total 2\n") {
+		t.Errorf("merged exposition missing series:\n%s", body)
+	}
+}
+
+// ParsePrometheus parses the subset of the text exposition format the
+// registry emits, returning sample name+labels -> value. It is the
+// reference reader the parity tests use to compare the Prometheus view
+// with the JSON snapshots.
+func ParsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			t.Fatalf("malformed sample value in %q: %v", line, err)
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		out[key] = val
+	}
+	return out
+}
+
+func TestExpositionParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := ParsePrometheus(t, buf.String())
+	checks := map[string]float64{
+		"app_requests_total":                1234,
+		`app_errors_total{class="decode"}`:  3,
+		"app_temperature_celsius":           36.6,
+		`app_latency_seconds_bucket{le="0.01"}`: 1,
+		`app_latency_seconds_bucket{le="+Inf"}`: 5,
+		"app_latency_seconds_count":         5,
+	}
+	for k, want := range checks {
+		got, ok := samples[k]
+		if !ok {
+			t.Errorf("sample %q missing", k)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+	// Histogram buckets must be cumulative and monotone.
+	prev := -1.0
+	for _, le := range []string{"0.01", "0.1", "1", "+Inf"} {
+		v := samples[fmt.Sprintf(`app_latency_seconds_bucket{le=%q}`, le)]
+		if v < prev {
+			t.Errorf("bucket le=%s = %v not monotone (prev %v)", le, v, prev)
+		}
+		prev = v
+	}
+}

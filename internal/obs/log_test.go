@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSONWithComponent(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Component(l, "broker").Info("fan-out", "events", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if rec["component"] != "broker" || rec["msg"] != "fan-out" || rec["events"] != 3.0 {
+		t.Errorf("unexpected record: %v", rec)
+	}
+}
+
+func TestNewLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering wrong:\n%s", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknowns(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]slog.Level{
+		"":      slog.LevelInfo,
+		"debug": slog.LevelDebug,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(name)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", name, got, err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("test_level", "level")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Errorf("gauge = %v, want 2.25", got)
+	}
+
+	// Vec children are cached per label combination.
+	v := r.CounterVec("test_labeled_total", "labeled", "kind")
+	v.With("a").Add(2)
+	v.With("b").Inc()
+	v.With("a").Inc()
+	if got := v.With("a").Value(); got != 3 {
+		t.Errorf(`with("a") = %d, want 3`, got)
+	}
+	if v.With("a") != v.With("a") {
+		t.Error("children are not cached")
+	}
+}
+
+func TestNilHandlesAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles leaked state")
+	}
+	if b, cum := h.Buckets(); b != nil || cum != nil {
+		t.Error("nil histogram returned buckets")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.565) > 1e-9 {
+		t.Errorf("sum = %v, want 5.565", got)
+	}
+	bounds, cum := h.Buckets()
+	wantBounds := []float64{0.01, 0.1, 1}
+	wantCum := []uint64{2, 3, 4} // le=0.01 holds 0.005 and 0.01 (le is inclusive)
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] || cum[i] != wantCum[i] {
+			t.Errorf("bucket %d = (%v, %d), want (%v, %d)", i, bounds[i], cum[i], wantBounds[i], wantCum[i])
+		}
+	}
+}
+
+func TestRegisterIdempotentAndConflicting(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "help")
+	b := r.Counter("test_total", "help")
+	if a != b {
+		t.Error("re-registration returned a different child")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting registration did not panic")
+		}
+	}()
+	r.Gauge("test_total", "now a gauge")
+}
+
+// TestConcurrentHammer drives counters, gauges, histograms, and the
+// exposition writer from many goroutines at once; run under -race it is
+// the data-race check for the whole registry hot path.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("hammer_ops_total", "ops", "worker")
+	g := r.Gauge("hammer_level", "level")
+	hv := r.HistogramVec("hammer_latency_seconds", "latency", DefBuckets, "worker")
+
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(workers + 2)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%4))
+			c := cv.With(label)
+			h := hv.With(label)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	// Concurrent scrapes while the writers run.
+	for s := 0; s < 2; s++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += cv.With(l).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*iters)
+	}
+	var count uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		count += hv.With(l).Count()
+	}
+	if count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", count, workers*iters)
+	}
+}

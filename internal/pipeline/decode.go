@@ -125,6 +125,9 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 ) (names []string, accs [][]A, err error) {
 	start := time.Now()
 	m := e.metrics()
+	sp := e.span("pipeline.fold")
+	sp.SetArg("files", len(archives))
+	defer sp.End()
 	names = make([]string, 0, len(archives))
 	for name := range archives {
 		names = append(names, name)
@@ -132,11 +135,13 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 	sort.Strings(names)
 
 	// Stage 1: boundary scan. Cheap (headers only) but parallel anyway.
+	scanSp := sp.Start("pipeline.scan")
 	fileChunks := make([][]chunk, len(names))
 	scanErrs := make([]*posError, len(names))
 	e.For(len(names), func(i int) {
 		fileChunks[i], scanErrs[i] = scanChunks(archives[names[i]], e.workers())
 	})
+	scanSp.End()
 
 	// Stage 2: concurrent chunk decode + fold.
 	type task struct {
@@ -161,6 +166,8 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 	for i := range names {
 		accs[i] = make([]A, len(fileChunks[i]))
 	}
+	decodeSp := sp.Start("pipeline.decode")
+	decodeSp.SetArg("chunks", len(tasks))
 	decodeErrs := make([]*posError, len(tasks))
 	e.For(len(tasks), func(t int) {
 		tk := tasks[t]
@@ -184,6 +191,7 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 		}
 		m.AddDecoded(idx, len(tk.data))
 	})
+	decodeSp.End()
 	m.AddFiles(len(names))
 	m.ObserveDecode(time.Since(start))
 

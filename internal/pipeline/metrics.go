@@ -3,42 +3,98 @@ package pipeline
 import (
 	"encoding/json"
 	"net/http"
-	"sync/atomic"
+	"sync"
 	"time"
+
+	"zombiescope/internal/obs"
 )
 
-// Metrics holds the pipeline's per-stage operational counters, following
-// the broker metrics pattern: all fields are safe for concurrent use; read
-// them through Snapshot (or the expvar-style HTTP handler).
+// Metrics holds the pipeline's per-stage instruments on an obs registry:
+// counters for throughput, a stage-labeled latency histogram for the
+// distributions. The JSON Snapshot (and its expvar-style HTTP handler)
+// keeps the original flat-map shape as a thin view over the registry, so
+// scripts scraping the legacy endpoints see no change; the registry side
+// serves the same state as Prometheus text exposition.
+//
+// The zero value is usable (it lazily builds a private registry), all
+// methods are safe for concurrent use, and the nil *Metrics is a valid
+// no-op sink.
 type Metrics struct {
+	once sync.Once
+	reg  *obs.Registry
+
 	// Decode stage.
-	filesDecoded   atomic.Int64 // archive files decoded
-	chunksDecoded  atomic.Int64 // record-aligned chunks decoded
-	recordsDecoded atomic.Int64 // MRT records decoded
-	bytesDecoded   atomic.Int64 // archive bytes consumed
-	decodeErrors   atomic.Int64 // malformed records encountered
-	decodeNanos    atomic.Int64 // cumulative wall time of decode stages
+	filesDecoded   *obs.Counter
+	chunksDecoded  *obs.Counter
+	recordsDecoded *obs.Counter
+	bytesDecoded   *obs.Counter
+	decodeErrors   *obs.Counter
 
-	// Shard / merge stages.
-	eventsSharded atomic.Int64 // items routed to shards
-	shardsMerged  atomic.Int64 // shard fragments merged
-	buildNanos    atomic.Int64 // cumulative wall time of shard-build stages
-	mergeNanos    atomic.Int64 // cumulative wall time of merge stages
+	// Shard / merge / detection stages.
+	eventsSharded      *obs.Counter
+	shardsMerged       *obs.Counter
+	intervalsEvaluated *obs.Counter
 
-	// Detection stage.
-	intervalsEvaluated atomic.Int64 // beacon intervals evaluated
-	detectNanos        atomic.Int64 // cumulative wall time of detect stages
+	// Per-stage wall-time distributions, one histogram child per stage.
+	decodeSeconds *obs.Histogram
+	buildSeconds  *obs.Histogram
+	mergeSeconds  *obs.Histogram
+	detectSeconds *obs.Histogram
 }
 
 // Default is the process-wide metrics sink, used by engines that do not
 // carry their own (the pattern expvar uses for its package-level map).
-var Default = &Metrics{}
+var Default = NewMetrics(nil)
+
+// NewMetrics builds a Metrics registered on reg (nil: a fresh private
+// registry). Registration is idempotent, so several Metrics may share one
+// registry only if they are the same instance; distinct instances need
+// distinct registries.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{reg: reg}
+	m.init()
+	return m
+}
+
+// init lazily registers the instrument families, so the zero value works.
+func (m *Metrics) init() {
+	m.once.Do(func() {
+		if m.reg == nil {
+			m.reg = obs.NewRegistry()
+		}
+		m.filesDecoded = m.reg.Counter("pipeline_files_decoded_total", "Archive files fully decoded.")
+		m.chunksDecoded = m.reg.Counter("pipeline_chunks_decoded_total", "Record-aligned chunks decoded.")
+		m.recordsDecoded = m.reg.Counter("pipeline_records_decoded_total", "MRT records decoded.")
+		m.bytesDecoded = m.reg.Counter("pipeline_bytes_decoded_total", "Archive bytes consumed.")
+		m.decodeErrors = m.reg.Counter("pipeline_decode_errors_total", "Malformed records encountered.")
+		m.eventsSharded = m.reg.Counter("pipeline_events_sharded_total", "Items routed to shards.")
+		m.shardsMerged = m.reg.Counter("pipeline_shards_merged_total", "Shard fragments merged.")
+		m.intervalsEvaluated = m.reg.Counter("pipeline_intervals_evaluated_total", "Beacon intervals evaluated.")
+		stages := m.reg.HistogramVec("pipeline_stage_seconds",
+			"Wall time of pipeline stages.", obs.DefBuckets, "stage")
+		m.decodeSeconds = stages.With("decode")
+		m.buildSeconds = stages.With("build")
+		m.mergeSeconds = stages.With("merge")
+		m.detectSeconds = stages.With("detect")
+	})
+}
+
+// Registry returns the registry backing the metrics, for Prometheus
+// exposition alongside other subsystems.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	m.init()
+	return m.reg
+}
 
 // AddDecoded accounts one decoded chunk's records and bytes.
 func (m *Metrics) AddDecoded(records, bytes int) {
 	if m == nil {
 		return
 	}
+	m.init()
 	m.chunksDecoded.Add(1)
 	m.recordsDecoded.Add(int64(records))
 	m.bytesDecoded.Add(int64(bytes))
@@ -49,6 +105,7 @@ func (m *Metrics) AddFiles(n int) {
 	if m == nil {
 		return
 	}
+	m.init()
 	m.filesDecoded.Add(int64(n))
 }
 
@@ -57,7 +114,8 @@ func (m *Metrics) AddDecodeError() {
 	if m == nil {
 		return
 	}
-	m.decodeErrors.Add(1)
+	m.init()
+	m.decodeErrors.Inc()
 }
 
 // AddSharded accounts items routed to shards.
@@ -65,6 +123,7 @@ func (m *Metrics) AddSharded(n int) {
 	if m == nil {
 		return
 	}
+	m.init()
 	m.eventsSharded.Add(int64(n))
 }
 
@@ -73,6 +132,7 @@ func (m *Metrics) AddMerged(n int) {
 	if m == nil {
 		return
 	}
+	m.init()
 	m.shardsMerged.Add(int64(n))
 }
 
@@ -81,63 +141,80 @@ func (m *Metrics) AddIntervals(n int) {
 	if m == nil {
 		return
 	}
+	m.init()
 	m.intervalsEvaluated.Add(int64(n))
 }
 
 // ObserveDecode records decode stage wall time.
 func (m *Metrics) ObserveDecode(d time.Duration) {
 	if m != nil {
-		observe(&m.decodeNanos, d)
+		m.init()
+		m.decodeSeconds.Observe(clampSeconds(d))
 	}
 }
 
 // ObserveBuild records shard-build stage wall time.
 func (m *Metrics) ObserveBuild(d time.Duration) {
 	if m != nil {
-		observe(&m.buildNanos, d)
+		m.init()
+		m.buildSeconds.Observe(clampSeconds(d))
 	}
 }
 
 // ObserveMerge records merge stage wall time.
 func (m *Metrics) ObserveMerge(d time.Duration) {
 	if m != nil {
-		observe(&m.mergeNanos, d)
+		m.init()
+		m.mergeSeconds.Observe(clampSeconds(d))
 	}
 }
 
 // ObserveDetect records detection stage wall time.
 func (m *Metrics) ObserveDetect(d time.Duration) {
 	if m != nil {
-		observe(&m.detectNanos, d)
+		m.init()
+		m.detectSeconds.Observe(clampSeconds(d))
 	}
 }
 
-func observe(c *atomic.Int64, d time.Duration) {
+func clampSeconds(d time.Duration) float64 {
 	if d < 0 {
-		d = 0
+		return 0
 	}
-	c.Add(int64(d))
+	return d.Seconds()
 }
 
-// Snapshot returns the counters as a flat map, expvar style.
+// Snapshot returns the counters as a flat map, expvar style. The keys and
+// semantics predate the registry; the *_us entries are the histogram sums
+// in microseconds. A nil receiver returns the all-zero snapshot.
 func (m *Metrics) Snapshot() map[string]int64 {
-	return map[string]int64{
-		"files_decoded":       m.filesDecoded.Load(),
-		"chunks_decoded":      m.chunksDecoded.Load(),
-		"records_decoded":     m.recordsDecoded.Load(),
-		"bytes_decoded":       m.bytesDecoded.Load(),
-		"decode_errors":       m.decodeErrors.Load(),
-		"events_sharded":      m.eventsSharded.Load(),
-		"shards_merged":       m.shardsMerged.Load(),
-		"intervals_evaluated": m.intervalsEvaluated.Load(),
-		"decode_us":           m.decodeNanos.Load() / int64(time.Microsecond),
-		"build_us":            m.buildNanos.Load() / int64(time.Microsecond),
-		"merge_us":            m.mergeNanos.Load() / int64(time.Microsecond),
-		"detect_us":           m.detectNanos.Load() / int64(time.Microsecond),
+	out := map[string]int64{
+		"files_decoded": 0, "chunks_decoded": 0, "records_decoded": 0,
+		"bytes_decoded": 0, "decode_errors": 0, "events_sharded": 0,
+		"shards_merged": 0, "intervals_evaluated": 0,
+		"decode_us": 0, "build_us": 0, "merge_us": 0, "detect_us": 0,
 	}
+	if m == nil {
+		return out
+	}
+	m.init()
+	out["files_decoded"] = m.filesDecoded.Value()
+	out["chunks_decoded"] = m.chunksDecoded.Value()
+	out["records_decoded"] = m.recordsDecoded.Value()
+	out["bytes_decoded"] = m.bytesDecoded.Value()
+	out["decode_errors"] = m.decodeErrors.Value()
+	out["events_sharded"] = m.eventsSharded.Value()
+	out["shards_merged"] = m.shardsMerged.Value()
+	out["intervals_evaluated"] = m.intervalsEvaluated.Value()
+	out["decode_us"] = int64(m.decodeSeconds.Sum() * 1e6)
+	out["build_us"] = int64(m.buildSeconds.Sum() * 1e6)
+	out["merge_us"] = int64(m.mergeSeconds.Sum() * 1e6)
+	out["detect_us"] = int64(m.detectSeconds.Sum() * 1e6)
+	return out
 }
 
 // Handler serves the snapshot as JSON (an expvar-style metrics page).
+// Safe on a nil receiver: it serves the all-zero snapshot.
 func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

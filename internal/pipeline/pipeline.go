@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"zombiescope/internal/obs"
 )
 
 // Engine bounds the concurrency of a pipeline run.
@@ -25,6 +27,10 @@ type Engine struct {
 	Workers int
 	// Metrics receives per-stage counters when non-nil.
 	Metrics *Metrics
+	// Trace, when non-nil, parents the engine's stage spans; otherwise
+	// stage spans are roots on the installed obs tracer (and free no-ops
+	// when tracing is disabled).
+	Trace *obs.Span
 }
 
 func (e *Engine) workers() int {
@@ -39,6 +45,15 @@ func (e *Engine) metrics() *Metrics {
 		return Default
 	}
 	return e.Metrics
+}
+
+// span starts a stage span under the engine's trace parent (or as a root
+// when the engine carries none).
+func (e *Engine) span(name string) *obs.Span {
+	if e != nil && e.Trace != nil {
+		return e.Trace.Start(name)
+	}
+	return obs.StartSpan(name)
 }
 
 // For runs fn(i) for every i in [0, n), at most Workers at a time. With one

@@ -7,6 +7,7 @@ import (
 
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
+	"zombiescope/internal/obs"
 	"zombiescope/internal/pipeline"
 )
 
@@ -145,25 +146,29 @@ func (d *Detector) evalInterval(h *History, iv beacon.Interval) intervalResult {
 // read-only at this point) and the results merged in interval order, so the
 // report is identical to the sequential evaluation.
 func (d *Detector) DetectFromHistory(h *History, intervals []beacon.Interval) *Report {
+	sp := obs.StartSpan("zombie.detect")
+	sp.SetArg("intervals", len(intervals))
+	sp.SetArg("threshold", d.threshold().String())
+	defer sp.End()
 	rep := &Report{
 		Threshold: d.threshold(),
 		Intervals: intervals,
 		Peers:     h.Peers(),
 	}
+	start := time.Now()
 	results := make([]intervalResult, len(intervals))
 	if d.Parallelism > 1 {
-		start := time.Now()
-		e := &pipeline.Engine{Workers: d.Parallelism}
+		e := &pipeline.Engine{Workers: d.Parallelism, Trace: sp}
 		e.For(len(intervals), func(i int) {
 			results[i] = d.evalInterval(h, intervals[i])
 		})
-		pipeline.Default.AddIntervals(len(intervals))
-		pipeline.Default.ObserveDetect(time.Since(start))
 	} else {
 		for i, iv := range intervals {
 			results[i] = d.evalInterval(h, iv)
 		}
 	}
+	pipeline.Default.AddIntervals(len(intervals))
+	pipeline.Default.ObserveDetect(time.Since(start))
 	for i, res := range results {
 		if res.visible {
 			rep.VisiblePrefixes++
@@ -194,6 +199,9 @@ type SweepPoint struct {
 // Sweep evaluates thresholds over a shared history. Announce denominator
 // is the number of intervals.
 func Sweep(h *History, intervals []beacon.Interval, thresholds []time.Duration, opts FilterOptions) []SweepPoint {
+	sp := obs.StartSpan("zombie.sweep")
+	sp.SetArg("thresholds", len(thresholds))
+	defer sp.End()
 	out := make([]SweepPoint, 0, len(thresholds))
 	for _, th := range thresholds {
 		d := &Detector{Threshold: th}
@@ -215,8 +223,12 @@ func SweepParallel(h *History, intervals []beacon.Interval, thresholds []time.Du
 	if parallelism <= 1 {
 		return Sweep(h, intervals, thresholds, opts)
 	}
+	sp := obs.StartSpan("zombie.sweep")
+	sp.SetArg("thresholds", len(thresholds))
+	sp.SetArg("workers", parallelism)
+	defer sp.End()
 	out := make([]SweepPoint, len(thresholds))
-	e := &pipeline.Engine{Workers: parallelism}
+	e := &pipeline.Engine{Workers: parallelism, Trace: sp}
 	e.For(len(thresholds), func(i int) {
 		th := thresholds[i]
 		d := &Detector{Threshold: th, Parallelism: 1}

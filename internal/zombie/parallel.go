@@ -9,6 +9,7 @@ import (
 
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/mrt"
+	"zombiescope/internal/obs"
 	"zombiescope/internal/pipeline"
 )
 
@@ -79,7 +80,11 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 	if parallelism <= 0 {
 		return BuildHistory(updates, track)
 	}
-	e := &pipeline.Engine{Workers: parallelism}
+	sp := obs.StartSpan("zombie.build_history")
+	sp.SetArg("collectors", len(updates))
+	sp.SetArg("shards", parallelism)
+	defer sp.End()
+	e := &pipeline.Engine{Workers: parallelism, Trace: sp}
 	nshards := parallelism
 	names, accs, err := pipeline.FoldRecords(e, updates,
 		func(pipeline.FileChunk) *eventBuckets {
@@ -113,6 +118,7 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 		m = pipeline.Default
 	}
 	buildStart := time.Now()
+	buildSp := sp.Start("zombie.shard_build")
 	frags := make([]*History, nshards)
 	e.For(nshards, func(s int) {
 		h := &History{
@@ -135,11 +141,13 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 		frags[s] = h
 		m.AddSharded(n)
 	})
+	buildSp.End()
 	m.ObserveBuild(time.Since(buildStart))
 
 	// Merge: PeerIDs are disjoint across shards, so the union is a move;
 	// finish() imposes the canonical ordering.
 	mergeStart := time.Now()
+	mergeSp := sp.Start("zombie.merge")
 	h := &History{
 		events:  make(map[PeerID]map[netip.Prefix][]histEvent),
 		session: make(map[PeerID][]histEvent),
@@ -154,6 +162,7 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 		h.peers = append(h.peers, f.peers...)
 	}
 	h.finish()
+	mergeSp.End()
 	m.AddMerged(nshards)
 	m.ObserveMerge(time.Since(mergeStart))
 	return h, nil
@@ -183,7 +192,11 @@ func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval
 	for _, iv := range intervals {
 		track[iv.Prefix] = true
 	}
-	e := &pipeline.Engine{Workers: cfg.Parallelism}
+	sp := obs.StartSpan("zombie.lifespans")
+	sp.SetArg("dumps", len(dumps))
+	sp.SetArg("shards", cfg.Parallelism)
+	defer sp.End()
+	e := &pipeline.Engine{Workers: cfg.Parallelism, Trace: sp}
 	nshards := cfg.Parallelism
 	names, accs, err := pipeline.FoldRecords(e, dumps,
 		func(pipeline.FileChunk) *ribChunk { return &ribChunk{} },
@@ -207,6 +220,7 @@ func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval
 		m = pipeline.Default
 	}
 	buildStart := time.Now()
+	buildSp := sp.Start("zombie.shard_build")
 	type shardResult struct {
 		rep    *LifespanReport
 		err    error
@@ -265,6 +279,7 @@ func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval
 		results[s].rep = rep
 		m.AddSharded(n)
 	})
+	buildSp.End()
 	m.ObserveBuild(time.Since(buildStart))
 
 	// The first error in stream order wins, as in the sequential scan.
@@ -284,6 +299,7 @@ func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval
 
 	// Merge: prefixes are disjoint across shards.
 	mergeStart := time.Now()
+	mergeSp := sp.Start("zombie.merge")
 	rep := &LifespanReport{Prefixes: make(map[netip.Prefix]*PrefixLifespan)}
 	for _, r := range results {
 		for p, pl := range r.rep.Prefixes {
@@ -291,6 +307,7 @@ func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval
 		}
 	}
 	finishLifespans(rep, intervals)
+	mergeSp.End()
 	m.AddMerged(nshards)
 	m.ObserveMerge(time.Since(mergeStart))
 	return rep, nil
