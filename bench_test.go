@@ -313,6 +313,7 @@ func BenchmarkPipelineDecode(b *testing.B) {
 	for _, workers := range pipelineWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(total))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if workers == 0 {
 					n := 0
@@ -357,6 +358,7 @@ func BenchmarkPipelineDetect(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			det := &zombie.Detector{Parallelism: workers}
 			b.SetBytes(int64(total))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rep, err := det.Detect(d.Updates, d.Intervals)
 				if err != nil {

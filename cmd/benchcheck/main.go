@@ -1,0 +1,64 @@
+// Command benchcheck gates benchmark regressions in CI.
+//
+// It reads `go test -bench ... -benchmem` output (stdin or -in), takes the
+// per-sub-benchmark median across repeated -count runs, and compares the
+// result against a committed baseline JSON (see BENCH_detect.json at the
+// repo root). A sub-benchmark fails the gate when it regresses more than
+// the baseline's tolerance_pct.
+//
+// allocs/op and B/op are deterministic properties of the code and are
+// checked everywhere. ns/op depends on the machine, so it is only checked
+// when the run's `cpu:` line matches the baseline's recorded cpu string
+// (override with -force-time to check it regardless).
+//
+// Usage:
+//
+//	go test -bench PipelineDetect -benchmem -benchtime 1x -count 3 -run NONE . \
+//	  | go run ./cmd/benchcheck -baseline BENCH_detect.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"zombiescope/internal/benchstat"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_detect.json", "baseline JSON file to compare against")
+	inPath := flag.String("in", "", "benchmark output file (default: stdin)")
+	forceTime := flag.Bool("force-time", false, "check ns/op even if the cpu does not match the baseline's")
+	flag.Parse()
+
+	base, err := benchstat.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("benchcheck: %v", err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("benchcheck: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := benchstat.ParseRun(in)
+	if err != nil {
+		fatalf("benchcheck: %v", err)
+	}
+
+	report, ok := benchstat.Compare(base, run, *forceTime)
+	fmt.Print(report)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,13 +8,16 @@
 //	zombiehunt -archive ./archive -base 2a0d:3dc1::/32 -approach 15d \
 //	           -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
 //	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris] [-json] \
-//	           [-trace trace.json] [-progress 5s]
+//	           [-trace trace.json] [-progress 5s] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -trace writes the run's span tree as Chrome trace-event JSON (open in
 // chrome://tracing or Perfetto) — decode, shard build, merge and interval
 // evaluation show up as nested slices. -progress logs a structured
 // pipeline heartbeat to stderr at the given interval, for watching a
-// long archive run without polluting the report on stdout.
+// long archive run without polluting the report on stdout. -cpuprofile
+// and -memprofile write pprof profiles covering the whole run (the heap
+// profile is taken after a final GC, so it shows retained memory, not
+// transient decode garbage); inspect with `go tool pprof`.
 //
 // The beacon schedule (base prefix, approach, window) tells the detector
 // which prefixes to track and where the beacon intervals fall. Detection
@@ -32,6 +35,7 @@ import (
 	"net/netip"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"zombiescope/internal/archive"
@@ -68,9 +72,26 @@ func run(args []string, w io.Writer) (err error) {
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "pipeline workers for decode/detection (0 = sequential; the report is identical either way)")
 		traceOut   = fs.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
 		progress   = fs.Duration("progress", 0, "log a pipeline progress heartbeat to stderr at this interval (0 disables)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		stop, perr := startCPUProfile(*cpuProfile)
+		if perr != nil {
+			return perr
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	if *traceOut != "" {
@@ -185,6 +206,39 @@ func run(args []string, w io.Writer) (err error) {
 		}
 	}
 	return nil
+}
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function to defer.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile forces a GC and snapshots retained heap to path — the
+// number that matters for the pooled/interned hot path is what survives
+// collection, not transient decode garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace flushes the collected spans as Chrome trace-event JSON.

@@ -203,6 +203,29 @@ func TestTraceOutput(t *testing.T) {
 	}
 }
 
+// TestProfileOutput runs the golden scenario with -cpuprofile and
+// -memprofile and checks both files come out as non-empty gzipped
+// protobuf profiles (pprof files start with the gzip magic).
+func TestProfileOutput(t *testing.T) {
+	dir := t.TempDir()
+	cpuFile := filepath.Join(dir, "cpu.pprof")
+	memFile := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	args := append(goldenArgs("4"), "-cpuprofile", cpuFile, "-memprofile", memFile)
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpuFile, memFile} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s: not a gzipped pprof profile (%d bytes)", filepath.Base(path), len(data))
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-from", "not-a-time"}, &buf); err == nil {

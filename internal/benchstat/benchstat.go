@@ -1,0 +1,197 @@
+// Package benchstat parses `go test -bench -benchmem` output and compares
+// per-sub-benchmark medians against a committed JSON baseline. It backs the
+// benchcheck CI gate (cmd/benchcheck).
+package benchstat
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one sub-benchmark's recorded cost.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed regression fence (e.g. BENCH_detect.json).
+// Baseline.Baseline maps sub-benchmark names (the part after the first
+// "/", e.g. "workers=0") to their fenced medians.
+type Baseline struct {
+	Benchmark    string            `json:"benchmark"`
+	CPU          string            `json:"cpu"`
+	TolerancePct float64           `json:"tolerance_pct"`
+	Baseline     map[string]Metric `json:"baseline"`
+}
+
+// LoadBaseline reads and validates a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Benchmark == "" || len(b.Baseline) == 0 {
+		return nil, fmt.Errorf("%s: missing benchmark name or baseline entries", path)
+	}
+	if b.TolerancePct <= 0 {
+		b.TolerancePct = 20
+	}
+	return &b, nil
+}
+
+// Run holds the parsed samples of one `go test -bench` invocation.
+// Samples are grouped by full benchmark name with the GOMAXPROCS suffix
+// stripped (BenchmarkPipelineDetect/workers=4-8 → BenchmarkPipelineDetect/workers=4).
+type Run struct {
+	CPU     string
+	Samples map[string][]Metric
+}
+
+// ParseRun parses `go test -bench -benchmem` text output. Lines that are
+// not benchmark results (PASS, ok, goos, ...) are ignored.
+func ParseRun(r io.Reader) (*Run, error) {
+	run := &Run{Samples: make(map[string][]Metric)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			run.CPU = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		var m Metric
+		var got bool
+		// fields[1] is the iteration count; after that come value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				got = true
+			case "B/op":
+				m.BytesPerOp = v
+				got = true
+			case "allocs/op":
+				m.AllocsPerOp = v
+				got = true
+			}
+		}
+		if got {
+			run.Samples[name] = append(run.Samples[name], m)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Samples) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return run, nil
+}
+
+// trimProcSuffix drops go test's -GOMAXPROCS suffix from a benchmark name.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Median returns the per-field median across samples. Fields are ranked
+// independently, so the result need not correspond to a single run —
+// that is the point: it discards one-off noise per metric.
+func Median(samples []Metric) Metric {
+	pick := func(get func(Metric) float64) float64 {
+		vs := make([]float64, len(samples))
+		for i, s := range samples {
+			vs[i] = get(s)
+		}
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	return Metric{
+		NsPerOp:     pick(func(m Metric) float64 { return m.NsPerOp }),
+		BytesPerOp:  pick(func(m Metric) float64 { return m.BytesPerOp }),
+		AllocsPerOp: pick(func(m Metric) float64 { return m.AllocsPerOp }),
+	}
+}
+
+// Compare checks a parsed run against the baseline and renders a report.
+// It returns ok=false when any fenced sub-benchmark is missing from the
+// run or regresses beyond the tolerance. ns/op is compared only when the
+// run's cpu matches the baseline's (or forceTime is set); allocs/op is
+// always compared, since allocation counts are machine-independent.
+func Compare(base *Baseline, run *Run, forceTime bool) (report string, ok bool) {
+	var sb strings.Builder
+	ok = true
+	checkTime := forceTime || (base.CPU != "" && run.CPU == base.CPU)
+	if !checkTime {
+		fmt.Fprintf(&sb, "benchcheck: cpu %q != baseline %q; checking allocs/op only\n", run.CPU, base.CPU)
+	}
+
+	subs := make([]string, 0, len(base.Baseline))
+	for sub := range base.Baseline {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+
+	for _, sub := range subs {
+		want := base.Baseline[sub]
+		full := "Benchmark" + strings.TrimPrefix(base.Benchmark, "Benchmark") + "/" + sub
+		samples := run.Samples[full]
+		if len(samples) == 0 {
+			fmt.Fprintf(&sb, "FAIL %s: no samples in benchmark output\n", full)
+			ok = false
+			continue
+		}
+		med := Median(samples)
+		ok = check(&sb, full, "allocs/op", med.AllocsPerOp, want.AllocsPerOp, base.TolerancePct) && ok
+		if checkTime {
+			ok = check(&sb, full, "ns/op", med.NsPerOp, want.NsPerOp, base.TolerancePct) && ok
+		}
+	}
+	return sb.String(), ok
+}
+
+func check(w io.Writer, name, unit string, got, want, tolPct float64) bool {
+	if want <= 0 {
+		return true
+	}
+	deltaPct := (got - want) / want * 100
+	if got > want*(1+tolPct/100) {
+		fmt.Fprintf(w, "FAIL %s: %s %.0f vs baseline %.0f (%+.1f%%, tolerance %.0f%%)\n",
+			name, unit, got, want, deltaPct, tolPct)
+		return false
+	}
+	fmt.Fprintf(w, "ok   %s: %s %.0f vs baseline %.0f (%+.1f%%)\n", name, unit, got, want, deltaPct)
+	return true
+}

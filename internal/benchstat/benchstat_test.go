@@ -1,0 +1,151 @@
+package benchstat
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: zombiescope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineDetect/workers=0-8         	       1	15710687 ns/op	 120.71 MB/s	10892792 B/op	   12031 allocs/op
+BenchmarkPipelineDetect/workers=0-8         	       1	14621272 ns/op	 129.71 MB/s	10882280 B/op	   11463 allocs/op
+BenchmarkPipelineDetect/workers=0-8         	       1	13623592 ns/op	 139.21 MB/s	10882328 B/op	   11465 allocs/op
+BenchmarkPipelineDetect/workers=4-8         	       1	15798933 ns/op	 120.04 MB/s	17354832 B/op	   12218 allocs/op
+BenchmarkPipelineDetect/workers=4-8         	       1	15099000 ns/op	 125.61 MB/s	17354000 B/op	   12209 allocs/op
+BenchmarkPipelineDetect/workers=4-8         	       1	15009013 ns/op	 126.36 MB/s	17355100 B/op	   12213 allocs/op
+PASS
+ok  	zombiescope	2.345s
+`
+
+func testBaseline() *Baseline {
+	return &Baseline{
+		Benchmark:    "BenchmarkPipelineDetect",
+		CPU:          "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		TolerancePct: 20,
+		Baseline: map[string]Metric{
+			"workers=0": {NsPerOp: 14621272, BytesPerOp: 10882328, AllocsPerOp: 11465},
+			"workers=4": {NsPerOp: 15099000, BytesPerOp: 17354832, AllocsPerOp: 12213},
+		},
+	}
+}
+
+func TestParseRun(t *testing.T) {
+	run, err := ParseRun(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "Intel(R) Xeon(R) Processor @ 2.10GHz"; run.CPU != want {
+		t.Errorf("cpu = %q, want %q", run.CPU, want)
+	}
+	w0 := run.Samples["BenchmarkPipelineDetect/workers=0"]
+	if len(w0) != 3 {
+		t.Fatalf("workers=0 samples = %d, want 3", len(w0))
+	}
+	if w0[1].NsPerOp != 14621272 || w0[1].BytesPerOp != 10882280 || w0[1].AllocsPerOp != 11463 {
+		t.Errorf("workers=0 sample 1 = %+v", w0[1])
+	}
+	if len(run.Samples["BenchmarkPipelineDetect/workers=4"]) != 3 {
+		t.Error("workers=4 samples missing")
+	}
+}
+
+func TestParseRunRejectsEmpty(t *testing.T) {
+	if _, err := ParseRun(strings.NewReader("PASS\nok \tzombiescope\t0.1s\n")); err == nil {
+		t.Error("want error for output with no benchmark lines")
+	}
+}
+
+func TestMedianIsPerField(t *testing.T) {
+	med := Median([]Metric{
+		{NsPerOp: 30, AllocsPerOp: 1},
+		{NsPerOp: 10, AllocsPerOp: 3},
+		{NsPerOp: 20, AllocsPerOp: 2},
+	})
+	if med.NsPerOp != 20 || med.AllocsPerOp != 2 {
+		t.Errorf("median = %+v, want ns=20 allocs=2", med)
+	}
+	// Even sample count averages the middle pair.
+	med = Median([]Metric{{NsPerOp: 10}, {NsPerOp: 20}})
+	if med.NsPerOp != 15 {
+		t.Errorf("even median = %v, want 15", med.NsPerOp)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	run, err := ParseRun(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, ok := Compare(testBaseline(), run, false)
+	if !ok {
+		t.Errorf("want pass, got:\n%s", report)
+	}
+	if !strings.Contains(report, "ns/op") {
+		t.Errorf("matching cpu should check ns/op, got:\n%s", report)
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	run, err := ParseRun(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testBaseline()
+	m := base.Baseline["workers=0"]
+	m.AllocsPerOp = 9000 // run's median 11465 is a +27% regression
+	base.Baseline["workers=0"] = m
+	report, ok := Compare(base, run, false)
+	if ok {
+		t.Errorf("want failure, got:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL BenchmarkPipelineDetect/workers=0: allocs/op") {
+		t.Errorf("report missing alloc failure:\n%s", report)
+	}
+}
+
+func TestCompareSkipsTimeOnForeignCPU(t *testing.T) {
+	run, err := ParseRun(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testBaseline()
+	base.CPU = "some other machine"
+	m := base.Baseline["workers=0"]
+	m.NsPerOp = 1 // wild time regression, must be ignored off-machine
+	base.Baseline["workers=0"] = m
+	report, ok := Compare(base, run, false)
+	if !ok {
+		t.Errorf("time must not be checked on a different cpu:\n%s", report)
+	}
+	// ...unless forced.
+	if _, ok := Compare(base, run, true); ok {
+		t.Error("force-time should fail on the time regression")
+	}
+}
+
+func TestCompareFailsOnMissingSub(t *testing.T) {
+	run, err := ParseRun(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testBaseline()
+	base.Baseline["workers=9"] = Metric{NsPerOp: 1, AllocsPerOp: 1}
+	report, ok := Compare(base, run, false)
+	if ok || !strings.Contains(report, "no samples") {
+		t.Errorf("missing sub-benchmark must fail:\n%s", report)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkPipelineDetect/workers=4-8": "BenchmarkPipelineDetect/workers=4",
+		"BenchmarkPipelineDetect/workers=4":   "BenchmarkPipelineDetect/workers=4",
+		"BenchmarkFoo-16":                     "BenchmarkFoo",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

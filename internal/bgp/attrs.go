@@ -185,17 +185,28 @@ func (m *MPUnreachNLRI) appendValue(dst []byte) ([]byte, error) {
 }
 
 // DecodePathAttributes parses a full path-attributes block of exactly b.
+// Every decoded value owns its memory (retain semantics); hot paths that
+// can live with borrowed buffers decode through Scratch.DecodeUpdate
+// instead.
 func DecodePathAttributes(b []byte) (PathAttributes, error) {
 	var pa PathAttributes
+	err := decodePathAttributesInto(&pa, nil, 0, b)
+	return pa, err
+}
+
+// decodePathAttributesInto is the shared attribute-block walk. s, when
+// non-nil, provides scratch MP_REACH/UNREACH structs to decode into; df
+// selects borrow/intern behavior per the DecodeFlags contract.
+func decodePathAttributesInto(pa *PathAttributes, s *Scratch, df DecodeFlags, b []byte) error {
 	for len(b) > 0 {
 		if len(b) < 3 {
-			return pa, fmt.Errorf("%w: truncated attribute header", ErrBadAttribute)
+			return fmt.Errorf("%w: truncated attribute header", ErrBadAttribute)
 		}
 		flags, typ := b[0], b[1]
 		var vlen, off int
 		if flags&FlagExtLen != 0 {
 			if len(b) < 4 {
-				return pa, fmt.Errorf("%w: truncated extended length", ErrBadAttribute)
+				return fmt.Errorf("%w: truncated extended length", ErrBadAttribute)
 			}
 			vlen = int(binary.BigEndian.Uint16(b[2:]))
 			off = 4
@@ -204,18 +215,18 @@ func DecodePathAttributes(b []byte) (PathAttributes, error) {
 			off = 3
 		}
 		if len(b) < off+vlen {
-			return pa, fmt.Errorf("%w: attribute %d value needs %d bytes, have %d", ErrBadAttribute, typ, vlen, len(b)-off)
+			return fmt.Errorf("%w: attribute %d value needs %d bytes, have %d", ErrBadAttribute, typ, vlen, len(b)-off)
 		}
 		val := b[off : off+vlen]
-		if err := pa.decodeOne(flags, typ, val); err != nil {
-			return pa, err
+		if err := pa.decodeOne(df, s, flags, typ, val); err != nil {
+			return err
 		}
 		b = b[off+vlen:]
 	}
-	return pa, nil
+	return nil
 }
 
-func (pa *PathAttributes) decodeOne(flags, typ uint8, val []byte) error {
+func (pa *PathAttributes) decodeOne(df DecodeFlags, s *Scratch, flags, typ uint8, val []byte) error {
 	switch typ {
 	case AttrOrigin:
 		if len(val) != 1 {
@@ -224,7 +235,13 @@ func (pa *PathAttributes) decodeOne(flags, typ uint8, val []byte) error {
 		pa.HasOrigin = true
 		pa.Origin = Origin(val[0])
 	case AttrASPath:
-		p, err := DecodeASPath(val)
+		var p ASPath
+		var err error
+		if df&DecodeIntern != 0 {
+			p, err = internedASPath(val)
+		} else {
+			p, err = DecodeASPath(val)
+		}
 		if err != nil {
 			return err
 		}
@@ -255,47 +272,70 @@ func (pa *PathAttributes) decodeOne(flags, typ uint8, val []byte) error {
 		if len(val) != 8 {
 			return fmt.Errorf("%w: AGGREGATOR length %d (want 8, four-octet AS)", ErrBadAttribute, len(val))
 		}
-		pa.Aggregator = &Aggregator{
-			ASN:  ASN(binary.BigEndian.Uint32(val)),
-			Addr: netip.AddrFrom4([4]byte(val[4:8])),
+		if df&DecodeIntern != 0 {
+			pa.Aggregator = internedAggregator(val)
+		} else {
+			pa.Aggregator = &Aggregator{
+				ASN:  ASN(binary.BigEndian.Uint32(val)),
+				Addr: netip.AddrFrom4([4]byte(val[4:8])),
+			}
 		}
 	case AttrCommunities:
 		if len(val)%4 != 0 {
 			return fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttribute, len(val))
 		}
-		pa.Communities = make([]Community, 0, len(val)/4)
+		if pa.Communities == nil {
+			pa.Communities = make([]Community, 0, len(val)/4)
+		} else {
+			pa.Communities = pa.Communities[:0]
+		}
 		for i := 0; i+4 <= len(val); i += 4 {
 			pa.Communities = append(pa.Communities, Community(binary.BigEndian.Uint32(val[i:])))
 		}
 	case AttrMPReachNLRI:
-		m, err := decodeMPReach(val)
-		if err != nil {
+		var m *MPReachNLRI
+		if s != nil {
+			m = &s.mpReach
+			*m = MPReachNLRI{NLRI: m.NLRI[:0]}
+		} else {
+			m = &MPReachNLRI{}
+		}
+		if err := decodeMPReachInto(m, val); err != nil {
 			return err
 		}
 		pa.MPReach = m
 	case AttrMPUnreachNLRI:
-		m, err := decodeMPUnreach(val)
-		if err != nil {
+		var m *MPUnreachNLRI
+		if s != nil {
+			m = &s.mpUnreach
+			*m = MPUnreachNLRI{Withdrawn: m.Withdrawn[:0]}
+		} else {
+			m = &MPUnreachNLRI{}
+		}
+		if err := decodeMPUnreachInto(m, val); err != nil {
 			return err
 		}
 		pa.MPUnreach = m
 	default:
-		pa.Unknown = append(pa.Unknown, RawAttr{Flags: flags, Type: typ, Value: slices.Clone(val)})
+		// Clone only in the retain path: a borrowed decode hands the
+		// caller a value aliasing the input buffer, per DecodeBorrow.
+		if df&DecodeBorrow == 0 {
+			val = slices.Clone(val)
+		}
+		pa.Unknown = append(pa.Unknown, RawAttr{Flags: flags, Type: typ, Value: val})
 	}
 	return nil
 }
 
-func decodeMPReach(val []byte) (*MPReachNLRI, error) {
+func decodeMPReachInto(m *MPReachNLRI, val []byte) error {
 	if len(val) < 5 {
-		return nil, fmt.Errorf("%w: MP_REACH_NLRI too short", ErrBadAttribute)
+		return fmt.Errorf("%w: MP_REACH_NLRI too short", ErrBadAttribute)
 	}
-	m := &MPReachNLRI{
-		AFI:  AFI(binary.BigEndian.Uint16(val)),
-		SAFI: SAFI(val[2]),
-	}
+	m.AFI = AFI(binary.BigEndian.Uint16(val))
+	m.SAFI = SAFI(val[2])
 	nhLen := int(val[3])
 	if len(val) < 4+nhLen+1 {
-		return nil, fmt.Errorf("%w: MP_REACH_NLRI next hop truncated", ErrBadAttribute)
+		return fmt.Errorf("%w: MP_REACH_NLRI next hop truncated", ErrBadAttribute)
 	}
 	nhBytes := val[4 : 4+nhLen]
 	switch nhLen {
@@ -305,29 +345,27 @@ func decodeMPReach(val []byte) (*MPReachNLRI, error) {
 		// A 32-byte next hop carries global + link-local; keep the global.
 		m.NextHop = netip.AddrFrom16([16]byte(nhBytes[:16]))
 	default:
-		return nil, fmt.Errorf("%w: MP_REACH_NLRI next hop length %d", ErrBadAttribute, nhLen)
+		return fmt.Errorf("%w: MP_REACH_NLRI next hop length %d", ErrBadAttribute, nhLen)
 	}
 	rest := val[4+nhLen+1:] // skip reserved byte
-	nlri, err := DecodePrefixes(rest, m.AFI)
+	nlri, err := appendDecodedPrefixes(m.NLRI, rest, m.AFI)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.NLRI = nlri
-	return m, nil
+	return nil
 }
 
-func decodeMPUnreach(val []byte) (*MPUnreachNLRI, error) {
+func decodeMPUnreachInto(m *MPUnreachNLRI, val []byte) error {
 	if len(val) < 3 {
-		return nil, fmt.Errorf("%w: MP_UNREACH_NLRI too short", ErrBadAttribute)
+		return fmt.Errorf("%w: MP_UNREACH_NLRI too short", ErrBadAttribute)
 	}
-	m := &MPUnreachNLRI{
-		AFI:  AFI(binary.BigEndian.Uint16(val)),
-		SAFI: SAFI(val[2]),
-	}
-	wd, err := DecodePrefixes(val[3:], m.AFI)
+	m.AFI = AFI(binary.BigEndian.Uint16(val))
+	m.SAFI = SAFI(val[2])
+	wd, err := appendDecodedPrefixes(m.Withdrawn, val[3:], m.AFI)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Withdrawn = wd
-	return m, nil
+	return nil
 }

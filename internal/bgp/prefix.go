@@ -76,16 +76,25 @@ func AppendPrefixes(dst []byte, ps []netip.Prefix) ([]byte, error) {
 
 // DecodePrefixes parses a run of NLRI-encoded prefixes filling exactly b.
 func DecodePrefixes(b []byte, afi AFI) ([]netip.Prefix, error) {
-	var out []netip.Prefix
+	out, err := appendDecodedPrefixes(nil, b, afi)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// appendDecodedPrefixes is DecodePrefixes appending into dst, so scratch
+// decoding can reuse slice capacity across messages.
+func appendDecodedPrefixes(dst []netip.Prefix, b []byte, afi AFI) ([]netip.Prefix, error) {
 	for len(b) > 0 {
 		p, n, err := DecodePrefix(b, afi)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 		b = b[n:]
 	}
-	return out, nil
+	return dst, nil
 }
 
 // PrefixAFI reports the address family of a prefix.

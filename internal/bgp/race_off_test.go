@@ -1,0 +1,5 @@
+//go:build !race
+
+package bgp
+
+const raceEnabled = false

@@ -1,0 +1,103 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"zombiescope/internal/intern"
+)
+
+// DecodeFlags tune the allocation behavior of scratch-based decoding.
+// The zero value reproduces the package's default retain semantics: every
+// decoded value owns its memory and may outlive the input buffer.
+type DecodeFlags uint8
+
+const (
+	// DecodeBorrow lets decoded byte fields (today: unknown attribute
+	// values) alias the input buffer instead of being cloned. Only valid
+	// when the caller consumes the Update before the buffer is reused —
+	// the contract of the pooled MRT reader's borrow mode.
+	DecodeBorrow DecodeFlags = 1 << iota
+	// DecodeIntern canonicalizes AS paths and aggregators through the
+	// process-wide intern tables, so repeated attributes share one
+	// allocation. Interned values are safe to retain indefinitely.
+	DecodeIntern
+)
+
+// Scratch is a reusable UPDATE decode workspace for hot paths that
+// process one message at a time. DecodeUpdate returns a pointer into the
+// Scratch itself: the Update, its prefix slices, and its MP_REACH/UNREACH
+// attributes are all overwritten by the next call, so the caller must
+// extract what it needs before decoding again. Values obtained with
+// DecodeIntern (AS paths, aggregators) are the only parts safe to retain.
+//
+// A Scratch must not be shared between goroutines. The zero value is
+// ready to use.
+type Scratch struct {
+	u         Update
+	mpReach   MPReachNLRI
+	mpUnreach MPUnreachNLRI
+}
+
+// DecodeUpdate parses a full UPDATE message (header included) into the
+// scratch workspace. See the Scratch doc for the ownership rules; the
+// decoded values are identical to the allocating DecodeUpdate's.
+func (s *Scratch) DecodeUpdate(b []byte, df DecodeFlags) (*Update, error) {
+	length, typ, err := DecodeHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgUpdate {
+		return nil, fmt.Errorf("%w: got %s, want UPDATE", ErrUnknownType, typ)
+	}
+	if len(b) < length {
+		return nil, fmt.Errorf("%w: message declares %d bytes, have %d", ErrShortMessage, length, len(b))
+	}
+	u := &s.u
+	*u = Update{
+		Withdrawn: u.Withdrawn[:0],
+		NLRI:      u.NLRI[:0],
+		Attrs: PathAttributes{
+			Communities: u.Attrs.Communities[:0],
+			Unknown:     u.Attrs.Unknown[:0],
+		},
+	}
+	if err := decodeUpdateBodyInto(u, s, df, b[HeaderLen:length]); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// Process-wide intern tables for the attributes the detection hot path
+// retains: AS paths (keyed by their wire encoding) and aggregators (keyed
+// by their fixed 8-byte value). Entries live for the process lifetime,
+// bounded by the number of distinct attribute values, which a month of
+// beacon archives keeps small relative to the record count.
+var (
+	pathTable = intern.NewTable[ASPath]()
+	aggTable  = intern.NewTable[*Aggregator]()
+)
+
+func internedASPath(wire []byte) (ASPath, error) {
+	return pathTable.GetErr(wire, decodeASPathKey)
+}
+
+func decodeASPathKey(key []byte) (ASPath, error) { return DecodeASPath(key) }
+
+func internedAggregator(val []byte) *Aggregator {
+	return aggTable.Get(val, decodeAggregatorKey)
+}
+
+func decodeAggregatorKey(key []byte) *Aggregator {
+	return &Aggregator{
+		ASN:  ASN(binary.BigEndian.Uint32(key)),
+		Addr: netip.AddrFrom4([4]byte(key[4:8])),
+	}
+}
+
+// InternStats reports the process-wide attribute intern tables' counters,
+// for the pipeline's observability surfaces.
+func InternStats() (path, agg intern.Stats) {
+	return pathTable.Stats(), aggTable.Stats()
+}

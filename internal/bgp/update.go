@@ -124,39 +124,47 @@ func DecodeUpdate(b []byte) (*Update, error) {
 // DecodeUpdateBody parses an UPDATE body (after the common header).
 func DecodeUpdateBody(b []byte) (*Update, error) {
 	u := &Update{}
+	if err := decodeUpdateBodyInto(u, nil, 0, b); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// decodeUpdateBodyInto is the shared UPDATE body parse, filling u in
+// place. s and df thread the scratch workspace and decode flags down to
+// the attribute walk (nil/0 for the allocating retain path).
+func decodeUpdateBodyInto(u *Update, s *Scratch, df DecodeFlags, b []byte) error {
 	if len(b) < 2 {
-		return nil, fmt.Errorf("%w: missing withdrawn routes length", ErrShortMessage)
+		return fmt.Errorf("%w: missing withdrawn routes length", ErrShortMessage)
 	}
 	wdLen := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < wdLen {
-		return nil, fmt.Errorf("%w: withdrawn routes need %d bytes, have %d", ErrShortMessage, wdLen, len(b))
+		return fmt.Errorf("%w: withdrawn routes need %d bytes, have %d", ErrShortMessage, wdLen, len(b))
 	}
-	wd, err := DecodePrefixes(b[:wdLen], AFIIPv4)
+	wd, err := appendDecodedPrefixes(u.Withdrawn, b[:wdLen], AFIIPv4)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	u.Withdrawn = wd
 	b = b[wdLen:]
 	if len(b) < 2 {
-		return nil, fmt.Errorf("%w: missing path attributes length", ErrShortMessage)
+		return fmt.Errorf("%w: missing path attributes length", ErrShortMessage)
 	}
 	attrLen := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < attrLen {
-		return nil, fmt.Errorf("%w: attributes need %d bytes, have %d", ErrShortMessage, attrLen, len(b))
+		return fmt.Errorf("%w: attributes need %d bytes, have %d", ErrShortMessage, attrLen, len(b))
 	}
-	attrs, err := DecodePathAttributes(b[:attrLen])
-	if err != nil {
-		return nil, err
+	if err := decodePathAttributesInto(&u.Attrs, s, df, b[:attrLen]); err != nil {
+		return err
 	}
-	u.Attrs = attrs
-	nlri, err := DecodePrefixes(b[attrLen:], AFIIPv4)
+	nlri, err := appendDecodedPrefixes(u.NLRI, b[attrLen:], AFIIPv4)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	u.NLRI = nlri
-	return u, nil
+	return nil
 }
 
 // NewKeepalive returns the wire encoding of a KEEPALIVE message.

@@ -248,8 +248,8 @@ func TestMPReach32ByteNextHop(t *testing.T) {
 	val = append(val, 0) // reserved
 	p, _ := AppendPrefix(nil, netip.MustParsePrefix("2a0d:3dc1::/32"))
 	val = append(val, p...)
-	m, err := decodeMPReach(val)
-	if err != nil {
+	m := &MPReachNLRI{}
+	if err := decodeMPReachInto(m, val); err != nil {
 		t.Fatal(err)
 	}
 	if m.NextHop != global {

@@ -1,0 +1,153 @@
+// Package intern provides lock-sharded canonicalization tables for the
+// detection hot path. A month of RIS updates repeats the same AS paths,
+// aggregators and peer keys millions of times; interning makes every
+// repeat share one allocation, which is what lets the decode scratch in
+// internal/bgp hand out retained values without cloning.
+//
+// Tables are keyed by raw bytes (typically the attribute's wire encoding)
+// so the hit path performs zero allocations: the map lookup uses the
+// compiler's []byte→string conversion optimization, and the per-shard
+// RWMutex keeps concurrent chunk decoders out of each other's way.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount shards the key space to keep lock contention negligible even
+// with every core decoding. Power of two so the shard pick is a mask.
+const shardCount = 32
+
+type shard[V any] struct {
+	mu     sync.RWMutex
+	m      map[string]V
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Table is a lock-sharded intern table mapping byte keys to canonical
+// values. The zero value is not usable; construct with NewTable.
+type Table[V any] struct {
+	shards [shardCount]shard[V]
+}
+
+// Stats is a point-in-time snapshot of a table's lookup counters.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries uint64
+}
+
+// HitRate returns the fraction of lookups served from the table, or 0
+// before the first lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	t := &Table[V]{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]V)
+	}
+	return t
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so the shard pick allocates
+// nothing and needs no hash.Hash state.
+func fnv1a(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Get returns the canonical value for key, building it with mk(key) on
+// first sight. mk runs under the shard's write lock, at most once per key.
+// mk receives the key so callers can pass a plain function instead of a
+// capturing closure — the lookup itself then allocates nothing on a hit.
+func (t *Table[V]) Get(key []byte, mk func(key []byte) V) V {
+	s := &t.shards[fnv1a(key)&(shardCount-1)]
+	s.mu.RLock()
+	v, ok := s.m[string(key)] // no-alloc lookup: compiler-optimized conversion
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[string(key)]; ok {
+		s.hits.Add(1)
+		return v
+	}
+	v = mk(key)
+	s.m[string(key)] = v
+	s.misses.Add(1)
+	return v
+}
+
+// GetErr is Get for constructors that can fail. A failed construction is
+// not cached: the error is returned and the key stays absent, so a later
+// lookup retries.
+func (t *Table[V]) GetErr(key []byte, mk func(key []byte) (V, error)) (V, error) {
+	s := &t.shards[fnv1a(key)&(shardCount-1)]
+	s.mu.RLock()
+	v, ok := s.m[string(key)] // no-alloc lookup: compiler-optimized conversion
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		return v, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[string(key)]; ok {
+		s.hits.Add(1)
+		return v, nil
+	}
+	v, err := mk(key)
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	s.m[string(key)] = v
+	s.misses.Add(1)
+	return v, nil
+}
+
+// Len returns the number of interned entries.
+func (t *Table[V]) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats sums the per-shard counters.
+func (t *Table[V]) Stats() Stats {
+	var st Stats
+	for i := range t.shards {
+		s := &t.shards[i]
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		s.mu.RLock()
+		st.Entries += uint64(len(s.m))
+		s.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,200 @@
+package intern
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestGetCanonicalizes(t *testing.T) {
+	tab := NewTable[*[]byte]()
+	mk := func(key []byte) *[]byte {
+		b := append([]byte(nil), key...)
+		return &b
+	}
+	a := tab.Get([]byte("path-1"), mk)
+	b := tab.Get([]byte("path-1"), mk)
+	if a != b {
+		t.Error("same key returned distinct values")
+	}
+	c := tab.Get([]byte("path-2"), mk)
+	if c == a {
+		t.Error("distinct keys returned the same value")
+	}
+	if got := tab.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+}
+
+// TestKeyDoesNotAliasCallerBuffer interns through a reused scratch buffer —
+// the exact pattern the borrowed-slice decode path uses — and checks the
+// table keeps its own copy of the key: mutating the buffer afterwards must
+// not corrupt the table, and the original key must still hit.
+func TestKeyDoesNotAliasCallerBuffer(t *testing.T) {
+	tab := NewTable[uint32]()
+	mk := func(key []byte) uint32 { return binary.BigEndian.Uint32(key) }
+	buf := []byte{0, 0, 0, 7}
+	if got := tab.Get(buf, mk); got != 7 {
+		t.Fatalf("Get = %d, want 7", got)
+	}
+	// Reuse the buffer for a different key, as a pooled decoder would.
+	binary.BigEndian.PutUint32(buf, 9)
+	if got := tab.Get(buf, mk); got != 9 {
+		t.Fatalf("Get after reuse = %d, want 9", got)
+	}
+	if got := tab.Get([]byte{0, 0, 0, 7}, mk); got != 7 {
+		t.Errorf("original key corrupted by buffer reuse: got %d, want 7", got)
+	}
+	if st := tab.Stats(); st.Entries != 2 || st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 2 misses, 1 hit", st)
+	}
+}
+
+// TestInternedValuesSurviveOriginals checks the equality/aliasing property
+// end to end: values interned from short-lived buffers stay intact after
+// the buffers are dead and the GC has run.
+func TestInternedValuesSurviveOriginals(t *testing.T) {
+	tab := NewTable[*string]()
+	mk := func(key []byte) *string {
+		s := string(key)
+		return &s
+	}
+	ptrs := make([]*string, 64)
+	for i := range ptrs {
+		key := []byte(fmt.Sprintf("as-path-%d", i)) // dies after this iteration
+		ptrs[i] = tab.Get(key, mk)
+	}
+	runtime.GC()
+	runtime.GC()
+	for i, p := range ptrs {
+		want := fmt.Sprintf("as-path-%d", i)
+		if *p != want {
+			t.Fatalf("interned value %d = %q, want %q", i, *p, want)
+		}
+		if again := tab.Get([]byte(want), mk); again != p {
+			t.Fatalf("re-lookup %d returned a different pointer", i)
+		}
+	}
+}
+
+func TestGetErrDoesNotCacheFailures(t *testing.T) {
+	tab := NewTable[int]()
+	boom := errors.New("boom")
+	calls := 0
+	failing := func(key []byte) (int, error) { calls++; return 0, boom }
+	if _, err := tab.GetErr([]byte("k"), failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := tab.GetErr([]byte("k"), failing); !errors.Is(err, boom) {
+		t.Fatalf("second err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("failed construction was cached: %d calls, want 2", calls)
+	}
+	ok := func(key []byte) (int, error) { return len(key), nil }
+	v, err := tab.GetErr([]byte("k"), ok)
+	if err != nil || v != 1 {
+		t.Fatalf("GetErr after failures = (%d, %v), want (1, nil)", v, err)
+	}
+	if st := tab.Stats(); st.Entries != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 entry, 1 miss", st)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	tab := NewTable[int]()
+	mk := func(key []byte) int { return int(key[0]) }
+	keys := [][]byte{{1}, {2}, {3}, {4}}
+	for round := 0; round < 5; round++ {
+		for _, k := range keys {
+			if got := tab.Get(k, mk); got != int(k[0]) {
+				t.Fatalf("Get(%v) = %d", k, got)
+			}
+		}
+	}
+	st := tab.Stats()
+	if st.Misses != uint64(len(keys)) {
+		t.Errorf("misses = %d, want %d", st.Misses, len(keys))
+	}
+	if st.Hits != uint64(4*len(keys)) {
+		t.Errorf("hits = %d, want %d", st.Hits, 4*len(keys))
+	}
+	if want := 0.8; st.HitRate() != want {
+		t.Errorf("hit rate = %v, want %v", st.HitRate(), want)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("zero-stats hit rate should be 0")
+	}
+}
+
+// TestConcurrentGet hammers one table from many goroutines over an
+// overlapping key set (run under -race in CI) and checks every goroutine
+// observed the canonical pointer per key.
+func TestConcurrentGet(t *testing.T) {
+	tab := NewTable[*uint64]()
+	mk := func(key []byte) *uint64 {
+		v := fnv1a(key)
+		return &v
+	}
+	const (
+		workers = 8
+		keys    = 128
+		rounds  = 200
+	)
+	got := make([][]*uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*uint64, keys)
+			var key [8]byte
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					binary.BigEndian.PutUint64(key[:], uint64(k*7919))
+					p := tab.Get(key[:], mk)
+					if got[w][k] == nil {
+						got[w][k] = p
+					} else if got[w][k] != p {
+						t.Errorf("worker %d key %d: pointer changed", w, k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		for w := 1; w < workers; w++ {
+			if got[w][k] != got[0][k] {
+				t.Fatalf("key %d: workers disagree on canonical pointer", k)
+			}
+		}
+	}
+	st := tab.Stats()
+	if st.Entries != keys || st.Misses != keys {
+		t.Errorf("stats = %+v, want %d entries and misses", st, keys)
+	}
+	if want := uint64(workers*rounds*keys - keys); st.Hits != want {
+		t.Errorf("hits = %d, want %d", st.Hits, want)
+	}
+}
+
+// TestHitPathAllocates0 pins the zero-allocation contract of the hit path.
+func TestHitPathAllocates0(t *testing.T) {
+	tab := NewTable[int]()
+	mk := func(key []byte) int { return len(key) }
+	key := []byte("steady-state-key")
+	tab.Get(key, mk)
+	avg := testing.AllocsPerRun(1000, func() {
+		if tab.Get(key, mk) != len(key) {
+			t.Fatal("wrong value")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("hit path allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,94 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+// allocTestArchive encodes an archive of BGP4MP message and state-change
+// records, the streaming hot path's staple diet.
+func allocTestArchive(t *testing.T, records int) []byte {
+	t.Helper()
+	u := &bgp.Update{
+		NLRI: []netip.Prefix{netip.MustParsePrefix("93.175.146.0/24")},
+		Attrs: bgp.PathAttributes{
+			HasOrigin: true,
+			ASPath:    bgp.ASPath{Segments: []bgp.PathSegment{{Type: bgp.ASSequence, ASNs: []bgp.ASN{64500, 64501}}}},
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+		},
+	}
+	wire, err := u.AppendWireFormat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC)
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	for i := 0; i < records; i++ {
+		var rec Record
+		if i%16 == 15 {
+			rec = &BGP4MPStateChange{
+				Timestamp: ts.Add(time.Duration(i) * time.Second),
+				PeerAS:    64500, LocalAS: 64501, AFI: bgp.AFIIPv4,
+				PeerIP: netip.MustParseAddr("192.0.2.2"), LocalIP: netip.MustParseAddr("192.0.2.3"),
+				OldState: StateEstablished, NewState: StateIdle,
+			}
+		} else {
+			rec = &BGP4MPMessage{
+				Timestamp: ts.Add(time.Duration(i) * time.Second),
+				PeerAS:    64500, LocalAS: 64501, AFI: bgp.AFIIPv4,
+				PeerIP: netip.MustParseAddr("192.0.2.2"), LocalIP: netip.MustParseAddr("192.0.2.3"),
+				Data: wire,
+			}
+		}
+		if err := wr.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReaderBorrowAllocs is the allocation regression fence for the pooled
+// reader: a full borrow-mode pass over the archive must cost a handful of
+// setup allocations (reader, bytes.Reader, possibly a pool miss), not
+// per-record ones.
+func TestReaderBorrowAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	const records = 200
+	data := allocTestArchive(t, records)
+	readAll := func() {
+		rd := NewReader(bytes.NewReader(data))
+		rd.SetBorrow(true)
+		n := 0
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec == nil {
+				t.Fatal("nil record")
+			}
+			n++
+		}
+		rd.Release()
+		if n != records {
+			t.Fatalf("decoded %d records, want %d", n, records)
+		}
+	}
+	readAll() // warm the buffer pool
+	avg := testing.AllocsPerRun(100, readAll)
+	perRecord := avg / records
+	if perRecord > 0.05 {
+		t.Errorf("borrow-mode pass allocates %.1f allocs (%.3f/record), want near-zero per record", avg, perRecord)
+	}
+}

@@ -113,16 +113,20 @@ func (m *BGP4MPMessage) appendBody(dst []byte) ([]byte, error) {
 	return append(dst, m.Data...), nil
 }
 
-func decodeBGP4MPMessage(ts time.Time, b []byte, as4 bool) (*BGP4MPMessage, error) {
+// decodeBGP4MPMessageInto fills m from the record body. With borrow set,
+// m.Data aliases b and is only valid as long as the caller keeps b
+// intact; otherwise it is an owning copy. Every field of m is assigned on
+// success, so scratch structs can be reused across calls.
+func decodeBGP4MPMessageInto(m *BGP4MPMessage, ts time.Time, b []byte, as4, borrow bool) error {
 	asLen := 2
 	if as4 {
 		asLen = 4
 	}
 	need := 2*asLen + 4
 	if len(b) < need {
-		return nil, fmt.Errorf("%w: BGP4MP message header", ErrTruncated)
+		return fmt.Errorf("%w: BGP4MP message header", ErrTruncated)
 	}
-	m := &BGP4MPMessage{Timestamp: ts}
+	m.Timestamp = ts
 	if as4 {
 		m.PeerAS = bgp.ASN(binary.BigEndian.Uint32(b))
 		m.LocalAS = bgp.ASN(binary.BigEndian.Uint32(b[4:]))
@@ -136,11 +140,15 @@ func decodeBGP4MPMessage(ts time.Time, b []byte, as4 bool) (*BGP4MPMessage, erro
 	b = b[4:]
 	peer, local, n, err := decodeAddrPair(b, m.AFI)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.PeerIP, m.LocalIP = peer, local
-	m.Data = append([]byte(nil), b[n:]...)
-	return m, nil
+	if borrow {
+		m.Data = b[n:]
+	} else {
+		m.Data = append([]byte(nil), b[n:]...)
+	}
+	return nil
 }
 
 func (s *BGP4MPStateChange) appendBody(dst []byte) ([]byte, error) {
@@ -157,15 +165,18 @@ func (s *BGP4MPStateChange) appendBody(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-func decodeBGP4MPStateChange(ts time.Time, b []byte, as4 bool) (*BGP4MPStateChange, error) {
+// decodeBGP4MPStateChangeInto fills s from the record body. State-change
+// records carry no byte slices, so a decoded record never aliases b;
+// every field is assigned on success, allowing scratch reuse.
+func decodeBGP4MPStateChangeInto(s *BGP4MPStateChange, ts time.Time, b []byte, as4 bool) error {
 	asLen := 2
 	if as4 {
 		asLen = 4
 	}
 	if len(b) < 2*asLen+4 {
-		return nil, fmt.Errorf("%w: BGP4MP state change header", ErrTruncated)
+		return fmt.Errorf("%w: BGP4MP state change header", ErrTruncated)
 	}
-	s := &BGP4MPStateChange{Timestamp: ts}
+	s.Timestamp = ts
 	if as4 {
 		s.PeerAS = bgp.ASN(binary.BigEndian.Uint32(b))
 		s.LocalAS = bgp.ASN(binary.BigEndian.Uint32(b[4:]))
@@ -179,14 +190,14 @@ func decodeBGP4MPStateChange(ts time.Time, b []byte, as4 bool) (*BGP4MPStateChan
 	b = b[4:]
 	peer, local, n, err := decodeAddrPair(b, s.AFI)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.PeerIP, s.LocalIP = peer, local
 	b = b[n:]
 	if len(b) < 4 {
-		return nil, fmt.Errorf("%w: state change states", ErrTruncated)
+		return fmt.Errorf("%w: state change states", ErrTruncated)
 	}
 	s.OldState = SessionState(binary.BigEndian.Uint16(b))
 	s.NewState = SessionState(binary.BigEndian.Uint16(b[2:]))
-	return s, nil
+	return nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mrt
+
+const raceEnabled = false

@@ -6,21 +6,71 @@ import (
 	"fmt"
 	"io"
 	"time"
-
-	"zombiescope/internal/bgp"
 )
 
 // Reader decodes MRT records sequentially from an io.Reader. It returns
 // io.EOF after the last record. Records of types this package does not
 // model are skipped transparently.
+//
+// Record bodies are read into a pooled buffer whose capacity is reused
+// across records; call Release when done with the Reader to hand the
+// buffer back to the pool. Buffer reuse is invisible in the default mode
+// (every decoded record owns its memory); SetBorrow trades that guarantee
+// for zero-copy decoding.
 type Reader struct {
 	r      io.Reader
 	header [HeaderLen]byte
+	body   []byte // pooled record-body buffer, cap-reused across records
+	dec    Decoder
+	stats  PoolStats // local counters, flushed to the package by Release
 }
 
 // NewReader returns a Reader decoding from r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r}
+}
+
+// SetBorrow switches the Reader into borrowed-slice decode mode: BGP4MP
+// message and state-change records are scratch structs reused by the next
+// Next call, and BGP4MPMessage.Data aliases the Reader's pooled body
+// buffer. Callers that consume each record before the next Next (and
+// before Release) save the per-record body copy; all other callers should
+// leave the default mode on. TABLE_DUMP_V2 records stay safe to retain.
+func (rd *Reader) SetBorrow(on bool) { rd.dec.Borrow = on }
+
+// Release returns the Reader's pooled body buffer and flushes its pool
+// counters to the package-wide PoolStats. The Reader remains usable (it
+// will draw a fresh buffer), but records decoded in borrow mode must not
+// be touched after Release.
+func (rd *Reader) Release() {
+	if rd.body != nil {
+		b := rd.body
+		rd.body = nil
+		bodyPool.Put(&b)
+	}
+	flushPoolStats(&rd.stats)
+}
+
+// bodyBuf returns the pooled body buffer resized to n bytes, growing it
+// when a record exceeds the current capacity.
+func (rd *Reader) bodyBuf(n int) []byte {
+	if rd.body == nil {
+		rd.body = *bodyPool.Get().(*[]byte)
+		rd.stats.Gets++
+	}
+	if cap(rd.body) < n {
+		// Grow past the record so nearby records of similar size reuse.
+		c := 2 * cap(rd.body)
+		if c < n {
+			c = n
+		}
+		rd.body = make([]byte, c)
+		rd.stats.Grows++
+	} else {
+		rd.stats.Reuses++
+	}
+	rd.stats.Bytes += uint64(n)
+	return rd.body[:cap(rd.body)][:n]
 }
 
 // Next returns the next decoded record, or io.EOF at end of input.
@@ -51,11 +101,11 @@ func (rd *Reader) next() (Record, error) {
 	if length > MaxRecordLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, length)
 	}
-	body := make([]byte, length)
+	body := rd.bodyBuf(int(length))
 	if _, err := io.ReadFull(rd.r, body); err != nil {
 		return nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
 	}
-	return DecodeRecord(ts, typ, subtype, body)
+	return rd.dec.Decode(ts, typ, subtype, body)
 }
 
 // ParseHeader splits an MRT common header into its fields.
@@ -68,36 +118,18 @@ func ParseHeader(h [HeaderLen]byte) (ts time.Time, typ, subtype uint16, length u
 }
 
 // DecodeRecord decodes a single MRT record body given its header fields.
-// Record types this package does not model decode to (nil, nil).
+// Record types this package does not model decode to (nil, nil). Every
+// decoded record owns its memory; use a Decoder with Borrow for the
+// zero-copy mode.
 func DecodeRecord(ts time.Time, typ, subtype uint16, body []byte) (Record, error) {
-	switch typ {
-	case TypeBGP4MP:
-		switch subtype {
-		case SubtypeMessage:
-			return decodeBGP4MPMessage(ts, body, false)
-		case SubtypeMessageAS4:
-			return decodeBGP4MPMessage(ts, body, true)
-		case SubtypeStateChange:
-			return decodeBGP4MPStateChange(ts, body, false)
-		case SubtypeStateChangeAS4:
-			return decodeBGP4MPStateChange(ts, body, true)
-		}
-	case TypeTableDumpV2:
-		switch subtype {
-		case SubtypePeerIndexTable:
-			return decodePeerIndexTable(ts, body)
-		case SubtypeRIBIPv4Unicast:
-			return decodeRIB(ts, body, bgp.AFIIPv4)
-		case SubtypeRIBIPv6Unicast:
-			return decodeRIB(ts, body, bgp.AFIIPv6)
-		}
-	}
-	return nil, nil // unsupported; caller loop skips
+	var d Decoder
+	return d.Decode(ts, typ, subtype, body)
 }
 
 // ReadAll decodes every record from r.
 func ReadAll(r io.Reader) ([]Record, error) {
 	rd := NewReader(r)
+	defer rd.Release()
 	var out []Record
 	for {
 		rec, err := rd.Next()

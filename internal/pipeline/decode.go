@@ -169,16 +169,18 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 	decodeSp := sp.Start("pipeline.decode")
 	decodeSp.SetArg("chunks", len(tasks))
 	decodeErrs := make([]*posError, len(tasks))
+	borrow := e != nil && e.Borrow
 	e.For(len(tasks), func(t int) {
 		tk := tasks[t]
 		acc := newAcc(tk.fc)
 		accs[tk.fc.File][tk.fc.Chunk] = acc
+		dec := mrt.Decoder{Borrow: borrow}
 		pos, idx := 0, 0
 		for pos < len(tk.data) {
 			ts, typ, subtype, length := mrt.ParseHeader([mrt.HeaderLen]byte(tk.data[pos : pos+mrt.HeaderLen]))
 			body := tk.data[pos+mrt.HeaderLen : pos+mrt.HeaderLen+int(length)]
 			pos += mrt.HeaderLen + int(length)
-			rec, err := mrt.DecodeRecord(ts, typ, subtype, body)
+			rec, err := dec.Decode(ts, typ, subtype, body)
 			if err == nil && rec != nil {
 				err = fn(acc, tk.fc, tk.fc.Base+idx, rec)
 			}
@@ -225,6 +227,13 @@ type DecodedFile struct {
 // in sorted-name order with records in stream order — the same sequence a
 // sequential Reader pass over each file would produce.
 func (e *Engine) DecodeArchives(archives map[string][]byte) ([]DecodedFile, error) {
+	if e != nil && e.Borrow {
+		// The records are retained, so borrowed decoding would hand the
+		// caller scratch structs; force the owning mode.
+		own := *e
+		own.Borrow = false
+		e = &own
+	}
 	names, accs, err := FoldRecords(e, archives,
 		func(FileChunk) *[]mrt.Record { return new([]mrt.Record) },
 		func(acc *[]mrt.Record, _ FileChunk, _ int, rec mrt.Record) error {

@@ -206,6 +206,27 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			// Columnar store vs the original map store: the reference
+			// build shares only recordEvents with the production path
+			// (allocating decode, map-of-maps layout), so agreement here
+			// pins the columnar layout, the interned decode, and the
+			// borrowed-buffer reader all at once.
+			refHist, err := zombie.BuildHistoryReference(sc.updates, track)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDet := &zombie.Detector{RecordPaths: true}
+			if rep := refDet.DetectFromHistory(refHist, sc.intervals); !reflect.DeepEqual(rep, seqRep) {
+				t.Errorf("columnar store: Report diverges from reference store")
+			}
+			if sw := zombie.Sweep(refHist, sc.intervals, thresholds, zombie.FilterOptions{}); !reflect.DeepEqual(sw, seqSweep) {
+				t.Errorf("columnar store: Sweep diverges from reference store")
+			}
+			legacy := &zombie.LegacyDetector{Seed: seed}
+			if got, want := legacy.Detect(seqHist, sc.intervals), legacy.Detect(refHist, sc.intervals); !reflect.DeepEqual(got, want) {
+				t.Errorf("columnar store: legacy Report diverges from reference store")
+			}
+
 			for _, par := range diffParallelism {
 				h, err := zombie.BuildHistoryParallel(sc.updates, track, par)
 				if err != nil {

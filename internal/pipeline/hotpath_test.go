@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/mrt"
+	"zombiescope/internal/obs"
+)
+
+// TestSyncHotPathMovesCounters proves SyncHotPath bridges the package-level
+// pool/intern stats into registry instruments: after a borrow-mode read
+// pass with interned decoding, the counters advance by the window's delta,
+// and a second sync with no intervening work adds nothing.
+func TestSyncHotPathMovesCounters(t *testing.T) {
+	u := &bgp.Update{
+		NLRI: []netip.Prefix{netip.MustParsePrefix("93.175.146.0/24")},
+		Attrs: bgp.PathAttributes{
+			HasOrigin: true,
+			ASPath:    bgp.ASPath{Segments: []bgp.PathSegment{{Type: bgp.ASSequence, ASNs: []bgp.ASN{64500, 64501}}}},
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+		},
+	}
+	wire, err := u.AppendWireFormat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	wr := mrt.NewWriter(&buf)
+	const records = 32
+	for i := 0; i < records; i++ {
+		if err := wr.Write(&mrt.BGP4MPMessage{
+			Timestamp: time.Date(2024, 6, 10, 12, 0, i, 0, time.UTC),
+			PeerAS:    64500, LocalAS: 64499, AFI: bgp.AFIIPv4,
+			PeerIP:  netip.MustParseAddr("192.0.2.2"),
+			LocalIP: netip.MustParseAddr("192.0.2.100"),
+			Data:    wire,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := NewMetrics(obs.NewRegistry())
+	m.SyncHotPath() // swallow whatever other tests left in the package stats
+
+	var scratch bgp.Scratch
+	rd := mrt.NewReader(bytes.NewReader(buf.Bytes()))
+	rd.SetBorrow(true)
+	for {
+		rec, err := rd.Next()
+		if err != nil {
+			break
+		}
+		msg, ok := rec.(*mrt.BGP4MPMessage)
+		if !ok {
+			continue
+		}
+		if _, err := scratch.DecodeUpdate(msg.Data, bgp.DecodeBorrow|bgp.DecodeIntern); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd.Release() // flushes this reader's pool stats to the package totals
+
+	m.SyncHotPath()
+	gets := m.poolGets.Value()
+	reuses := m.poolReuses.Value()
+	hits := m.internHits.Value()
+	if gets < 1 {
+		t.Errorf("pool gets = %d, want >= 1", gets)
+	}
+	if reuses < records-1 {
+		t.Errorf("pool reuses = %d, want >= %d (one get, rest reuses)", reuses, records-1)
+	}
+	// Every record after the first decodes the same AS path, so the intern
+	// table must have served at least records-1 hits in this window.
+	if hits < records-1 {
+		t.Errorf("intern hits = %d, want >= %d", hits, records-1)
+	}
+
+	// No work since the last sync: counters must not move.
+	m.SyncHotPath()
+	if got := m.poolGets.Value(); got != gets {
+		t.Errorf("idle sync moved pool gets %d -> %d", gets, got)
+	}
+	if got := m.internHits.Value(); got != hits {
+		t.Errorf("idle sync moved intern hits %d -> %d", hits, got)
+	}
+}

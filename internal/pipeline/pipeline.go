@@ -31,6 +31,12 @@ type Engine struct {
 	// stage spans are roots on the installed obs tracer (and free no-ops
 	// when tracing is disabled).
 	Trace *obs.Span
+	// Borrow switches FoldRecords to zero-copy record decoding: BGP4MP
+	// records are scratch structs reused across a chunk's records and
+	// their Data aliases the archive bytes. Folds must consume each record
+	// before returning from fn (or retain only TABLE_DUMP_V2 records,
+	// which are always freshly allocated).
+	Borrow bool
 }
 
 func (e *Engine) workers() int {

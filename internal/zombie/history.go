@@ -33,12 +33,24 @@ type histEvent struct {
 
 // History is the reconstructed message-level state of every tracked
 // (peer, prefix) pair, the substrate of the revised methodology.
+//
+// The store is columnar: peers and prefixes are canonicalized to dense
+// sorted indices, every (peer, prefix) event stream is a contiguous span
+// of one shared arena (laid out in ascending pairKey order), and session
+// events live in a parallel arena spanned per peer. The layout is built by
+// sealHistory in columnar.go and is identical no matter how many builders
+// produced the events. The ref field, when set, swaps in the original
+// map-of-maps store (refstore.go) as a differential oracle.
 type History struct {
-	// events per peer per prefix, time-ordered.
-	events map[PeerID]map[netip.Prefix][]histEvent
-	// session events per peer (downs clear all prefixes), time-ordered.
-	session map[PeerID][]histEvent
-	peers   []PeerID
+	peers     []PeerID
+	prefixes  []netip.Prefix
+	peerIdx   map[PeerID]uint32
+	prefixIdx map[netip.Prefix]uint32
+	events    []histEvent     // pair-event arena
+	pairs     map[uint64]span // pairKey -> slice of events
+	sess      []histEvent     // session-event arena
+	sessSpans []span          // indexed by peer index; zero span = none
+	ref       *refHistory     // non-nil only for BuildHistoryReference
 }
 
 // TrackSet selects the prefixes worth reconstructing (beacon prefixes).
@@ -56,11 +68,13 @@ func NewTrackSet(prefixes []netip.Prefix) TrackSet {
 // BuildHistory parses MRT update archives (one per collector, keyed by
 // collector name) and reconstructs per-(peer, prefix) event histories for
 // the tracked prefixes. Records of other prefixes are ignored.
+//
+// The reader runs in borrowed-buffer mode and updates are decoded through
+// a reused scratch workspace with interned AS paths: nothing a record
+// allocates outlives the record except the events themselves.
 func BuildHistory(updates map[string][]byte, track TrackSet) (*History, error) {
-	h := &History{
-		events:  make(map[PeerID]map[netip.Prefix][]histEvent),
-		session: make(map[PeerID][]histEvent),
-	}
+	b := newHistBuilder()
+	var scratch bgp.Scratch
 	names := make([]string, 0, len(updates))
 	for name := range updates {
 		names = append(names, name)
@@ -69,54 +83,88 @@ func BuildHistory(updates map[string][]byte, track TrackSet) (*History, error) {
 	order := 0
 	for _, name := range names {
 		rd := mrt.NewReader(bytes.NewReader(updates[name]))
+		rd.SetBorrow(true)
 		for {
 			rec, err := rd.Next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
+				rd.Release()
 				return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
 			}
 			order++
-			if err := recordEvents(name, order, rec, track, h.add, h.addSession); err != nil {
+			if err := recordEvents(name, order, rec, track, &scratch, b.add, b.addSession); err != nil {
+				rd.Release()
 				return nil, fmt.Errorf("zombie: collector %s: %w", name, err)
 			}
 		}
+		rd.Release()
 	}
-	h.finish()
-	return h, nil
+	return sealHistory([]*histBuilder{b}), nil
 }
 
 // recordEvents converts one update-file record into its history events.
-// It is shared by the sequential builder and the pipeline builder so the
-// two paths cannot drift: only the scheduling differs, never the per-record
-// semantics. Within one record, withdrawals are emitted before
-// announcements — the tie the stable event sort preserves.
-func recordEvents(name string, order int, rec mrt.Record, track TrackSet,
+// It is shared by the sequential builder, the pipeline builder, and the
+// reference builder so the paths cannot drift: only the scheduling (and
+// the decode mode) differs, never the per-record semantics. Within one
+// record, withdrawals are emitted before announcements — the tie the
+// stable event sort preserves.
+//
+// With scratch non-nil the BGP message is decoded zero-copy into the
+// scratch workspace with interned AS paths and aggregators; the update is
+// only valid until the next call, but everything stored into histEvents
+// (interned path/agg, prefix values) is retention-safe. With scratch nil
+// the original fully-allocating decode runs.
+func recordEvents(name string, order int, rec mrt.Record, track TrackSet, scratch *bgp.Scratch,
 	prefixEv func(peer PeerID, p netip.Prefix, ev histEvent),
 	sessionEv func(peer PeerID, ev histEvent),
 ) error {
 	switch r := rec.(type) {
 	case *mrt.BGP4MPMessage:
 		peer := PeerID{Collector: name, AS: r.PeerAS, Addr: r.PeerIP}
-		u, err := r.Update()
+		var u *bgp.Update
+		var err error
+		if scratch != nil {
+			u, err = scratch.DecodeUpdate(r.Data, bgp.DecodeBorrow|bgp.DecodeIntern)
+		} else {
+			u, err = r.Update()
+		}
 		if err != nil {
 			return err
 		}
-		for _, p := range u.WithdrawnAll() {
+		// Withdrawals before announcements; within each, top-level routes
+		// before MP attributes — the same order WithdrawnAll/Announced
+		// return, without materializing the combined slices.
+		for _, p := range u.Withdrawn {
 			if track[p] {
 				prefixEv(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
 			}
 		}
-		for _, p := range u.Announced() {
+		if u.Attrs.MPUnreach != nil {
+			for _, p := range u.Attrs.MPUnreach.Withdrawn {
+				if track[p] {
+					prefixEv(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
+				}
+			}
+		}
+		annEv := histEvent{
+			at:    r.Timestamp,
+			order: order,
+			kind:  evAnnounce,
+			path:  u.Attrs.ASPath,
+			agg:   u.Attrs.Aggregator,
+		}
+		for _, p := range u.NLRI {
 			if track[p] {
-				prefixEv(peer, p, histEvent{
-					at:    r.Timestamp,
-					order: order,
-					kind:  evAnnounce,
-					path:  u.Attrs.ASPath,
-					agg:   u.Attrs.Aggregator,
-				})
+				prefixEv(peer, p, annEv)
+			}
+		}
+		if u.Attrs.MPReach != nil {
+			for _, p := range u.Attrs.MPReach.NLRI {
+				if track[p] {
+					prefixEv(peer, p, annEv)
+				}
 			}
 		}
 	case *mrt.BGP4MPStateChange:
@@ -132,57 +180,46 @@ func recordEvents(name string, order int, rec mrt.Record, track TrackSet,
 	return nil
 }
 
-func (h *History) add(peer PeerID, p netip.Prefix, ev histEvent) {
-	m := h.events[peer]
-	if m == nil {
-		m = make(map[netip.Prefix][]histEvent)
-		h.events[peer] = m
-		h.peers = append(h.peers, peer)
+// pairEvents returns the time-ordered event stream of (peer, p).
+func (h *History) pairEvents(peer PeerID, p netip.Prefix) []histEvent {
+	if h.ref != nil {
+		return h.ref.events[peer][p]
 	}
-	m[p] = append(m[p], ev)
+	pi, ok := h.peerIdx[peer]
+	if !ok {
+		return nil
+	}
+	xi, ok := h.prefixIdx[p]
+	if !ok {
+		return nil
+	}
+	sp, ok := h.pairs[pairKey(pi, xi)]
+	if !ok {
+		return nil
+	}
+	return h.events[sp.off : sp.off+sp.n]
 }
 
-func (h *History) addSession(peer PeerID, ev histEvent) {
-	h.session[peer] = append(h.session[peer], ev)
-	h.touch(peer)
-}
-
-func (h *History) touch(peer PeerID) {
-	if _, ok := h.events[peer]; !ok {
-		h.events[peer] = make(map[netip.Prefix][]histEvent)
-		h.peers = append(h.peers, peer)
+// sessionEvents returns the time-ordered session stream of peer.
+func (h *History) sessionEvents(peer PeerID) []histEvent {
+	if h.ref != nil {
+		return h.ref.session[peer]
 	}
-}
-
-func (h *History) finish() {
-	less := func(a, b histEvent) bool {
-		if !a.at.Equal(b.at) {
-			return a.at.Before(b.at)
-		}
-		return a.order < b.order
+	pi, ok := h.peerIdx[peer]
+	if !ok {
+		return nil
 	}
-	for _, m := range h.events {
-		for _, evs := range m {
-			sort.SliceStable(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
-		}
-	}
-	for _, evs := range h.session {
-		sort.SliceStable(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
-	}
-	sort.Slice(h.peers, func(i, j int) bool {
-		a, b := h.peers[i], h.peers[j]
-		if a.Collector != b.Collector {
-			return a.Collector < b.Collector
-		}
-		if a.AS != b.AS {
-			return a.AS < b.AS
-		}
-		return a.Addr.Less(b.Addr)
-	})
+	sp := h.sessSpans[pi]
+	return h.sess[sp.off : sp.off+sp.n]
 }
 
 // Peers returns every peer seen in the archives, sorted.
-func (h *History) Peers() []PeerID { return h.peers }
+func (h *History) Peers() []PeerID {
+	if h.ref != nil {
+		return h.ref.peers
+	}
+	return h.peers
+}
 
 // State is the reconstructed status of a (peer, prefix) at an instant.
 type State struct {
@@ -200,9 +237,13 @@ type State struct {
 // session downs (a down clears the route: a dead session cannot host a
 // zombie) and ignoring events at or after t.
 func (h *History) StateAt(peer PeerID, p netip.Prefix, t time.Time) State {
+	return stateAtMerged(h.pairEvents(peer, p), h.sessionEvents(peer), t)
+}
+
+// stateAtMerged walks a pair stream and a session stream merged in event
+// order, stopping at t.
+func stateAtMerged(evs, sess []histEvent, t time.Time) State {
 	var st State
-	evs := h.events[peer][p]
-	sess := h.session[peer]
 	i, j := 0, 0
 	for i < len(evs) || j < len(sess) {
 		var ev histEvent
@@ -247,10 +288,43 @@ func (h *History) StateAt(peer PeerID, p netip.Prefix, t time.Time) State {
 	return st
 }
 
+// stateAtIgnoringSessions reconstructs state without honoring session
+// downs, as the legacy pipeline did.
+func (h *History) stateAtIgnoringSessions(peer PeerID, p netip.Prefix, t time.Time) State {
+	var st State
+	for _, ev := range h.pairEvents(peer, p) {
+		if !ev.at.Before(t) {
+			break
+		}
+		st.LastEvent = ev.at
+		switch ev.kind {
+		case evAnnounce:
+			st.Present = true
+			st.Path = ev.path
+			st.Agg = ev.agg
+			st.At = ev.at
+		case evWithdraw:
+			st.Present = false
+		}
+	}
+	return st
+}
+
 // SeenAnnounced reports whether any peer announced p within [from, to).
 func (h *History) SeenAnnounced(p netip.Prefix, from, to time.Time) bool {
-	for _, m := range h.events {
-		for _, ev := range m[p] {
+	if h.ref != nil {
+		return h.ref.seenAnnounced(p, from, to)
+	}
+	xi, ok := h.prefixIdx[p]
+	if !ok {
+		return false
+	}
+	for pi := range h.peers {
+		sp, ok := h.pairs[pairKey(uint32(pi), xi)]
+		if !ok {
+			continue
+		}
+		for _, ev := range h.events[sp.off : sp.off+sp.n] {
 			if ev.kind == evAnnounce && !ev.at.Before(from) && ev.at.Before(to) {
 				return true
 			}

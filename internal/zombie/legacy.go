@@ -2,7 +2,6 @@ package zombie
 
 import (
 	"hash/fnv"
-	"net/netip"
 	"time"
 
 	"zombiescope/internal/beacon"
@@ -107,26 +106,4 @@ func (d *LegacyDetector) checkSucceeds(peer PeerID, iv beacon.Interval) bool {
 	put(uint64(iv.AnnounceAt.Unix()))
 	const span = 1 << 32
 	return float64(h.Sum64()%span)/span < d.availability()
-}
-
-// stateAtIgnoringSessions reconstructs state without honoring session
-// downs, as the legacy pipeline did.
-func (h *History) stateAtIgnoringSessions(peer PeerID, p netip.Prefix, t time.Time) State {
-	var st State
-	for _, ev := range h.events[peer][p] {
-		if !ev.at.Before(t) {
-			break
-		}
-		st.LastEvent = ev.at
-		switch ev.kind {
-		case evAnnounce:
-			st.Present = true
-			st.Path = ev.path
-			st.Agg = ev.agg
-			st.At = ev.at
-		case evWithdraw:
-			st.Present = false
-		}
-	}
-	return st
 }

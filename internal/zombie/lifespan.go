@@ -168,6 +168,9 @@ func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg Li
 	sort.Strings(names)
 	for _, name := range names {
 		rd := mrt.NewReader(bytes.NewReader(dumps[name]))
+		// Borrow is safe: only TABLE_DUMP_V2 records are retained, and the
+		// decoder always allocates those fresh.
+		rd.SetBorrow(true)
 		var table *mrt.PeerIndexTable
 		for {
 			rec, err := rd.Next()
@@ -175,6 +178,7 @@ func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg Li
 				break
 			}
 			if err != nil {
+				rd.Release()
 				return nil, fmt.Errorf("zombie: dumps %s: %w", name, err)
 			}
 			switch r := rec.(type) {
@@ -185,10 +189,12 @@ func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg Li
 					continue
 				}
 				if table == nil {
+					rd.Release()
 					return nil, fmt.Errorf("zombie: dumps %s: %w", name, mrt.ErrNoPeerIndex)
 				}
 				for _, e := range r.Entries {
 					if int(e.PeerIndex) >= len(table.Peers) {
+						rd.Release()
 						return nil, fmt.Errorf("zombie: dumps %s: %w", name, mrt.ErrBadPeerIndex)
 					}
 					pe := table.Peers[e.PeerIndex]
@@ -198,6 +204,7 @@ func TrackLifespans(dumps map[string][]byte, intervals []beacon.Interval, cfg Li
 				}
 			}
 		}
+		rd.Release()
 	}
 	rep := &LifespanReport{Prefixes: make(map[netip.Prefix]*PrefixLifespan)}
 	for k, obs := range series {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
 	"zombiescope/internal/mrt"
 	"zombiescope/internal/obs"
 	"zombiescope/internal/pipeline"
@@ -66,9 +67,11 @@ type peerEvent struct {
 }
 
 // eventBuckets is a per-chunk accumulator: extracted events pre-routed to
-// their peer shard, in stream order within the chunk.
+// their peer shard, in stream order within the chunk, plus the decode
+// scratch workspace reused across the chunk's records.
 type eventBuckets struct {
-	shards [][]peerEvent
+	scratch bgp.Scratch
+	shards  [][]peerEvent
 }
 
 // BuildHistoryParallel is BuildHistory over the pipeline engine with the
@@ -84,7 +87,7 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 	sp.SetArg("collectors", len(updates))
 	sp.SetArg("shards", parallelism)
 	defer sp.End()
-	e := &pipeline.Engine{Workers: parallelism, Trace: sp}
+	e := &pipeline.Engine{Workers: parallelism, Trace: sp, Borrow: true}
 	nshards := parallelism
 	names, accs, err := pipeline.FoldRecords(e, updates,
 		func(pipeline.FileChunk) *eventBuckets {
@@ -95,7 +98,7 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 			// (events of one PeerID never span files); FileBase+idx also
 			// matches the global sequential numbering up to skipped
 			// record types.
-			return recordEvents(fc.Name, fc.FileBase+idx+1, rec, track,
+			return recordEvents(fc.Name, fc.FileBase+idx+1, rec, track, &acc.scratch,
 				func(peer PeerID, p netip.Prefix, ev histEvent) {
 					s := shardOfPeer(peer, nshards)
 					acc.shards[s] = append(acc.shards[s], peerEvent{peer: peer, prefix: p, ev: ev})
@@ -110,61 +113,46 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 	}
 
 	// Shard build: each shard replays its events walking files and chunks
-	// in stream order, so the stable event sort in finish() sees the same
-	// insertion order as the sequential builder. Lock-free: a PeerID maps
-	// to exactly one shard.
+	// in stream order, so every (peer, prefix) stream lands in its builder
+	// in the same order the sequential builder saw. Lock-free: a PeerID
+	// maps to exactly one shard, so a pair never spans builders.
 	m := e.Metrics
 	if m == nil {
 		m = pipeline.Default
 	}
 	buildStart := time.Now()
 	buildSp := sp.Start("zombie.shard_build")
-	frags := make([]*History, nshards)
+	builders := make([]*histBuilder, nshards)
 	e.For(nshards, func(s int) {
-		h := &History{
-			events:  make(map[PeerID]map[netip.Prefix][]histEvent),
-			session: make(map[PeerID][]histEvent),
-		}
+		b := newHistBuilder()
 		n := 0
 		for i := range names {
 			for _, acc := range accs[i] {
 				for _, pe := range acc.shards[s] {
 					if pe.session {
-						h.addSession(pe.peer, pe.ev)
+						b.addSession(pe.peer, pe.ev)
 					} else {
-						h.add(pe.peer, pe.prefix, pe.ev)
+						b.add(pe.peer, pe.prefix, pe.ev)
 					}
 					n++
 				}
 			}
 		}
-		frags[s] = h
+		builders[s] = b
 		m.AddSharded(n)
 	})
 	buildSp.End()
 	m.ObserveBuild(time.Since(buildStart))
 
-	// Merge: PeerIDs are disjoint across shards, so the union is a move;
-	// finish() imposes the canonical ordering.
+	// Merge: sealHistory renumbers canonically and lays out the arenas,
+	// identically to the single-builder sequential path.
 	mergeStart := time.Now()
 	mergeSp := sp.Start("zombie.merge")
-	h := &History{
-		events:  make(map[PeerID]map[netip.Prefix][]histEvent),
-		session: make(map[PeerID][]histEvent),
-	}
-	for _, f := range frags {
-		for peer, byPrefix := range f.events {
-			h.events[peer] = byPrefix
-		}
-		for peer, evs := range f.session {
-			h.session[peer] = evs
-		}
-		h.peers = append(h.peers, f.peers...)
-	}
-	h.finish()
+	h := sealHistory(builders)
 	mergeSp.End()
 	m.AddMerged(nshards)
 	m.ObserveMerge(time.Since(mergeStart))
+	m.SyncHotPath()
 	return h, nil
 }
 
@@ -196,7 +184,9 @@ func trackLifespansParallel(dumps map[string][]byte, intervals []beacon.Interval
 	sp.SetArg("dumps", len(dumps))
 	sp.SetArg("shards", cfg.Parallelism)
 	defer sp.End()
-	e := &pipeline.Engine{Workers: cfg.Parallelism, Trace: sp}
+	// Borrow is safe here: the fold retains only TABLE_DUMP_V2 records,
+	// which the decoder always allocates fresh.
+	e := &pipeline.Engine{Workers: cfg.Parallelism, Trace: sp, Borrow: true}
 	nshards := cfg.Parallelism
 	names, accs, err := pipeline.FoldRecords(e, dumps,
 		func(pipeline.FileChunk) *ribChunk { return &ribChunk{} },

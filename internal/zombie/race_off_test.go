@@ -1,0 +1,5 @@
+//go:build !race
+
+package zombie
+
+const raceEnabled = false
