@@ -1,0 +1,336 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"zombiescope/internal/archive"
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/experiments"
+	"zombiescope/internal/livefeed"
+	"zombiescope/internal/obs"
+	"zombiescope/internal/pipeline"
+)
+
+// config carries the daemon's resolved settings, one field per flag.
+// main translates the command line into one of these; lifecycle tests
+// construct them directly (with ":0" listen addresses).
+type config struct {
+	listenAddr string
+	httpAddr   string // empty disables the HTTP surface
+	archiveDir string // empty selects the simulated author scenario
+	seed       uint64
+	scale      int
+	schedule   string
+	base       string
+	approach   string
+	origin     bgp.ASN
+	stride     int
+	from, to   string
+	threshold  time.Duration
+	speed      float64
+	ringSize   int
+	replayBuf  int
+	allowBlock bool
+	oneshot    bool
+	// grace bounds how long an exiting daemon waits for feed handlers to
+	// flush their subscribers' buffered events. Default 5s.
+	grace time.Duration
+
+	// replayGate, when non-nil, holds the replay until the channel is
+	// closed. Lifecycle tests use it to observe the not-ready window;
+	// main leaves it nil.
+	replayGate <-chan struct{}
+}
+
+func (c config) graceOrDefault() time.Duration {
+	if c.grace <= 0 {
+		return 5 * time.Second
+	}
+	return c.grace
+}
+
+// daemon is one fully-wired zombied instance: feed source, broker,
+// detection pipeline, feed server and HTTP surface, bound to live
+// listeners. Everything is per-instance (no package-level state), so
+// tests can run several daemons in one process.
+type daemon struct {
+	cfg    config
+	logger *slog.Logger
+
+	broker *livefeed.Broker
+	pipe   *livefeed.Pipeline
+	srv    *livefeed.Server
+
+	stream  []livefeed.SourcedRecord
+	flushAt time.Time
+
+	feedL net.Listener
+	httpL net.Listener // nil when the HTTP surface is disabled
+
+	// ready flips once the replay has finished (gates /readyz).
+	ready atomic.Bool
+	// stopping suppresses the accept-loop error that Close provokes.
+	stopping atomic.Bool
+}
+
+// newDaemon loads the feed source and binds both listeners; after it
+// returns, feedAddr/httpAddr are final and run can be called. On error
+// nothing is left listening.
+func newDaemon(cfg config, logger *slog.Logger) (*daemon, error) {
+	feed, err := loadFeed(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loading feed source: %w", err)
+	}
+	stream, err := livefeed.MergeUpdates(feed.updates)
+	if err != nil {
+		return nil, fmt.Errorf("merging update archives: %w", err)
+	}
+	logger.Info("feed source ready",
+		"records", len(stream),
+		"collectors", len(feed.updates),
+		"intervals", len(feed.intervals))
+
+	// One registry carries the broker + detector instruments; /metrics
+	// unions it with the pipeline and collector-fleet registries so the
+	// daemon is a single scrape target.
+	reg := obs.NewRegistry()
+	broker := livefeed.NewBroker(livefeed.Config{
+		RingSize:   cfg.ringSize,
+		ReplaySize: cfg.replayBuf,
+		Metrics:    livefeed.NewMetrics(reg),
+	})
+	d := &daemon{
+		cfg:     cfg,
+		logger:  logger,
+		broker:  broker,
+		pipe:    livefeed.NewPipeline(broker, feed.intervals, cfg.threshold),
+		srv:     &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: cfg.allowBlock},
+		stream:  stream,
+		flushAt: feed.flushAt,
+	}
+	d.feedL, err = net.Listen("tcp", cfg.listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("feed listen: %w", err)
+	}
+	if cfg.httpAddr != "" {
+		d.httpL, err = net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			d.feedL.Close()
+			return nil, fmt.Errorf("http listen: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// feedAddr is the bound feed listener address (resolved ":0" included).
+func (d *daemon) feedAddr() net.Addr { return d.feedL.Addr() }
+
+// httpAddr is the bound HTTP listener address, or nil when disabled.
+func (d *daemon) httpAddr() net.Addr {
+	if d.httpL == nil {
+		return nil
+	}
+	return d.httpL.Addr()
+}
+
+// run serves the feed, replays the source through the detector, and —
+// when ctx is canceled (or immediately in oneshot mode once the replay
+// completes) — exits gracefully: the broker closes first so subscribers
+// stop filling, then the feed server drains every handler within the
+// grace period, so events already queued to a subscriber are never
+// dropped by an orderly exit.
+func (d *daemon) run(ctx context.Context) error {
+	go func() {
+		if err := d.srv.Serve(d.feedL); err != nil && !d.stopping.Load() {
+			d.logger.Error("feed server", "err", err)
+		}
+	}()
+	d.logger.Info("feed listening", "addr", d.feedAddr().String())
+
+	var httpSrv *http.Server
+	if d.httpL != nil {
+		httpSrv = &http.Server{Handler: d.httpMux()}
+		go httpSrv.Serve(d.httpL)
+		d.logger.Info("http listening", "addr", d.httpAddr().String(),
+			"endpoints", "/metrics /metrics/livefeed /metrics/pipeline /healthz /readyz /debug/pprof/")
+	}
+
+	replayed := make(chan error, 1)
+	go func() {
+		if gate := d.cfg.replayGate; gate != nil {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				replayed <- ctx.Err()
+				return
+			}
+		}
+		err := d.pipe.Replay(ctx, d.stream, d.flushAt, d.cfg.speed)
+		if err == nil {
+			d.ready.Store(true)
+		}
+		replayed <- err
+	}()
+
+	var runErr error
+	if d.cfg.oneshot {
+		if err := <-replayed; err != nil && err != context.Canceled {
+			runErr = fmt.Errorf("replay: %w", err)
+		} else {
+			d.logger.Info("replay done, exiting (oneshot)", "events", d.broker.Seq())
+		}
+	} else {
+		select {
+		case err := <-replayed:
+			if err != nil && err != context.Canceled {
+				runErr = fmt.Errorf("replay: %w", err)
+			} else {
+				d.logger.Info("replay done, serving subscribers (ctrl-c to exit)", "events", d.broker.Seq())
+				<-ctx.Done()
+			}
+		case <-ctx.Done():
+		}
+	}
+
+	d.stopping.Store(true)
+	d.broker.Close()
+	d.srv.Shutdown(d.cfg.graceOrDefault())
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	return runErr
+}
+
+// httpMux assembles the daemon's observability surface: a unified
+// Prometheus scrape, the legacy JSON snapshots, split liveness/readiness
+// probes, and the Go profiler.
+func (d *daemon) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MultiHandler(d.broker.Metrics().Registry(), pipeline.Default.Registry(), collector.Registry()))
+	mux.Handle("/metrics/livefeed", d.broker.Metrics().Handler())
+	mux.Handle("/metrics/pipeline", pipeline.Default.Handler())
+	// /healthz is pure liveness: the process is up and serving HTTP.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+	})
+	// /readyz gates on the replay: a fresh daemon is not ready until the
+	// archive has been fed through the detector (load balancers should
+	// not route live subscribers to a daemon still warming up).
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ready := d.ready.Load()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"ready":          ready,
+			"seq":            d.broker.Seq(),
+			"subscribers":    d.broker.SubscriberCount(),
+			"pending_checks": d.pipe.PendingChecks(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// feedSource is the resolved record source: per-collector update archives
+// plus the detection intervals covering them.
+type feedSource struct {
+	updates   map[string][]byte
+	intervals []beacon.Interval
+	flushAt   time.Time
+}
+
+// loadFeed resolves the daemon's record source: an on-disk archive with a
+// schedule reconstructed from the config, or the simulated author
+// scenario.
+func loadFeed(cfg config) (*feedSource, error) {
+	if cfg.archiveDir == "" {
+		data, err := experiments.RunAuthorScenario(experiments.DefaultAuthorConfig(cfg.seed, cfg.scale))
+		if err != nil {
+			return nil, err
+		}
+		return &feedSource{
+			updates:   data.Updates,
+			intervals: data.Intervals,
+			flushAt:   data.Config.TrackUntil,
+		}, nil
+	}
+	intervals, err := scheduleIntervals(cfg)
+	if err != nil {
+		return nil, err
+	}
+	set, err := archive.Load(cfg.archiveDir)
+	if err != nil {
+		return nil, err
+	}
+	return &feedSource{
+		updates:   set.Updates,
+		intervals: intervals,
+		flushAt:   flushInstant(intervals),
+	}, nil
+}
+
+// scheduleIntervals rebuilds the beacon detection intervals from the
+// schedule config (mirroring zombiehunt).
+func scheduleIntervals(cfg config) ([]beacon.Interval, error) {
+	from, err := time.Parse(time.RFC3339, cfg.from)
+	if err != nil {
+		return nil, fmt.Errorf("-from: %w", err)
+	}
+	to, err := time.Parse(time.RFC3339, cfg.to)
+	if err != nil {
+		return nil, fmt.Errorf("-to: %w", err)
+	}
+	var sched beacon.Schedule
+	switch cfg.schedule {
+	case "author":
+		base, err := netip.ParsePrefix(cfg.base)
+		if err != nil {
+			return nil, err
+		}
+		ap := beacon.Recycle15d
+		if cfg.approach == "24h" {
+			ap = beacon.Recycle24h
+		}
+		sched = &beacon.AuthorSchedule{Base: base, OriginAS: cfg.origin, Approach: ap, SlotStride: cfg.stride}
+	case "ris":
+		v4, v6 := beacon.DefaultRISPrefixes(cfg.origin)
+		sched = &beacon.RISSchedule{Prefixes4: v4, Prefixes6: v6, OriginAS: cfg.origin}
+	default:
+		return nil, fmt.Errorf("unknown -schedule %q", cfg.schedule)
+	}
+	intervals := sched.Intervals(from, to)
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("no beacon intervals in [%s, %s]", from, to)
+	}
+	return intervals, nil
+}
+
+// flushInstant is when every interval check of the schedule has certainly
+// fired: the last recycle horizon plus a margin.
+func flushInstant(intervals []beacon.Interval) time.Time {
+	var last time.Time
+	for _, iv := range intervals {
+		if iv.End.After(last) {
+			last = iv.End
+		}
+	}
+	return last.Add(24 * time.Hour)
+}

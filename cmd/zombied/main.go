@@ -16,13 +16,17 @@
 //	        [-archive ./archive -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
 //	         -base 2a0d:3dc1::/32 -approach 15d -stride 1] \
 //	        [-seed 42 -scale 8]           (simulated scenario mode) \
-//	        [-threshold 90m] [-speed 0] [-policy-block] [-oneshot]
+//	        [-threshold 90m] [-speed 0] [-policy-block] [-oneshot] [-grace 5s]
 //
 // Subscribers connect with livefeed.Client (or any implementation of the
 // frame protocol documented in internal/livefeed), choosing server-side
 // filters and a backpressure policy (drop-oldest, kick-slowest; block
 // only when -policy-block is set). -speed 0 replays as fast as possible;
 // -speed 3600 plays one simulated hour per wall second.
+//
+// On SIGINT/SIGTERM the daemon exits gracefully: the broker closes so
+// subscribers stop filling, then every feed handler gets up to -grace to
+// flush its subscriber's buffered events before the connection is cut.
 //
 // The HTTP endpoint is the daemon's observability surface:
 //
@@ -41,27 +45,15 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"net/netip"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"zombiescope/internal/archive"
-	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
-	"zombiescope/internal/collector"
-	"zombiescope/internal/experiments"
-	"zombiescope/internal/livefeed"
 	"zombiescope/internal/obs"
-	"zombiescope/internal/pipeline"
 )
 
 func main() {
@@ -84,6 +76,7 @@ func main() {
 		replayBuf  = flag.Int("resume-buffer", 4096, "events retained for resume-from-sequence")
 		allowBlock = flag.Bool("policy-block", false, "allow subscribers to request the block backpressure policy")
 		oneshot    = flag.Bool("oneshot", false, "exit once the replay completes instead of serving forever")
+		grace      = flag.Duration("grace", 5*time.Second, "how long a graceful exit waits for subscribers to drain")
 		logFormat  = flag.String("log-format", "text", "log output format: text | json")
 		logLevel   = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
 	)
@@ -95,209 +88,38 @@ func main() {
 		os.Exit(1)
 	}
 	logger := obs.Component(base, "zombied")
-	fatal := func(msg string, err error) {
-		logger.Error(msg, "err", err)
+
+	cfg := config{
+		listenAddr: *listenAddr,
+		httpAddr:   *httpAddr,
+		archiveDir: *archiveDir,
+		seed:       *seed,
+		scale:      *scale,
+		schedule:   *schedKind,
+		base:       *baseStr,
+		approach:   *approach,
+		origin:     bgp.ASN(*origin),
+		stride:     *stride,
+		from:       *fromStr,
+		to:         *toStr,
+		threshold:  *threshold,
+		speed:      *speed,
+		ringSize:   *ringSize,
+		replayBuf:  *replayBuf,
+		allowBlock: *allowBlock,
+		oneshot:    *oneshot,
+		grace:      *grace,
+	}
+	d, err := newDaemon(cfg, logger)
+	if err != nil {
+		logger.Error("starting daemon", "err", err)
 		os.Exit(1)
-	}
-
-	feed, err := loadFeed(*archiveDir, *schedKind, *baseStr, *approach, *fromStr, *toStr, bgp.ASN(*origin), *stride, *seed, *scale)
-	if err != nil {
-		fatal("loading feed source", err)
-	}
-	stream, err := livefeed.MergeUpdates(feed.updates)
-	if err != nil {
-		fatal("merging update archives", err)
-	}
-	logger.Info("feed source ready",
-		"records", len(stream),
-		"collectors", len(feed.updates),
-		"intervals", len(feed.intervals))
-
-	// One registry carries the broker + detector instruments; /metrics
-	// unions it with the pipeline and collector-fleet registries so the
-	// daemon is a single scrape target.
-	reg := obs.NewRegistry()
-	broker := livefeed.NewBroker(livefeed.Config{
-		RingSize:   *ringSize,
-		ReplaySize: *replayBuf,
-		Metrics:    livefeed.NewMetrics(reg),
-	})
-	pipe := livefeed.NewPipeline(broker, feed.intervals, *threshold)
-
-	srv := &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: *allowBlock}
-	l, err := net.Listen("tcp", *listenAddr)
-	if err != nil {
-		fatal("feed listen", err)
-	}
-	logger.Info("feed listening", "addr", l.Addr().String())
-	go func() {
-		if err := srv.Serve(l); err != nil && !done.Load() {
-			logger.Error("feed server", "err", err)
-		}
-	}()
-
-	if *httpAddr != "" {
-		mux := newHTTPMux(reg, broker, pipe)
-		hl, err := net.Listen("tcp", *httpAddr)
-		if err != nil {
-			fatal("http listen", err)
-		}
-		logger.Info("http listening", "addr", hl.Addr().String(),
-			"endpoints", "/metrics /metrics/livefeed /metrics/pipeline /healthz /readyz /debug/pprof/")
-		go http.Serve(hl, mux)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	replayed := make(chan error, 1)
-	go func() {
-		err := pipe.Replay(ctx, stream, feed.flushAt, *speed)
-		done.Store(true)
-		replayed <- err
-	}()
-
-	if *oneshot {
-		if err := <-replayed; err != nil && err != context.Canceled {
-			fatal("replay", err)
-		}
-		logger.Info("replay done, exiting (oneshot)", "events", broker.Seq())
-	} else {
-		select {
-		case err := <-replayed:
-			if err != nil && err != context.Canceled {
-				fatal("replay", err)
-			}
-			logger.Info("replay done, serving subscribers (ctrl-c to exit)", "events", broker.Seq())
-			<-ctx.Done()
-		case <-ctx.Done():
-		}
+	if err := d.run(ctx); err != nil {
+		logger.Error("daemon", "err", err)
+		os.Exit(1)
 	}
-	srv.Close()
-	broker.Close()
-}
-
-// newHTTPMux assembles the daemon's observability surface: a unified
-// Prometheus scrape, the legacy JSON snapshots, split liveness/readiness
-// probes, and the Go profiler.
-func newHTTPMux(reg *obs.Registry, broker *livefeed.Broker, pipe *livefeed.Pipeline) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.MultiHandler(reg, pipeline.Default.Registry(), collector.Registry()))
-	mux.Handle("/metrics/livefeed", broker.Metrics().Handler())
-	mux.Handle("/metrics/pipeline", pipeline.Default.Handler())
-	// /healthz is pure liveness: the process is up and serving HTTP.
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
-	})
-	// /readyz gates on the replay: a fresh daemon is not ready until the
-	// archive has been fed through the detector (load balancers should
-	// not route live subscribers to a daemon still warming up).
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		ready := done.Load()
-		if !ready {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		json.NewEncoder(w).Encode(map[string]any{
-			"ready":          ready,
-			"seq":            broker.Seq(),
-			"subscribers":    broker.SubscriberCount(),
-			"pending_checks": pipe.PendingChecks(),
-		})
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
-
-// done flips once the replay has finished (read by /healthz).
-var done atomic.Bool
-
-// feedSource is the resolved record source: per-collector update archives
-// plus the detection intervals covering them.
-type feedSource struct {
-	updates   map[string][]byte
-	intervals []beacon.Interval
-	flushAt   time.Time
-}
-
-// loadFeed resolves the daemon's record source: an on-disk archive with a
-// schedule reconstructed from flags, or the simulated author scenario.
-func loadFeed(dir, schedKind, baseStr, approach, fromStr, toStr string, origin bgp.ASN, stride int, seed uint64, scale int) (*feedSource, error) {
-	if dir == "" {
-		data, err := experiments.RunAuthorScenario(experiments.DefaultAuthorConfig(seed, scale))
-		if err != nil {
-			return nil, err
-		}
-		return &feedSource{
-			updates:   data.Updates,
-			intervals: data.Intervals,
-			flushAt:   data.Config.TrackUntil,
-		}, nil
-	}
-	intervals, err := scheduleIntervals(schedKind, baseStr, approach, fromStr, toStr, origin, stride)
-	if err != nil {
-		return nil, err
-	}
-	set, err := archive.Load(dir)
-	if err != nil {
-		return nil, err
-	}
-	return &feedSource{
-		updates:   set.Updates,
-		intervals: intervals,
-		flushAt:   flushInstant(intervals),
-	}, nil
-}
-
-// scheduleIntervals rebuilds the beacon detection intervals from the
-// schedule flags (mirroring zombiehunt).
-func scheduleIntervals(schedKind, baseStr, approach, fromStr, toStr string, origin bgp.ASN, stride int) ([]beacon.Interval, error) {
-	from, err := time.Parse(time.RFC3339, fromStr)
-	if err != nil {
-		return nil, fmt.Errorf("-from: %w", err)
-	}
-	to, err := time.Parse(time.RFC3339, toStr)
-	if err != nil {
-		return nil, fmt.Errorf("-to: %w", err)
-	}
-	var sched beacon.Schedule
-	switch schedKind {
-	case "author":
-		base, err := netip.ParsePrefix(baseStr)
-		if err != nil {
-			return nil, err
-		}
-		ap := beacon.Recycle15d
-		if approach == "24h" {
-			ap = beacon.Recycle24h
-		}
-		sched = &beacon.AuthorSchedule{Base: base, OriginAS: origin, Approach: ap, SlotStride: stride}
-	case "ris":
-		v4, v6 := beacon.DefaultRISPrefixes(origin)
-		sched = &beacon.RISSchedule{Prefixes4: v4, Prefixes6: v6, OriginAS: origin}
-	default:
-		return nil, fmt.Errorf("unknown -schedule %q", schedKind)
-	}
-	intervals := sched.Intervals(from, to)
-	if len(intervals) == 0 {
-		return nil, fmt.Errorf("no beacon intervals in [%s, %s]", from, to)
-	}
-	return intervals, nil
-}
-
-// flushInstant is when every interval check of the schedule has certainly
-// fired: the last recycle horizon plus a margin.
-func flushInstant(intervals []beacon.Interval) time.Time {
-	var last time.Time
-	for _, iv := range intervals {
-		if iv.End.After(last) {
-			last = iv.End
-		}
-	}
-	return last.Add(24 * time.Hour)
 }

@@ -59,12 +59,22 @@ func AggregatorClock(t time.Time) netip.Addr {
 	return netip.AddrFrom4(b)
 }
 
+// clockSkewSlack is how far into ref's future a decoded clock may point
+// before DecodeAggregatorClock concludes the encoding straddled a month
+// boundary. Announcements precede observations, so a genuinely-future
+// decode only ever comes from clock skew (seconds) or mis-anchoring
+// (weeks); an hour cleanly separates the two.
+const clockSkewSlack = time.Hour
+
 // DecodeAggregatorClock recovers the announcement time encoded in a beacon
 // Aggregator address, interpreted relative to the month containing ref
-// (the best-case scenario the paper describes: the attribute is ambiguous
-// across months, so the decoder assumes the most recent possible origin at
-// or before ref's month end). It returns false if the address is not a
-// beacon clock (not in 10.0.0.0/8).
+// (the attribute is ambiguous across months, so the decoder assumes the
+// most recent origin not after ref). A route announced late in one month
+// but observed just after the next month began would decode weeks into
+// ref's future; since announcements cannot postdate their observation by
+// more than clock skew, any decode further than clockSkewSlack past ref is
+// re-anchored to the previous month. It returns false if the address is
+// not a beacon clock (not in 10.0.0.0/8).
 func DecodeAggregatorClock(a netip.Addr, ref time.Time) (time.Time, bool) {
 	if !a.Is4() {
 		return time.Time{}, false
@@ -76,7 +86,11 @@ func DecodeAggregatorClock(a netip.Addr, ref time.Time) (time.Time, bool) {
 	secs := uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 	ref = ref.UTC()
 	monthStart := time.Date(ref.Year(), ref.Month(), 1, 0, 0, 0, 0, time.UTC)
-	return monthStart.Add(time.Duration(secs) * time.Second), true
+	at := monthStart.Add(time.Duration(secs) * time.Second)
+	if at.After(ref.Add(clockSkewSlack)) {
+		at = monthStart.AddDate(0, -1, 0).Add(time.Duration(secs) * time.Second)
+	}
+	return at, true
 }
 
 // hexFold interprets the decimal digits of v as hexadecimal nibbles:

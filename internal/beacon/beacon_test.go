@@ -88,12 +88,35 @@ func TestDecodeAggregatorClockTable(t *testing.T) {
 			ok:   true,
 		},
 		{
+			// Ordinary clock skew (decode slightly past ref, within the
+			// slack) must NOT trigger re-anchoring.
+			name: "decode within skew slack stays in ref month",
+			addr: "10.23.222.42", // 1564202 s = June 19 02:30:02
+			ref:  ref,             // June 19 02:00:02
+			want: time.Date(2024, 6, 19, 2, 30, 2, 0, time.UTC),
+			ok:   true,
+		},
+		{
+			// The inverse wrap: a route announced late in May but first
+			// observed just after June began decodes weeks into ref's
+			// future under June anchoring. Announcements cannot postdate
+			// their observation, so the decoder re-anchors to May and the
+			// timestamp comes back exact.
+			name: "late-month encoding observed after rollover re-anchors to previous month",
+			addr: "10.40.220.40", // AggregatorClock(2024-05-31 23:50) = 2677800 s
+			ref:  time.Date(2024, 6, 1, 0, 5, 0, 0, time.UTC),
+			want: time.Date(2024, 5, 31, 23, 50, 0, 0, time.UTC),
+			ok:   true,
+		},
+		{
 			// The 24-bit counter tops out above any month length; the
-			// decoder does not clamp — garbage in, late timestamp out.
+			// decoder does not clamp, but a value past ref+slack is
+			// re-anchored one month back like any other wrap — garbage
+			// in, late (previous-month) timestamp out.
 			name: "max 24-bit value extends past the month",
 			addr: "10.255.255.255",
 			ref:  ref,
-			want: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC).Add(16777215 * time.Second),
+			want: time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC).Add(16777215 * time.Second),
 			ok:   true,
 		},
 		{

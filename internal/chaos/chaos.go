@@ -1,0 +1,385 @@
+// Package chaos is a deterministic, seed-driven fault-injection harness
+// for the streaming path. It wraps net.Conn / net.Listener (and plain
+// io.Reader for MRT replay) with a scripted schedule of transport
+// faults — latency spikes, short reads and fragmented writes, byte
+// corruption, mid-frame connection resets, and stalls — the flaky-
+// session and stuck-RIB conditions the paper studies, applied to our
+// own wire instead of a router's.
+//
+// Everything is derived from a single seed: the Plan's seed and a
+// connection counter feed a PCG stream per (connection, direction), and
+// the resulting schedule is a fixed list of fault points keyed on byte
+// offsets of that direction's stream. Because the bytes a deterministic
+// replay produces are themselves deterministic, the same seed yields
+// the same schedule and the same byte gets corrupted, the same frame is
+// cut by a reset, the same write stalls. A failing soak seed therefore
+// replays: rerun the test with the seed it printed.
+//
+// What is NOT deterministic is wall-clock interleaving (TCP segmenting,
+// goroutine scheduling), which the invariants checked by the soak suite
+// are explicitly independent of.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault enumerates the injected fault kinds.
+type Fault uint8
+
+const (
+	// FaultLatency delays an operation by a bounded, schedule-chosen
+	// duration — collector feed jitter.
+	FaultLatency Fault = iota
+	// FaultShortOp truncates a read (or fragments a write) to a few
+	// bytes, forcing partial-frame handling on both sides.
+	FaultShortOp
+	// FaultCorrupt XORs one byte of the stream with a nonzero mask —
+	// the silent bit-flip the frame checksum exists to catch.
+	FaultCorrupt
+	// FaultReset closes the connection at an exact byte offset,
+	// usually mid-frame — the session reset the paper's zombies
+	// survive.
+	FaultReset
+	// FaultStall stops moving bytes while keeping the connection open —
+	// the transport-layer analogue of a stuck RIB. Released when the
+	// connection closes or the plan's StallTimeout expires.
+	FaultStall
+
+	numFaults
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultLatency:
+		return "latency"
+	case FaultShortOp:
+		return "short-op"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultReset:
+		return "reset"
+	case FaultStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}
+
+// Faults returns every fault kind, for coverage assertions.
+func Faults() []Fault {
+	out := make([]Fault, 0, numFaults)
+	for f := Fault(0); f < numFaults; f++ {
+		out = append(out, f)
+	}
+	return out
+}
+
+// ErrInjected is returned by operations cut off by a FaultReset.
+var ErrInjected = errors.New("chaos: injected connection reset")
+
+// Plan parameterizes an Injector. The zero value of every field but
+// Seed is a usable default.
+type Plan struct {
+	// Seed derives every schedule. Same seed, same plan, same faults.
+	Seed uint64
+	// MeanGap is the average number of stream bytes between scheduled
+	// fault points on one direction of one connection. Default 4096.
+	MeanGap int
+	// Horizon caps how many fault points one direction's schedule
+	// holds; after the schedule is exhausted the connection behaves
+	// normally, so a harnessed system that keeps reconnecting always
+	// has a path to progress. Default 16.
+	Horizon int
+	// MaxLatency bounds FaultLatency delays. Default 2ms.
+	MaxLatency time.Duration
+	// StallTimeout force-releases a FaultStall, bounding how long a
+	// stall can hold an operation that nobody aborts. Default 1s.
+	StallTimeout time.Duration
+	// MaxConns stops injecting after this many wrapped connections
+	// (later ones pass through untouched) — a chaos budget that
+	// guarantees eventual success for reconnecting clients. 0 means
+	// unlimited.
+	MaxConns int
+	// Disable masks fault kinds out of generated schedules.
+	Disable []Fault
+}
+
+func (p Plan) meanGap() int {
+	if p.MeanGap <= 0 {
+		return 4096
+	}
+	return p.MeanGap
+}
+
+func (p Plan) horizon() int {
+	if p.Horizon <= 0 {
+		return 16
+	}
+	return p.Horizon
+}
+
+func (p Plan) maxLatency() time.Duration {
+	if p.MaxLatency <= 0 {
+		return 2 * time.Millisecond
+	}
+	return p.MaxLatency
+}
+
+func (p Plan) stallTimeout() time.Duration {
+	if p.StallTimeout <= 0 {
+		return time.Second
+	}
+	return p.StallTimeout
+}
+
+// Point is one scheduled fault: at stream byte offset Off of its
+// direction, fault Kind fires with parameter Arg (latency nanoseconds,
+// XOR mask, or fragment size).
+type Point struct {
+	Off  int64
+	Kind Fault
+	Arg  uint64
+}
+
+// Injector derives per-connection fault schedules from a Plan and
+// counts the faults that actually fired.
+type Injector struct {
+	plan    Plan
+	enabled []Fault
+
+	conns atomic.Int64
+	fired [numFaults]atomic.Uint64
+}
+
+// New builds an Injector for the plan.
+func New(plan Plan) *Injector {
+	disabled := make(map[Fault]bool, len(plan.Disable))
+	for _, f := range plan.Disable {
+		disabled[f] = true
+	}
+	in := &Injector{plan: plan}
+	for f := Fault(0); f < numFaults; f++ {
+		if !disabled[f] {
+			in.enabled = append(in.enabled, f)
+		}
+	}
+	return in
+}
+
+// Fired returns how many times each fault kind has fired so far.
+func (in *Injector) Fired() map[Fault]uint64 {
+	out := make(map[Fault]uint64, numFaults)
+	for f := Fault(0); f < numFaults; f++ {
+		if n := in.fired[f].Load(); n > 0 {
+			out[f] = n
+		}
+	}
+	return out
+}
+
+// Conns returns how many connections (and readers) have been wrapped.
+func (in *Injector) Conns() int { return int(in.conns.Load()) }
+
+func (in *Injector) note(f Fault) { in.fired[f].Add(1) }
+
+func (in *Injector) sleep(ns uint64) {
+	in.note(FaultLatency)
+	time.Sleep(time.Duration(ns))
+}
+
+// stall holds the caller until the connection closes or the stall
+// timeout expires, whichever is first.
+func (in *Injector) stall(closed <-chan struct{}) {
+	in.note(FaultStall)
+	t := time.NewTimer(in.plan.stallTimeout())
+	defer t.Stop()
+	select {
+	case <-closed:
+	case <-t.C:
+	}
+}
+
+// Schedule returns the fault script for one direction of the idx-th
+// wrapped connection (dir 0 = reads, 1 = writes). It is a pure function
+// of (plan seed, idx, dir) — the determinism tests compare successive
+// calls, and a failing soak seed can be inspected with it.
+func (in *Injector) Schedule(idx, dir int) []Point {
+	if len(in.enabled) == 0 {
+		return nil
+	}
+	// Two splitmix64 steps decorrelate the per-direction PCG streams
+	// from each other and from nearby seeds.
+	s := splitmix64(in.plan.Seed ^ splitmix64(uint64(idx)<<1|uint64(dir)))
+	rng := rand.New(rand.NewPCG(s, splitmix64(s)))
+
+	gap := func() int64 { return 1 + rng.Int64N(int64(2*in.plan.meanGap())) }
+	var pts []Point
+	off := gap()
+	for i := 0; i < in.plan.horizon(); i++ {
+		p := Point{Off: off, Kind: in.enabled[rng.IntN(len(in.enabled))]}
+		switch p.Kind {
+		case FaultLatency:
+			p.Arg = 1 + uint64(rng.Int64N(int64(in.plan.maxLatency())))
+		case FaultCorrupt:
+			p.Arg = 1 + uint64(rng.IntN(255)) // nonzero XOR mask
+		case FaultShortOp:
+			p.Arg = 1 + uint64(rng.IntN(7)) // read/write at most this many bytes
+		}
+		pts = append(pts, p)
+		if p.Kind == FaultReset || p.Kind == FaultStall {
+			// Terminal for the schedule: a reset kills the conn, and
+			// after a stall the peer has almost certainly hung up.
+			break
+		}
+		off += gap()
+	}
+	return pts
+}
+
+// nextIdx allocates the next connection index, or -1 once the chaos
+// budget (MaxConns) is spent.
+func (in *Injector) nextIdx() int {
+	idx := int(in.conns.Add(1)) - 1
+	if in.plan.MaxConns > 0 && idx >= in.plan.MaxConns {
+		return -1
+	}
+	return idx
+}
+
+// Conn wraps nc with this injector's next connection schedule. Past the
+// plan's MaxConns budget it returns nc untouched.
+func (in *Injector) Conn(nc net.Conn) net.Conn {
+	idx := in.nextIdx()
+	if idx < 0 || len(in.enabled) == 0 {
+		return nc
+	}
+	c := &Conn{nc: nc, inj: in, closed: make(chan struct{})}
+	c.rd.pts = in.Schedule(idx, 0)
+	c.wr.pts = in.Schedule(idx, 1)
+	return c
+}
+
+// Listener wraps l so every accepted connection carries a fresh fault
+// schedule.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return &chaosListener{Listener: l, inj: in}
+}
+
+type chaosListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Conn(c), nil
+}
+
+// Reader wraps r with a read-direction fault schedule — the MRT replay
+// variant: archives fed through it see the same latency spikes, short
+// reads, corrupt bytes, resets (surfacing as ErrInjected) and stalls as
+// a live connection would.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	idx := in.nextIdx()
+	if idx < 0 || len(in.enabled) == 0 {
+		return r
+	}
+	cr := &chaosReader{r: r, inj: in, closed: make(chan struct{})}
+	cr.d.pts = in.Schedule(idx, 0)
+	return cr
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// scrambler for deriving independent sub-seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// direction is one side of a connection's fault script plus the number
+// of stream bytes that already passed it.
+type direction struct {
+	mu  sync.Mutex
+	pts []Point
+	off int64
+}
+
+// plan runs the pre-op portion of the schedule (latency, stall, reset
+// due at the current offset) and then bounds the next transfer so no
+// pending fault point is overrun: the returned limit is how many bytes
+// the operation may move, corrupt reports whether exactly the next byte
+// must be XORed with mask. A zero limit with ok=false means the
+// connection was reset.
+func (d *direction) plan(inj *Injector, closed <-chan struct{}, want int) (limit int, corrupt bool, mask byte, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pts) > 0 && d.pts[0].Off <= d.off {
+		p := d.pts[0]
+		switch p.Kind {
+		case FaultLatency:
+			d.pts = d.pts[1:]
+			d.mu.Unlock()
+			inj.sleep(p.Arg)
+			d.mu.Lock()
+		case FaultStall:
+			d.pts = d.pts[1:]
+			d.mu.Unlock()
+			inj.stall(closed)
+			d.mu.Lock()
+		case FaultReset:
+			d.pts = nil
+			inj.note(FaultReset)
+			return 0, false, 0, false
+		case FaultShortOp:
+			d.pts = d.pts[1:]
+			inj.note(FaultShortOp)
+			if want > int(p.Arg) {
+				want = int(p.Arg)
+			}
+			return d.bound(want)
+		case FaultCorrupt:
+			// Due now: the very next byte gets flipped.
+			return 1, true, byte(d.pts[0].Arg), true
+		}
+	}
+	return d.bound(want)
+}
+
+// bound caps want so the transfer stops exactly at the next fault
+// point's offset (making corruption and resets byte-exact).
+func (d *direction) bound(want int) (int, bool, byte, bool) {
+	if len(d.pts) > 0 {
+		if avail := d.pts[0].Off - d.off; int64(want) > avail {
+			want = int(avail)
+		}
+	}
+	if want < 1 {
+		want = 1
+	}
+	return want, false, 0, true
+}
+
+// advance accounts n transferred bytes, consuming the corrupt point the
+// transfer was planned for.
+func (d *direction) advance(inj *Injector, n int, wasCorrupt bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if wasCorrupt && n > 0 && len(d.pts) > 0 && d.pts[0].Kind == FaultCorrupt {
+		d.pts = d.pts[1:]
+		inj.note(FaultCorrupt)
+	}
+	d.off += int64(n)
+}

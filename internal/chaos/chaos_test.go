@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic: schedules are a pure function of
+// (seed, connection, direction) — the property that makes a failing
+// soak seed replayable.
+func TestScheduleDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, MeanGap: 512, Horizon: 10}
+	a, b := New(plan), New(plan)
+	for idx := 0; idx < 8; idx++ {
+		for dir := 0; dir < 2; dir++ {
+			if !reflect.DeepEqual(a.Schedule(idx, dir), b.Schedule(idx, dir)) {
+				t.Fatalf("schedule (%d,%d) differs between injectors built from the same plan", idx, dir)
+			}
+			if !reflect.DeepEqual(a.Schedule(idx, dir), a.Schedule(idx, dir)) {
+				t.Fatalf("schedule (%d,%d) differs between calls on one injector", idx, dir)
+			}
+		}
+	}
+	// Different seeds must decorrelate, and so must the two directions of
+	// one connection.
+	c := New(Plan{Seed: 8, MeanGap: 512, Horizon: 10})
+	if reflect.DeepEqual(a.Schedule(0, 0), c.Schedule(0, 0)) {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+	if reflect.DeepEqual(a.Schedule(0, 0), a.Schedule(0, 1)) {
+		t.Fatal("read and write schedules of one connection are identical")
+	}
+}
+
+// TestScheduleShape: offsets strictly increase, only enabled faults
+// appear, terminal faults (reset, stall) end the schedule, and the
+// horizon bounds its length.
+func TestScheduleShape(t *testing.T) {
+	in := New(Plan{Seed: 99, MeanGap: 256, Horizon: 12})
+	sawTerminal := false
+	for idx := 0; idx < 64; idx++ {
+		for dir := 0; dir < 2; dir++ {
+			pts := in.Schedule(idx, dir)
+			if len(pts) == 0 || len(pts) > 12 {
+				t.Fatalf("schedule (%d,%d) has %d points, want 1..12", idx, dir, len(pts))
+			}
+			for i, p := range pts {
+				if i > 0 && p.Off <= pts[i-1].Off {
+					t.Fatalf("schedule (%d,%d) offsets not increasing: %v", idx, dir, pts)
+				}
+				terminal := p.Kind == FaultReset || p.Kind == FaultStall
+				if terminal {
+					sawTerminal = true
+					if i != len(pts)-1 {
+						t.Fatalf("schedule (%d,%d) continues past terminal %s: %v", idx, dir, p.Kind, pts)
+					}
+				}
+				if p.Kind == FaultCorrupt && byte(p.Arg) == 0 {
+					t.Fatalf("corrupt point with zero mask: %+v", p)
+				}
+			}
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("64 connections x 12 points produced no reset/stall at all")
+	}
+
+	only := New(Plan{Seed: 99, Horizon: 12,
+		Disable: []Fault{FaultCorrupt, FaultReset, FaultStall, FaultLatency}})
+	for idx := 0; idx < 16; idx++ {
+		for _, p := range only.Schedule(idx, 0) {
+			if p.Kind != FaultShortOp {
+				t.Fatalf("disabled fault %s still scheduled", p.Kind)
+			}
+		}
+	}
+}
+
+// randBytes is deterministic test data (the harness itself bans
+// wall-clock randomness, and so do its tests).
+func randBytes(seed uint64, n int) []byte {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.UintN(256))
+	}
+	return b
+}
+
+// onlyFault disables every fault but f.
+func onlyFault(f Fault) []Fault {
+	var d []Fault
+	for _, g := range Faults() {
+		if g != f {
+			d = append(d, g)
+		}
+	}
+	return d
+}
+
+// TestReaderCorruptsExactBytes: with a corruption-only plan, the bytes
+// that come out of the reader differ from the input at exactly the
+// scheduled offsets, XORed with the scheduled masks — twice over, since
+// the same seed must corrupt the same bytes.
+func TestReaderCorruptsExactBytes(t *testing.T) {
+	plan := Plan{Seed: 5, MeanGap: 200, Horizon: 8, Disable: onlyFault(FaultCorrupt)}
+	clean := randBytes(1, 4096)
+
+	run := func() []byte {
+		in := New(plan)
+		out, err := io.ReadAll(in.Reader(bytes.NewReader(clean)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(len(in.Schedule(0, 0))); in.Fired()[FaultCorrupt] != want {
+			t.Fatalf("fired %d corruptions, schedule has %d", in.Fired()[FaultCorrupt], want)
+		}
+		return out
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed corrupted different bytes on two runs")
+	}
+
+	want := append([]byte(nil), clean...)
+	for _, p := range New(plan).Schedule(0, 0) {
+		if p.Off >= int64(len(want)) {
+			t.Fatalf("corrupt point at %d beyond %d-byte stream; shrink MeanGap", p.Off, len(want))
+		}
+		want[p.Off] ^= byte(p.Arg)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatal("corruption did not land at the scheduled offsets/masks")
+	}
+}
+
+// TestReaderResetsAtExactOffset: a reset-only schedule cuts the stream
+// after exactly Off bytes with ErrInjected.
+func TestReaderResetsAtExactOffset(t *testing.T) {
+	plan := Plan{Seed: 11, MeanGap: 300, Horizon: 4, Disable: onlyFault(FaultReset)}
+	in := New(plan)
+	resetOff := in.Schedule(0, 0)[0].Off
+
+	out, err := io.ReadAll(in.Reader(bytes.NewReader(randBytes(2, 4096))))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAll error = %v, want ErrInjected", err)
+	}
+	if int64(len(out)) != resetOff {
+		t.Fatalf("stream cut after %d bytes, schedule says %d", len(out), resetOff)
+	}
+	if in.Fired()[FaultReset] != 1 {
+		t.Fatalf("fired = %v, want one reset", in.Fired())
+	}
+}
+
+// TestReaderShortOpsLoseNothing: short reads fragment the stream but
+// deliver every byte unchanged.
+func TestReaderShortOpsLoseNothing(t *testing.T) {
+	clean := randBytes(3, 8192)
+	in := New(Plan{Seed: 21, MeanGap: 128, Horizon: 16, Disable: onlyFault(FaultShortOp)})
+	out, err := io.ReadAll(in.Reader(bytes.NewReader(clean)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, clean) {
+		t.Fatal("short ops altered or lost data")
+	}
+	if in.Fired()[FaultShortOp] == 0 {
+		t.Fatal("no short op fired across a 16-point schedule")
+	}
+}
+
+// TestStallTimeoutAndCloseRelease: a stall holds a read until the plan
+// timeout — or until Close, whichever is first.
+func TestStallTimeoutAndCloseRelease(t *testing.T) {
+	mk := func(timeout time.Duration) (*Injector, *chaosReader) {
+		in := New(Plan{Seed: 31, MeanGap: 64, Horizon: 2,
+			StallTimeout: timeout, Disable: onlyFault(FaultStall)})
+		return in, in.Reader(bytes.NewReader(randBytes(4, 4096))).(*chaosReader)
+	}
+
+	in, r := mk(80 * time.Millisecond)
+	start := time.Now()
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("stall released after %v, want ~80ms", elapsed)
+	}
+	if in.Fired()[FaultStall] != 1 {
+		t.Fatalf("fired = %v, want one stall", in.Fired())
+	}
+
+	// With a long timeout, Close must release the stall early.
+	_, r = mk(30 * time.Second)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		r.Close()
+	}()
+	start = time.Now()
+	io.ReadAll(r)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close did not release the stall (took %v)", elapsed)
+	}
+}
+
+// TestConnWriteFaults: write-direction faults land on the bytes the
+// peer receives — corruption at exact offsets, resets cutting the
+// stream — while the writer's own buffer is never mutated.
+func TestConnWriteFaults(t *testing.T) {
+	pipeThrough := func(plan Plan, payload []byte) (received []byte, writeErr error, in *Injector) {
+		in = New(plan)
+		a, b := net.Pipe()
+		wrapped := in.Conn(a)
+		done := make(chan []byte, 1)
+		go func() {
+			got, _ := io.ReadAll(b)
+			done <- got
+		}()
+		_, writeErr = wrapped.Write(payload)
+		wrapped.Close()
+		b.SetReadDeadline(time.Now().Add(10 * time.Second))
+		return <-done, writeErr, in
+	}
+
+	payload := randBytes(5, 4096)
+	orig := append([]byte(nil), payload...)
+	plan := Plan{Seed: 41, MeanGap: 200, Horizon: 8, Disable: onlyFault(FaultCorrupt)}
+	got, err, _ := pipeThrough(plan, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	want := append([]byte(nil), orig...)
+	for _, p := range New(plan).Schedule(0, 1) {
+		want[p.Off] ^= byte(p.Arg)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("peer did not receive corruption at the scheduled write offsets")
+	}
+
+	plan = Plan{Seed: 43, MeanGap: 300, Horizon: 4, Disable: onlyFault(FaultReset)}
+	resetOff := New(plan).Schedule(0, 1)[0].Off
+	got, err, _ = pipeThrough(plan, randBytes(6, 4096))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past a reset = %v, want ErrInjected", err)
+	}
+	if int64(len(got)) != resetOff {
+		t.Fatalf("peer received %d bytes, schedule resets at %d", len(got), resetOff)
+	}
+}
+
+// TestMaxConnsBudget: past the budget, wrapping is a no-op — the escape
+// hatch that guarantees a reconnecting client eventually gets a clean
+// connection.
+func TestMaxConnsBudget(t *testing.T) {
+	in := New(Plan{Seed: 51, MaxConns: 2})
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if _, ok := in.Conn(a).(*Conn); !ok {
+		t.Fatal("first connection not wrapped")
+	}
+	if _, ok := in.Reader(bytes.NewReader(nil)).(*chaosReader); !ok {
+		t.Fatal("second wrap (reader) not wrapped")
+	}
+	if c := in.Conn(a); c != net.Conn(a) {
+		t.Fatal("third connection still wrapped past MaxConns")
+	}
+	if r := bytes.NewReader(nil); in.Reader(r) != io.Reader(r) {
+		t.Fatal("fourth wrap (reader) still wrapped past MaxConns")
+	}
+	if in.Conns() != 4 {
+		t.Fatalf("Conns() = %d, want 4", in.Conns())
+	}
+}

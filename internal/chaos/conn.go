@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a net.Conn executing a scripted fault schedule on each
+// direction. All faults are byte-exact: transfers are bounded so the
+// scheduled offset of a corruption or reset is hit precisely, which is
+// what makes a failing seed replayable.
+type Conn struct {
+	nc  net.Conn
+	inj *Injector
+
+	rd, wr direction
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Read applies due pre-op faults, bounds the read at the next fault
+// point, and corrupts the scheduled byte after it arrives.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return c.nc.Read(p)
+	}
+	limit, corrupt, mask, ok := c.rd.plan(c.inj, c.closed, len(p))
+	if !ok {
+		c.Close()
+		return 0, ErrInjected
+	}
+	n, err := c.nc.Read(p[:limit])
+	if corrupt && n > 0 {
+		p[0] ^= mask
+	}
+	c.rd.advance(c.inj, n, corrupt)
+	return n, err
+}
+
+// Write moves p in schedule-bounded chunks so mid-buffer faults (a
+// reset halfway through a frame, one corrupted byte) land at their
+// exact offsets. Short-op points fragment the write but never lose
+// bytes: the loop continues until p is fully written or the connection
+// dies.
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		rest := p[written:]
+		limit, corrupt, mask, ok := c.wr.plan(c.inj, c.closed, len(rest))
+		if !ok {
+			c.Close()
+			return written, ErrInjected
+		}
+		var n int
+		var err error
+		if corrupt {
+			// Write the flipped byte from a copy; the caller's buffer
+			// must not be mutated.
+			n, err = c.nc.Write([]byte{rest[0] ^ mask})
+		} else {
+			n, err = c.nc.Write(rest[:limit])
+		}
+		c.wr.advance(c.inj, n, corrupt)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Close releases any in-flight stall before closing the wrapped conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.nc.Close()
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.nc.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.nc.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.nc.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.nc.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }

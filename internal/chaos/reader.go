@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"io"
+	"sync"
+)
+
+// chaosReader is the io.Reader face of the harness, for feeding MRT
+// archives (or any byte stream) through a read-direction fault
+// schedule. A scheduled reset surfaces as ErrInjected; Close releases a
+// stall early, mirroring how closing a connection does.
+type chaosReader struct {
+	r   io.Reader
+	inj *Injector
+	d   direction
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (cr *chaosReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return cr.r.Read(p)
+	}
+	limit, corrupt, mask, ok := cr.d.plan(cr.inj, cr.closed, len(p))
+	if !ok {
+		return 0, ErrInjected
+	}
+	n, err := cr.r.Read(p[:limit])
+	if corrupt && n > 0 {
+		p[0] ^= mask
+	}
+	cr.d.advance(cr.inj, n, corrupt)
+	return n, err
+}
+
+// Close releases a pending stall; it never closes the wrapped reader.
+func (cr *chaosReader) Close() error {
+	cr.closeOnce.Do(func() { close(cr.closed) })
+	return nil
+}

@@ -208,13 +208,27 @@ func (b *Broker) PublishRecord(collector string, rec mrt.Record) (seq uint64, ok
 // subscriber's buffer (they count against its ring size under the same
 // policy).
 func (b *Broker) Subscribe(f Filter, policy Policy, resumeFrom uint64) (sub *Subscriber, lost uint64, err error) {
+	return b.SubscribeFrom(f, policy, resumeFrom, false)
+}
+
+// SubscribeFrom is Subscribe with an explicit start-of-stream option.
+// resumeFrom 0 normally means "from now" — which leaves a consumer that
+// lost its very first connection unable to ask for the events published
+// in between (the chaos harness exposed exactly this gap). fromStart
+// with resumeFrom 0 instead replays every retained event, reporting
+// events already evicted from the window as lost.
+func (b *Broker) SubscribeFrom(f Filter, policy Policy, resumeFrom uint64, fromStart bool) (sub *Subscriber, lost uint64, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return nil, 0, ErrBrokerClosed
 	}
 	sub = newSubscriber(b, f, policy, b.cfg.ringSize())
-	if resumeFrom > 0 && resumeFrom < b.seq {
+	replay := resumeFrom > 0 && resumeFrom < b.seq
+	if fromStart && resumeFrom == 0 {
+		replay = b.seq > 0
+	}
+	if replay {
 		firstAvail := b.seq + 1 - uint64(b.count) // oldest retained seq
 		if resumeFrom+1 < firstAvail {
 			lost = firstAvail - resumeFrom - 1
@@ -336,9 +350,34 @@ func (s *Subscriber) push(ev Event, m *Metrics) bool {
 // ErrKicked if the subscriber was disconnected for being too slow, or
 // ErrClosed/ErrBrokerClosed after Close.
 func (s *Subscriber) Next() (Event, error) {
+	return s.next(time.Time{})
+}
+
+// errIdle reports an expired NextTimeout wait; the subscriber is intact.
+var errIdle = fmt.Errorf("livefeed: no event within the wait")
+
+// NextTimeout is Next bounded by a wait: if no event arrives within d it
+// returns errIdle while the subscription stays attached. The server's
+// heartbeat loop uses it to interleave keepalives into idle streams.
+func (s *Subscriber) NextTimeout(d time.Duration) (Event, error) {
+	if d <= 0 {
+		return s.Next()
+	}
+	// A sleeping cond.Wait cannot be timed out directly; an AfterFunc
+	// broadcast wakes every waiter, and the deadline check below turns
+	// the spurious wakeup into errIdle for this caller only.
+	timer := time.AfterFunc(d, func() { s.cond.Broadcast() })
+	defer timer.Stop()
+	return s.next(time.Now().Add(d))
+}
+
+func (s *Subscriber) next(deadline time.Time) (Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.n == 0 && !s.closed {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return Event{}, errIdle
+		}
 		s.cond.Wait()
 	}
 	if s.n == 0 {

@@ -13,20 +13,53 @@ import (
 type Conn struct {
 	conn net.Conn
 	br   *bufio.Reader
+	idle time.Duration
 	// Hello is the server's greeting; Ack the subscription confirmation.
 	Hello Hello
 	Ack   Ack
+}
+
+// DialOptions tune a feed connection's failure detection.
+type DialOptions struct {
+	// HandshakeTimeout bounds the whole hello/subscribe/ack exchange, so
+	// a server that accepts and then stalls cannot hang Dial forever.
+	// Default 10s; negative disables.
+	HandshakeTimeout time.Duration
+	// IdleTimeout bounds the wait for each frame after the handshake.
+	// The server interleaves heartbeats into idle streams (at a default
+	// 10s cadence), so any timeout comfortably above the server's
+	// heartbeat interval only fires on a genuinely stalled connection.
+	// Next surfaces it as ErrIdleTimeout. Default 0 (no deadline).
+	IdleTimeout time.Duration
+	// FromStart (with resumeFrom 0) subscribes from the oldest retained
+	// event instead of "from now" (see Subscribe.FromStart).
+	FromStart bool
+}
+
+func (o DialOptions) handshakeTimeout() time.Duration {
+	if o.HandshakeTimeout == 0 {
+		return 10 * time.Second
+	}
+	if o.HandshakeTimeout < 0 {
+		return 0
+	}
+	return o.HandshakeTimeout
 }
 
 // Dial connects to a feed server, performs the handshake, and subscribes.
 // resumeFrom > 0 asks the server to replay retained events after that
 // sequence number.
 func Dial(addr string, f Filter, policy Policy, resumeFrom uint64) (*Conn, error) {
+	return DialWith(addr, f, policy, resumeFrom, DialOptions{})
+}
+
+// DialWith is Dial with explicit timeout options.
+func DialWith(addr string, f Filter, policy Policy, resumeFrom uint64, opts DialOptions) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := newConn(nc, f, policy, resumeFrom)
+	c, err := newConn(nc, f, policy, resumeFrom, opts)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -34,8 +67,12 @@ func Dial(addr string, f Filter, policy Policy, resumeFrom uint64) (*Conn, error
 	return c, nil
 }
 
-func newConn(nc net.Conn, f Filter, policy Policy, resumeFrom uint64) (*Conn, error) {
-	c := &Conn{conn: nc, br: bufio.NewReader(nc)}
+func newConn(nc net.Conn, f Filter, policy Policy, resumeFrom uint64, opts DialOptions) (*Conn, error) {
+	c := &Conn{conn: nc, br: bufio.NewReader(nc), idle: opts.IdleTimeout}
+	if ht := opts.handshakeTimeout(); ht > 0 {
+		nc.SetDeadline(time.Now().Add(ht))
+		defer nc.SetDeadline(time.Time{})
+	}
 	if err := readFrameInto(c.br, FrameHello, &c.Hello); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
 	}
@@ -46,6 +83,7 @@ func newConn(nc net.Conn, f Filter, policy Policy, resumeFrom uint64) (*Conn, er
 		Filter:     f,
 		Policy:     policy.String(),
 		ResumeFrom: resumeFrom,
+		FromStart:  opts.FromStart && resumeFrom == 0,
 	}); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
 	}
@@ -56,27 +94,39 @@ func newConn(nc net.Conn, f Filter, policy Policy, resumeFrom uint64) (*Conn, er
 }
 
 // Next returns the next event from the stream. A server-sent error frame
-// (e.g. a kick) is surfaced as an error.
+// (e.g. a kick) is surfaced as an error; heartbeats are consumed
+// silently (each one re-arms the idle deadline). When the connection
+// stays silent past the idle timeout, Next returns ErrIdleTimeout.
 func (c *Conn) Next() (Event, error) {
-	t, payload, err := ReadFrame(c.br)
-	if err != nil {
-		return Event{}, err
-	}
-	switch t {
-	case FrameEvent:
-		var ev Event
-		if err := json.Unmarshal(payload, &ev); err != nil {
-			return Event{}, fmt.Errorf("%w: event payload: %v", ErrBadFrame, err)
+	for {
+		if c.idle > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.idle))
 		}
-		return ev, nil
-	case FrameError:
-		var ef ErrorFrame
-		if json.Unmarshal(payload, &ef) == nil && ef.Message == ErrKicked.Error() {
-			return Event{}, ErrKicked
+		t, payload, err := ReadFrame(c.br)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return Event{}, fmt.Errorf("%w after %v", ErrIdleTimeout, c.idle)
+			}
+			return Event{}, err
 		}
-		return Event{}, fmt.Errorf("livefeed: server error: %s", ef.Message)
-	default:
-		return Event{}, fmt.Errorf("%w: unexpected %s frame in stream", ErrBadFrame, t)
+		switch t {
+		case FrameEvent:
+			var ev Event
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				return Event{}, fmt.Errorf("%w: event payload: %v", ErrBadFrame, err)
+			}
+			return ev, nil
+		case FrameHeartbeat:
+			continue // liveness only; loop re-arms the deadline
+		case FrameError:
+			var ef ErrorFrame
+			if json.Unmarshal(payload, &ef) == nil && ef.Message == ErrKicked.Error() {
+				return Event{}, ErrKicked
+			}
+			return Event{}, fmt.Errorf("livefeed: server error: %s", ef.Message)
+		default:
+			return Event{}, fmt.Errorf("%w: unexpected %s frame in stream", ErrBadFrame, t)
+		}
 	}
 }
 
@@ -102,6 +152,19 @@ type Client struct {
 	// MinBackoff / MaxBackoff bound the reconnect delay. Defaults
 	// 100ms / 10s.
 	MinBackoff, MaxBackoff time.Duration
+	// HandshakeTimeout / IdleTimeout bound the handshake and the wait
+	// for each frame (see DialOptions). A server that accepts and then
+	// stalls mid-handshake or mid-stream is detected and redialed
+	// through the same backoff/resume path as a dropped connection.
+	// Defaults 10s / 30s; negative disables.
+	HandshakeTimeout time.Duration
+	IdleTimeout      time.Duration
+	// FromStart subscribes from the oldest retained event rather than
+	// "from now". It also closes a reconnect gap: without it, a client
+	// whose every connection died before the first delivery would
+	// resubscribe with resume_from 0 ("from now") and silently skip
+	// everything published in between.
+	FromStart bool
 
 	lastSeq uint64
 }
@@ -118,6 +181,16 @@ func (c *Client) maxBackoff() time.Duration {
 		return 10 * time.Second
 	}
 	return c.MaxBackoff
+}
+
+func (c *Client) idleTimeout() time.Duration {
+	if c.IdleTimeout == 0 {
+		return 30 * time.Second
+	}
+	if c.IdleTimeout < 0 {
+		return 0
+	}
+	return c.IdleTimeout
 }
 
 // LastSeq returns the sequence number of the last event delivered.
@@ -154,7 +227,11 @@ func (c *Client) Run(ctx context.Context) error {
 // runOnce runs one connection lifetime. nil means the connection ended
 // after delivering at least one event (benign: server restart or rotate).
 func (c *Client) runOnce(ctx context.Context) error {
-	conn, err := Dial(c.Addr, c.Filter, c.Policy, c.lastSeq)
+	conn, err := DialWith(c.Addr, c.Filter, c.Policy, c.lastSeq, DialOptions{
+		HandshakeTimeout: c.HandshakeTimeout,
+		IdleTimeout:      c.idleTimeout(),
+		FromStart:        c.FromStart,
+	})
 	if err != nil {
 		return err
 	}

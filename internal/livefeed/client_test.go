@@ -1,8 +1,11 @@
 package livefeed
 
 import (
+	"bufio"
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -101,6 +104,216 @@ func TestServerKicksSlowClient(t *testing.T) {
 				t.Fatalf("stream error = %v, want ErrKicked", err)
 			}
 			return
+		}
+	}
+}
+
+// TestDialHandshakeTimeout is the regression test for the stalled-server
+// hang: a listener that accepts and then never speaks must fail the
+// handshake within the timeout instead of hanging Dial (and therefore
+// Client.Run) forever.
+func TestDialHandshakeTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and stall: never send Hello
+		}
+	}()
+
+	start := time.Now()
+	_, err = DialWith(l.Addr().String(), Filter{}, PolicyDropOldest, 0,
+		DialOptions{HandshakeTimeout: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial succeeded against a server that never completed the handshake")
+	}
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("Dial = %v, want ErrHandshake", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Dial took %v to give up on a stalled handshake", elapsed)
+	}
+}
+
+// TestClientIdleTimeoutReconnects: a server that completes the handshake
+// and then stalls mid-stream must trip the client's idle deadline, and
+// the client must redial through the normal backoff/resume path.
+func TestClientIdleTimeoutReconnects(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A minimal protocol speaker that goes silent after the ack — the
+	// stuck-RIB analogue at the transport layer.
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if WriteFrame(conn, FrameHello, Hello{Version: ProtocolVersion, Server: "staller"}) != nil {
+					return
+				}
+				if _, _, err := ReadFrame(bufio.NewReader(conn)); err != nil {
+					return
+				}
+				if WriteFrame(conn, FrameAck, Ack{}) != nil {
+					return
+				}
+				// Stall: keep the conn open, send nothing, until the
+				// client gives up and closes it.
+				io.Copy(io.Discard, conn)
+			}(conn)
+		}
+	}()
+
+	connects := make(chan Ack, 16)
+	client := &Client{
+		Addr:        l.Addr().String(),
+		MinBackoff:  5 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		IdleTimeout: 80 * time.Millisecond,
+		OnConnect:   func(a Ack) { connects <- a },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- client.Run(ctx) }()
+
+	// Two completed handshakes prove the idle deadline fired and the
+	// client redialed rather than hanging in the first read.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-connects:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("connection %d never completed: idle timeout did not trigger a reconnect", i+1)
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestHeartbeatKeepsIdleConnAlive: an idle but healthy feed must NOT
+// trip the idle deadline — the server's heartbeats refresh it.
+func TestHeartbeatKeepsIdleConnAlive(t *testing.T) {
+	b := NewBroker(Config{})
+	defer b.Close()
+	srv := &Server{Broker: b, Name: "hb/1", HeartbeatInterval: 25 * time.Millisecond}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+
+	conn, err := DialWith(l.Addr().String(), Filter{}, PolicyDropOldest, 0,
+		DialOptions{IdleTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Publish nothing for several idle-timeout windows, then one event:
+	// Next must survive the quiet stretch on heartbeats alone.
+	got := make(chan error, 1)
+	go func() {
+		ev, err := conn.Next()
+		if err == nil && ev.Seq != 1 {
+			err = fmt.Errorf("got seq %d, want 1", ev.Seq)
+		}
+		got <- err
+	}()
+	time.Sleep(600 * time.Millisecond)
+	b.Publish(testEvent(0))
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Next across an idle stretch = %v (heartbeats should have kept the conn alive)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("event never arrived")
+	}
+}
+
+// TestClientFromStartRecoversPrePublishedEvents is the regression test
+// for the resume gap the chaos soak exposed: events published before the
+// client's first successful connection were unreachable, because
+// resume_from 0 means "from now". With FromStart the whole retained
+// window is replayed, and Ack.Lost reports what the window had already
+// evicted.
+func TestClientFromStartRecoversPrePublishedEvents(t *testing.T) {
+	b := NewBroker(Config{ReplaySize: 8})
+	defer b.Close()
+	_, addr := startServer(t, b, false)
+
+	// 12 events through an 8-slot replay window: 1..4 are gone for good,
+	// 5..12 must be recovered by a from-start subscription.
+	for i := 0; i < 12; i++ {
+		b.Publish(testEvent(i))
+	}
+
+	var mu sync.Mutex
+	var seqs []uint64
+	acks := make(chan Ack, 1)
+	client := &Client{
+		Addr:       addr,
+		MinBackoff: 5 * time.Millisecond,
+		FromStart:  true,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			seqs = append(seqs, ev.Seq)
+			mu.Unlock()
+		},
+		OnConnect: func(a Ack) {
+			select {
+			case acks <- a:
+			default:
+			}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- client.Run(ctx) }()
+
+	ack := <-acks
+	if ack.Lost != 4 {
+		t.Errorf("ack.Lost = %d, want 4 (events 1..4 evicted from the window)", ack.Lost)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seqs)
+		mu.Unlock()
+		if n >= 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 8 retained events recovered", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, seq := range seqs[:8] {
+		if seq != uint64(i+5) {
+			t.Fatalf("delivery %d has seq %d, want %d", i, seq, i+5)
 		}
 	}
 }

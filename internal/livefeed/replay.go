@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"zombiescope/internal/beacon"
@@ -67,6 +68,12 @@ type Pipeline struct {
 	annByFam    [2]int
 	zombieCount map[peerFam]int
 	lastPending int
+
+	// pending mirrors the detector's check-queue length for concurrent
+	// readers: the detector itself is single-goroutine by design, so the
+	// observability surface (zombied's /readyz) must not reach into it
+	// while the replay goroutine is ingesting.
+	pending atomic.Int64
 }
 
 type peerFam struct {
@@ -89,6 +96,7 @@ func NewPipeline(b *Broker, intervals []beacon.Interval, threshold time.Duration
 		p.notePeerZombie(ev)
 	})
 	p.lastPending = p.sd.PendingChecks()
+	p.pending.Store(int64(p.lastPending))
 	b.Metrics().pendingChecks.Set(float64(p.lastPending))
 	return p
 }
@@ -132,6 +140,7 @@ func (p *Pipeline) syncChecks() {
 		m.checksFired.Add(int64(fired))
 	}
 	p.lastPending = pending
+	p.pending.Store(int64(pending))
 	m.pendingChecks.Set(float64(pending))
 }
 
@@ -153,8 +162,10 @@ func (p *Pipeline) Flush(until time.Time) {
 	p.syncChecks()
 }
 
-// PendingChecks reports how many interval checks have not fired yet.
-func (p *Pipeline) PendingChecks() int { return p.sd.PendingChecks() }
+// PendingChecks reports how many interval checks have not fired yet. It
+// reads a mirrored counter rather than the detector itself, so it is
+// safe to call concurrently with Ingest/Replay (zombied's /readyz does).
+func (p *Pipeline) PendingChecks() int { return int(p.pending.Load()) }
 
 // Replay feeds a pre-merged record stream through the pipeline. speed 0
 // replays as fast as possible; otherwise record timestamp deltas are

@@ -21,6 +21,15 @@ type Server struct {
 	// HandshakeTimeout bounds the wait for the Subscribe frame. Default
 	// 10s.
 	HandshakeTimeout time.Duration
+	// WriteTimeout bounds every frame write to a subscriber, so a peer
+	// that stops reading (with full kernel buffers) cannot pin a handler
+	// goroutine forever. Default 30s; negative disables.
+	WriteTimeout time.Duration
+	// HeartbeatInterval is how long a stream may stay idle before the
+	// server interleaves a Heartbeat frame, letting clients with a read
+	// deadline tell a quiet feed from a stalled connection. Default 10s;
+	// negative disables.
+	HeartbeatInterval time.Duration
 	// AllowBlock permits clients to request the block policy. Off by
 	// default: a remote subscriber that stalls under block would stall
 	// ingestion for everyone.
@@ -30,6 +39,7 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	handlers sync.WaitGroup
 }
 
 func (s *Server) handshakeTimeout() time.Duration {
@@ -37,6 +47,26 @@ func (s *Server) handshakeTimeout() time.Duration {
 		return 10 * time.Second
 	}
 	return s.HandshakeTimeout
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout == 0 {
+		return 30 * time.Second
+	}
+	if s.WriteTimeout < 0 {
+		return 0
+	}
+	return s.WriteTimeout
+}
+
+func (s *Server) heartbeatInterval() time.Duration {
+	if s.HeartbeatInterval == 0 {
+		return 10 * time.Second
+	}
+	if s.HeartbeatInterval < 0 {
+		return 0
+	}
+	return s.HeartbeatInterval
 }
 
 // Serve accepts connections on l until the listener fails or Close is
@@ -57,7 +87,13 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
-		s.track(conn)
+		// The closed check and the WaitGroup add share the mutex with
+		// Shutdown, so a conn either registers before Shutdown starts
+		// waiting or is refused.
+		if !s.track(conn) {
+			conn.Close()
+			return net.ErrClosed
+		}
 		go s.handle(conn)
 	}
 }
@@ -100,15 +136,56 @@ func (s *Server) Close() {
 	}
 }
 
-func (s *Server) track(conn net.Conn) {
+// Shutdown stops accepting and then waits up to grace for the handler
+// goroutines to drain: a handler keeps writing until its subscriber's
+// buffered events are flushed (close the broker first so subscribers
+// stop filling). Connections still open after grace are closed
+// forcibly. Sequences already queued to a subscriber are therefore
+// never dropped by an orderly daemon exit, only by an expired grace.
+func (s *Server) Shutdown(grace time.Duration) {
 	s.mu.Lock()
-	s.conns[conn] = struct{}{}
+	s.closed = true
+	l := s.listener
 	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(grace):
+		s.mu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		<-drained
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.handlers.Add(1)
+	return true
 }
 
 func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
+	s.handlers.Done()
 	s.mu.Unlock()
 }
 
@@ -116,7 +193,16 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
 
+	// armWrite bounds the next write batch so a peer that stops reading
+	// cannot pin this goroutine once its kernel buffers fill.
+	armWrite := func() {
+		if wt := s.writeTimeout(); wt > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+	}
+
 	bw := bufio.NewWriter(conn)
+	armWrite()
 	if err := WriteFrame(bw, FrameHello, Hello{
 		Version: ProtocolVersion,
 		Server:  s.Name,
@@ -145,13 +231,14 @@ func (s *Server) handle(conn net.Conn) {
 		refuse(bw, "block policy not allowed on this server")
 		return
 	}
-	sub, lost, err := s.Broker.Subscribe(req.Filter, policy, req.ResumeFrom)
+	sub, lost, err := s.Broker.SubscribeFrom(req.Filter, policy, req.ResumeFrom, req.FromStart)
 	if err != nil {
 		refuse(bw, err.Error())
 		return
 	}
 	defer sub.Close()
 
+	armWrite()
 	if err := WriteFrame(bw, FrameAck, Ack{Head: s.Broker.Seq(), Lost: lost}); err != nil {
 		return
 	}
@@ -166,16 +253,28 @@ func (s *Server) handle(conn net.Conn) {
 		sub.Close()
 	}()
 
+	hb := s.heartbeatInterval()
 	for {
-		ev, err := sub.Next()
+		ev, err := sub.NextTimeout(hb)
 		if err != nil {
+			if errors.Is(err, errIdle) {
+				// Idle stream: prove liveness so clients with a read
+				// deadline don't mistake quiet for stalled.
+				armWrite()
+				if WriteFrame(bw, FrameHeartbeat, Heartbeat{Head: s.Broker.Seq()}) != nil || bw.Flush() != nil {
+					return
+				}
+				continue
+			}
 			if errors.Is(err, ErrKicked) {
 				// Best effort: tell the client why before closing.
+				armWrite()
 				WriteFrame(bw, FrameError, ErrorFrame{Message: ErrKicked.Error()})
 				bw.Flush()
 			}
 			return
 		}
+		armWrite()
 		if err := WriteFrame(bw, FrameEvent, &ev); err != nil {
 			return
 		}

@@ -14,6 +14,8 @@
 //	version uint8   1
 //	type    uint8   frame type (see FrameType)
 //	length  uint32  payload length, big endian
+//	crc     uint32  CRC-32C (Castagnoli) of the preceding 8 header
+//	                bytes followed by the payload, big endian
 //	payload []byte  one JSON object terminated by '\n' (NDJSON)
 //
 // After connecting, the server sends a Hello frame; the client answers
@@ -21,12 +23,22 @@
 // resume sequence; the server acknowledges with an Ack frame and then
 // streams Event frames until either side closes the connection. Errors
 // during the handshake are reported in an Error frame before close.
+// Heartbeat frames are interleaved into idle streams so clients can
+// distinguish a quiet feed from a stalled connection.
+//
+// The checksum exists because TCP's own checksum is too weak to protect
+// detection results: the chaos harness (internal/chaos) demonstrated
+// that a single flipped payload byte can survive JSON decoding and
+// silently alter a replayed record. A CRC-32C mismatch surfaces as
+// ErrBadFrame, which reconnecting clients treat like any other broken
+// connection and recover from via resume-from-sequence.
 package livefeed
 
 import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -50,6 +62,7 @@ const (
 	FrameAck       FrameType = 3 // server -> client, subscription accepted
 	FrameError     FrameType = 4 // server -> client, handshake failure
 	FrameEvent     FrameType = 5 // server -> client, one feed event
+	FrameHeartbeat FrameType = 6 // server -> client, keepalive on idle streams
 )
 
 func (t FrameType) String() string {
@@ -64,9 +77,18 @@ func (t FrameType) String() string {
 		return "error"
 	case FrameEvent:
 		return "event"
+	case FrameHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
+}
+
+// valid reports whether t is a frame type of this protocol version.
+// ReadFrame rejects unknown types before touching the payload: on a
+// corrupted stream the type byte is as suspect as the length field.
+func (t FrameType) valid() bool {
+	return t >= FrameHello && t <= FrameHeartbeat
 }
 
 // Sentinel errors of the feed layer.
@@ -79,7 +101,12 @@ var (
 	ErrBrokerClosed  = fmt.Errorf("livefeed: broker closed")
 	ErrHandshake     = fmt.Errorf("livefeed: handshake failed")
 	ErrServerRefused = fmt.Errorf("livefeed: server refused subscription")
+	ErrIdleTimeout   = fmt.Errorf("livefeed: no frame within the idle timeout")
 )
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64
+// and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Hello is the server's first frame.
 type Hello struct {
@@ -99,6 +126,12 @@ type Subscribe struct {
 	// ResumeFrom asks the server to replay retained events with sequence
 	// numbers strictly greater than this value. 0 means "from now".
 	ResumeFrom uint64 `json:"resume_from,omitempty"`
+	// FromStart (with ResumeFrom 0) asks for replay from the oldest
+	// retained event instead of "from now", so a consumer that never
+	// received anything can still recover events published before its
+	// first stable connection. Events already evicted from the replay
+	// window are reported in Ack.Lost.
+	FromStart bool `json:"from_start,omitempty"`
 }
 
 // Ack confirms a subscription.
@@ -114,29 +147,47 @@ type ErrorFrame struct {
 	Message string `json:"message"`
 }
 
+// Heartbeat is the payload of a FrameHeartbeat: proof of liveness on an
+// idle stream, carrying the broker head so clients can see how far
+// behind a filtered subscription is.
+type Heartbeat struct {
+	Head uint64 `json:"head"`
+}
+
+// frameHeaderLen is the fixed prefix of every frame: magic(2) +
+// version(1) + type(1) + length(4) + crc(4).
+const frameHeaderLen = 12
+
 // WriteFrame encodes v as one NDJSON payload and writes a full frame.
 func WriteFrame(w io.Writer, t FrameType, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("livefeed: encode %s frame: %w", t, err)
 	}
-	payload = append(payload, '\n')
-	var hdr [8]byte
+	_, err = w.Write(appendFrame(nil, t, append(payload, '\n')))
+	return err
+}
+
+// appendFrame appends one complete frame for an already-encoded NDJSON
+// payload (trailing newline included). Frames are canonical: these bytes
+// are fully determined by (t, payload), which FuzzFrame relies on.
+func appendFrame(dst []byte, t FrameType, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
 	hdr[2] = ProtocolVersion
 	hdr[3] = uint8(t)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
-	return err
+	binary.BigEndian.PutUint32(hdr[8:], frameCRC(hdr[:8], payload))
+	return append(append(dst, hdr[:]...), payload...)
 }
 
 // ReadFrame reads one frame and returns its type and raw NDJSON payload
-// (including the trailing newline).
+// (including the trailing newline). Every header field is validated
+// before the payload is read, and the payload checksum afterwards, so a
+// corrupted stream surfaces as ErrBadFrame/ErrBadVersion/ErrFrameTooBig
+// rather than as a hang, an over-allocation, or silently altered data.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
-	var hdr [8]byte
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -147,18 +198,34 @@ func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
 	}
 	t := FrameType(hdr[3])
+	if !t.valid() {
+		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, uint8(t))
+	}
 	length := binary.BigEndian.Uint32(hdr[4:])
 	if length > MaxFramePayload {
 		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, length)
+	}
+	if length == 0 {
+		return 0, nil, fmt.Errorf("%w: empty payload", ErrBadFrame)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
 	}
-	if length == 0 || payload[length-1] != '\n' {
+	if payload[length-1] != '\n' {
 		return 0, nil, fmt.Errorf("%w: payload not newline-terminated", ErrBadFrame)
 	}
+	if got, want := frameCRC(hdr[:8], payload), binary.BigEndian.Uint32(hdr[8:]); got != want {
+		return 0, nil, fmt.Errorf("%w: frame checksum mismatch", ErrBadFrame)
+	}
 	return t, payload, nil
+}
+
+// frameCRC covers the header prefix as well as the payload: a flipped
+// type byte would otherwise decode silently as a valid frame of another
+// type (magic, version, and length flips are caught by field checks).
+func frameCRC(hdrPrefix, payload []byte) uint32 {
+	return crc32.Update(crc32.Checksum(hdrPrefix, crcTable), crcTable, payload)
 }
 
 // readFrameInto reads one frame, requires type want, and decodes it.

@@ -50,25 +50,27 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestReadFrameRejectsGarbage(t *testing.T) {
-	header := func(magic uint16, version, typ uint8, length uint32) []byte {
-		var hdr [8]byte
+	header := func(magic uint16, version, typ uint8, length uint32, payload string) []byte {
+		var hdr [frameHeaderLen]byte
 		binary.BigEndian.PutUint16(hdr[0:], magic)
 		hdr[2] = version
 		hdr[3] = typ
 		binary.BigEndian.PutUint32(hdr[4:], length)
-		return hdr[:]
+		binary.BigEndian.PutUint32(hdr[8:], frameCRC(hdr[:8], []byte(payload)))
+		return append(hdr[:], payload...)
 	}
 	cases := []struct {
 		name string
 		in   []byte
 		want error
 	}{
-		{"bad magic", append(header(0x4242, ProtocolVersion, 1, 3), "{}\n"...), ErrBadFrame},
-		{"future version", append(header(frameMagic, ProtocolVersion+1, 1, 3), "{}\n"...), ErrBadVersion},
-		{"oversized length", header(frameMagic, ProtocolVersion, 1, MaxFramePayload+1), ErrFrameTooBig},
-		{"truncated payload", append(header(frameMagic, ProtocolVersion, 1, 10), "{}\n"...), ErrBadFrame},
-		{"zero-length payload", header(frameMagic, ProtocolVersion, 1, 0), ErrBadFrame},
-		{"missing newline", append(header(frameMagic, ProtocolVersion, 1, 2), "{}"...), ErrBadFrame},
+		{"bad magic", header(0x4242, ProtocolVersion, 1, 3, "{}\n"), ErrBadFrame},
+		{"future version", header(frameMagic, ProtocolVersion+1, 1, 3, "{}\n"), ErrBadVersion},
+		{"unknown frame type", header(frameMagic, ProtocolVersion, 99, 3, "{}\n"), ErrBadFrame},
+		{"oversized length", header(frameMagic, ProtocolVersion, 1, MaxFramePayload+1, ""), ErrFrameTooBig},
+		{"truncated payload", header(frameMagic, ProtocolVersion, 1, 10, "{}\n"), ErrBadFrame},
+		{"zero-length payload", header(frameMagic, ProtocolVersion, 1, 0, ""), ErrBadFrame},
+		{"missing newline", header(frameMagic, ProtocolVersion, 1, 2, "{}"), ErrBadFrame},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,6 +78,35 @@ func TestReadFrameRejectsGarbage(t *testing.T) {
 				t.Fatalf("ReadFrame = %v, want %v", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestReadFrameDetectsCorruption: any single flipped byte — header or
+// payload — must surface as an error, never as silently altered data.
+// This is the invariant the chaos harness's corruption fault leans on.
+func TestReadFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameEvent, testEvent(7)); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for i := range clean {
+		for _, mask := range []byte{0x01, 0x80} {
+			corrupt := append([]byte(nil), clean...)
+			corrupt[i] ^= mask
+			typ, payload, err := ReadFrame(bytes.NewReader(corrupt))
+			if err != nil {
+				continue // detected: good
+			}
+			// The only acceptable silent outcome is byte-identical data
+			// (impossible for a real flip, but keep the check honest).
+			var want, got bytes.Buffer
+			want.Write(clean[frameHeaderLen:])
+			got.Write(payload)
+			if typ != FrameEvent || !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Fatalf("flip of byte %d (mask %#x) decoded silently as %s %q", i, mask, typ, payload)
+			}
+		}
 	}
 }
 
