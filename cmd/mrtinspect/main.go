@@ -1,11 +1,14 @@
 // Command mrtinspect decodes an MRT file (BGP4MP updates or TABLE_DUMP_V2
 // RIB dumps) and prints one line per record, similar in spirit to bgpdump.
+// With -store it instead inspects a zombied event-store directory:
+// per-segment headers, span-index statistics and per-collector counts.
 //
 // Usage:
 //
 //	mrtinspect file.mrt
 //	mrtinspect -prefix 2a0d:3dc1:1851::/48 file.mrt   # filter to one prefix
 //	mrtinspect -count file.mrt                        # summary only
+//	mrtinspect -store ./store                         # event-store layout
 package main
 
 import (
@@ -22,10 +25,21 @@ func main() {
 	var (
 		prefixStr = flag.String("prefix", "", "only show records touching this prefix")
 		countOnly = flag.Bool("count", false, "print record counts only")
+		storeDir  = flag.String("store", "", "inspect a zombied event-store directory instead of an MRT file")
 	)
 	flag.Parse()
+	if *storeDir != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: mrtinspect -store <dir>")
+			os.Exit(2)
+		}
+		if err := inspectStore(os.Stdout, *storeDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mrtinspect [-prefix P] [-count] <file.mrt>")
+		fmt.Fprintln(os.Stderr, "usage: mrtinspect [-prefix P] [-count] <file.mrt> | mrtinspect -store <dir>")
 		os.Exit(2)
 	}
 	var filter netip.Prefix

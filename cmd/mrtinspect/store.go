@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"zombiescope/internal/eventstore"
+)
+
+// inspectStore opens an event-store directory read-only and prints its
+// segment layout: header fields, span-index statistics and per-collector
+// event counts, then a store-wide rollup.
+func inspectStore(w io.Writer, dir string) error {
+	st, err := eventstore.Open(eventstore.Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	infos := st.SegmentInfos()
+	if len(infos) == 0 {
+		fmt.Fprintln(w, "empty store")
+		return nil
+	}
+	const tsFmt = "2006-01-02 15:04:05"
+	totalEvents, totalBytes := 0, int64(0)
+	totalByColl := map[string]uint64{}
+	for _, info := range infos {
+		state := "sealed"
+		if !info.Sealed {
+			state = "active"
+		}
+		fmt.Fprintf(w, "%s  %s  seqs %d-%d  events %d  bytes %d  %s .. %s",
+			filepath.Base(info.Path), state, info.FirstSeq, info.LastSeq,
+			info.Events, info.Bytes,
+			info.MinTime.UTC().Format(tsFmt), info.MaxTime.UTC().Format(tsFmt))
+		if info.TornBytes > 0 {
+			fmt.Fprintf(w, "  torn-tail %d bytes", info.TornBytes)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  index: %d collectors, %d peers, %d prefixes, %d span pairs, %d postings\n",
+			info.Collectors, info.Peers, info.Prefixes, info.Pairs, info.Postings)
+		names := make([]string, 0, len(info.CollectorCounts))
+		for name := range info.CollectorCounts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "  per-collector:")
+		for _, name := range names {
+			n := info.CollectorCounts[name]
+			fmt.Fprintf(w, " %s=%d", name, n)
+			totalByColl[name] += n
+		}
+		fmt.Fprintln(w)
+		totalEvents += info.Events
+		totalBytes += info.Bytes
+	}
+	fmt.Fprintf(w, "total: %d segments, %d events, %d bytes, seqs %d-%d\n",
+		len(infos), totalEvents, totalBytes, st.FirstSeq(), st.LastSeq())
+	names := make([]string, 0, len(totalByColl))
+	for name := range totalByColl {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "per-collector:")
+	for _, name := range names {
+		fmt.Fprintf(w, " %s=%d", name, totalByColl[name])
+	}
+	fmt.Fprintln(w)
+	return nil
+}

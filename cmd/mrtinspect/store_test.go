@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"zombiescope/internal/eventstore"
+)
+
+func TestInspectStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := eventstore.Open(eventstore.Options{Dir: dir, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2025, 5, 1, 0, 0, 0, 0, time.UTC)
+	colls := []string{"rrc00", "rrc01"}
+	for i := 1; i <= 200; i++ {
+		ev := eventstore.Event{
+			Seq:       uint64(i),
+			Time:      base.Add(time.Duration(i) * time.Second),
+			Collector: colls[i%2],
+			PeerAS:    64500,
+			PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+			Kind:      eventstore.KindJSON,
+			Prefixes:  []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")},
+			Payload:   []byte(`{"n":1}`),
+		}
+		if err := st.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := inspectStore(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"seqs 1-",
+		"sealed",
+		"per-collector: rrc00=100 rrc01=100",
+		"200 events",
+		"seqs 1-200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "segments") {
+		t.Fatalf("no rollup line:\n%s", out)
+	}
+
+	if err := inspectStore(&sb, t.TempDir()); err != nil {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if !strings.Contains(sb.String(), "empty store") {
+		t.Fatal("empty store not reported")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
 	"zombiescope/internal/collector"
+	"zombiescope/internal/eventstore"
 	"zombiescope/internal/experiments"
 	"zombiescope/internal/livefeed"
 	"zombiescope/internal/obs"
@@ -37,12 +38,20 @@ type config struct {
 	origin     bgp.ASN
 	stride     int
 	from, to   string
-	threshold  time.Duration
-	speed      float64
-	ringSize   int
-	replayBuf  int
-	allowBlock bool
-	oneshot    bool
+	// storeDir enables the durable event store: every published event is
+	// journaled there, and a restarted daemon recovers detector state and
+	// resume-from-sequence history from it. Empty disables persistence.
+	storeDir     string
+	storeSegSize int64         // segment rotation size (0: eventstore default)
+	storeRetain  int64         // retention budget in bytes (0: unlimited)
+	storeSync    int           // fsync every N appends (0: on seal only)
+	storeCompact time.Duration // background compaction interval (0: off)
+	threshold    time.Duration
+	speed        float64
+	ringSize     int
+	replayBuf    int
+	allowBlock   bool
+	oneshot      bool
 	// grace bounds how long an exiting daemon waits for feed handlers to
 	// flush their subscribers' buffered events. Default 5s.
 	grace time.Duration
@@ -71,6 +80,7 @@ type daemon struct {
 	broker *livefeed.Broker
 	pipe   *livefeed.Pipeline
 	srv    *livefeed.Server
+	store  *eventstore.Store // nil without -store-dir
 
 	stream  []livefeed.SourcedRecord
 	flushAt time.Time
@@ -105,15 +115,36 @@ func newDaemon(cfg config, logger *slog.Logger) (*daemon, error) {
 	// unions it with the pipeline and collector-fleet registries so the
 	// daemon is a single scrape target.
 	reg := obs.NewRegistry()
-	broker := livefeed.NewBroker(livefeed.Config{
+	bcfg := livefeed.Config{
 		RingSize:   cfg.ringSize,
 		ReplaySize: cfg.replayBuf,
 		Metrics:    livefeed.NewMetrics(reg),
-	})
+	}
+	var store *eventstore.Store
+	if cfg.storeDir != "" {
+		store, err = eventstore.Open(eventstore.Options{
+			Dir:          cfg.storeDir,
+			SegmentBytes: cfg.storeSegSize,
+			SyncEvery:    cfg.storeSync,
+			RetainBytes:  cfg.storeRetain,
+			Compact:      eventstore.CompactPolicy{Interval: cfg.storeCompact},
+			Metrics:      eventstore.NewMetrics(reg),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening event store: %w", err)
+		}
+		bcfg.Journal = &livefeed.StoreJournal{Store: store}
+		bcfg.StartSeq = store.LastSeq()
+		logger.Info("event store open", "dir", cfg.storeDir,
+			"first_seq", store.FirstSeq(), "last_seq", store.LastSeq(),
+			"segments", len(store.SegmentInfos()))
+	}
+	broker := livefeed.NewBroker(bcfg)
 	d := &daemon{
 		cfg:     cfg,
 		logger:  logger,
 		broker:  broker,
+		store:   store,
 		pipe:    livefeed.NewPipeline(broker, feed.intervals, cfg.threshold),
 		srv:     &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: cfg.allowBlock},
 		stream:  stream,
@@ -121,16 +152,28 @@ func newDaemon(cfg config, logger *slog.Logger) (*daemon, error) {
 	}
 	d.feedL, err = net.Listen("tcp", cfg.listenAddr)
 	if err != nil {
+		d.closeStore()
 		return nil, fmt.Errorf("feed listen: %w", err)
 	}
 	if cfg.httpAddr != "" {
 		d.httpL, err = net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
 			d.feedL.Close()
+			d.closeStore()
 			return nil, fmt.Errorf("http listen: %w", err)
 		}
 	}
 	return d, nil
+}
+
+// closeStore seals and closes the event store if one is open.
+func (d *daemon) closeStore() {
+	if d.store == nil {
+		return
+	}
+	if err := d.store.Close(); err != nil {
+		d.logger.Error("closing event store", "err", err)
+	}
 }
 
 // feedAddr is the bound feed listener address (resolved ":0" included).
@@ -176,7 +219,25 @@ func (d *daemon) run(ctx context.Context) error {
 				return
 			}
 		}
-		err := d.pipe.Replay(ctx, d.stream, d.flushAt, d.cfg.speed)
+		stream := d.stream
+		if d.store != nil && d.store.LastSeq() > 0 {
+			// Warm restart: rebuild the detector from the journal (alerts
+			// muted — the previous run already delivered them) and resume
+			// archive ingestion where the crash cut it off. Readiness
+			// flips as soon as the recovery scan completes, not after the
+			// full archive replay.
+			n, err := d.pipe.Recover(d.store)
+			if err != nil {
+				replayed <- fmt.Errorf("recovering from event store: %w", err)
+				return
+			}
+			offset := livefeed.ResumeOffset(stream, n)
+			stream = stream[offset:]
+			d.ready.Store(true)
+			d.logger.Info("detector recovered from event store",
+				"records", n, "resume_offset", offset, "remaining", len(stream))
+		}
+		err := d.pipe.Replay(ctx, stream, d.flushAt, d.cfg.speed)
 		if err == nil {
 			d.ready.Store(true)
 		}
@@ -209,6 +270,9 @@ func (d *daemon) run(ctx context.Context) error {
 	if httpSrv != nil {
 		httpSrv.Close()
 	}
+	// The broker is closed, so no further journal appends: seal and fsync
+	// the store last so everything published is durable.
+	d.closeStore()
 	return runErr
 }
 
@@ -234,12 +298,17 @@ func (d *daemon) httpMux() *http.ServeMux {
 		if !ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		json.NewEncoder(w).Encode(map[string]any{
+		body := map[string]any{
 			"ready":          ready,
 			"seq":            d.broker.Seq(),
 			"subscribers":    d.broker.SubscriberCount(),
 			"pending_checks": d.pipe.PendingChecks(),
-		})
+		}
+		if d.store != nil {
+			body["store_first_seq"] = d.store.FirstSeq()
+			body["store_last_seq"] = d.store.LastSeq()
+		}
+		json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

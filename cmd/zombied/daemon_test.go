@@ -210,6 +210,95 @@ func TestDaemonOneshot(t *testing.T) {
 	}
 }
 
+// TestDaemonStoreRecovery runs a daemon to completion with a durable
+// event store, then restarts over the same directory: the second daemon
+// must continue sequence numbering where the first stopped, become ready
+// from the journal without republishing anything, and serve the complete
+// first-run history to a FromStart subscriber with zero reported loss —
+// even though the second run's in-memory replay window starts empty.
+func TestDaemonStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	storeCfg := func() config {
+		cfg := testConfig()
+		cfg.storeDir = dir
+		cfg.storeSegSize = 1 << 16
+		return cfg
+	}
+
+	cfg1 := storeCfg()
+	cfg1.httpAddr = ""
+	cfg1.oneshot = true
+	d1, err := newDaemon(cfg1, testLogger(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	head := d1.broker.Seq()
+	if head == 0 {
+		t.Fatal("first run published nothing")
+	}
+
+	d2, err := newDaemon(storeCfg(), testLogger(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- d2.run(ctx) }()
+
+	base := "http://" + d2.httpAddr().String()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		code, body := getReadyz(t, base)
+		if code == http.StatusOK {
+			if body.Seq != head {
+				t.Fatalf("recovered daemon at seq %d, want %d (clean restart must republish nothing)", body.Seq, head)
+			}
+			if body.PendingChecks != 0 {
+				t.Fatalf("recovered daemon left %d checks pending", body.PendingChecks)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered daemon never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The whole first-run history must come back from the journal.
+	conn, err := livefeed.DialWith(d2.feedAddr().String(), livefeed.Filter{}, livefeed.PolicyDropOldest, 0,
+		livefeed.DialOptions{FromStart: true, IdleTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Ack.Lost != 0 {
+		t.Fatalf("ack reports %d lost events across restart", conn.Ack.Lost)
+	}
+	for want := uint64(1); want <= head; want++ {
+		ev, err := conn.Next()
+		if err != nil {
+			t.Fatalf("reading journaled history at seq %d: %v", want, err)
+		}
+		if ev.Seq != want {
+			t.Fatalf("history gap: got seq %d, want %d", ev.Seq, want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("second run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second run did not exit after cancel")
+	}
+}
+
 // TestDaemonListenErrors pins the error paths of newDaemon: a bad feed
 // address fails, and a bad HTTP address fails without leaking the
 // already-bound feed listener.

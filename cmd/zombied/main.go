@@ -16,7 +16,16 @@
 //	        [-archive ./archive -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
 //	         -base 2a0d:3dc1::/32 -approach 15d -stride 1] \
 //	        [-seed 42 -scale 8]           (simulated scenario mode) \
+//	        [-store-dir ./store -store-segment-bytes 67108864 -store-retain 0 \
+//	         -store-sync 0 -store-compact 0] \
 //	        [-threshold 90m] [-speed 0] [-policy-block] [-oneshot] [-grace 5s]
+//
+// With -store-dir the daemon journals every published event to a durable
+// segmented event store (internal/eventstore). Across restarts the store
+// serves resume-from-sequence for windows long gone from RAM, and the
+// daemon recovers its detector state from the journal instead of
+// replaying the whole archive — /readyz flips near-instantly and
+// ingestion resumes exactly where the previous run stopped.
 //
 // Subscribers connect with livefeed.Client (or any implementation of the
 // frame protocol documented in internal/livefeed), choosing server-side
@@ -70,6 +79,11 @@ func main() {
 		stride     = flag.Int("stride", 1, "beacon slot stride (archive mode)")
 		fromStr    = flag.String("from", "", "experiment start, RFC 3339 (archive mode)")
 		toStr      = flag.String("to", "", "experiment end, RFC 3339 (archive mode)")
+		storeDir   = flag.String("store-dir", "", "durable event store directory (empty disables persistence)")
+		storeSeg   = flag.Int64("store-segment-bytes", 0, "store segment size before rotation (0: 64 MiB)")
+		storeRet   = flag.Int64("store-retain", 0, "store retention budget in bytes, oldest segments dropped first (0: unlimited)")
+		storeSync  = flag.Int("store-sync", 0, "fsync the store every N appends (0: only on segment seal)")
+		storeComp  = flag.Duration("store-compact", 0, "background store compaction interval (0 disables)")
 		threshold  = flag.Duration("threshold", 90*time.Minute, "zombie detection threshold")
 		speed      = flag.Float64("speed", 0, "replay speed: 0 = as fast as possible, N = N simulated seconds per wall second")
 		ringSize   = flag.Int("ring", 1024, "per-subscriber ring buffer size (events)")
@@ -90,25 +104,30 @@ func main() {
 	logger := obs.Component(base, "zombied")
 
 	cfg := config{
-		listenAddr: *listenAddr,
-		httpAddr:   *httpAddr,
-		archiveDir: *archiveDir,
-		seed:       *seed,
-		scale:      *scale,
-		schedule:   *schedKind,
-		base:       *baseStr,
-		approach:   *approach,
-		origin:     bgp.ASN(*origin),
-		stride:     *stride,
-		from:       *fromStr,
-		to:         *toStr,
-		threshold:  *threshold,
-		speed:      *speed,
-		ringSize:   *ringSize,
-		replayBuf:  *replayBuf,
-		allowBlock: *allowBlock,
-		oneshot:    *oneshot,
-		grace:      *grace,
+		listenAddr:   *listenAddr,
+		httpAddr:     *httpAddr,
+		archiveDir:   *archiveDir,
+		seed:         *seed,
+		scale:        *scale,
+		schedule:     *schedKind,
+		base:         *baseStr,
+		approach:     *approach,
+		origin:       bgp.ASN(*origin),
+		stride:       *stride,
+		from:         *fromStr,
+		to:           *toStr,
+		storeDir:     *storeDir,
+		storeSegSize: *storeSeg,
+		storeRetain:  *storeRet,
+		storeSync:    *storeSync,
+		storeCompact: *storeComp,
+		threshold:    *threshold,
+		speed:        *speed,
+		ringSize:     *ringSize,
+		replayBuf:    *replayBuf,
+		allowBlock:   *allowBlock,
+		oneshot:      *oneshot,
+		grace:        *grace,
 	}
 	d, err := newDaemon(cfg, logger)
 	if err != nil {

@@ -166,7 +166,13 @@ func Compare(base *Baseline, run *Run, forceTime bool) (report string, ok bool) 
 
 	for _, sub := range subs {
 		want := base.Baseline[sub]
-		full := "Benchmark" + strings.TrimPrefix(base.Benchmark, "Benchmark") + "/" + sub
+		// Keys are normally sub-benchmark names under base.Benchmark; a
+		// key that is itself a full "Benchmark..." name fences a top-level
+		// benchmark, letting one file cover a family of flat benchmarks.
+		full := sub
+		if !strings.HasPrefix(full, "Benchmark") {
+			full = "Benchmark" + strings.TrimPrefix(base.Benchmark, "Benchmark") + "/" + sub
+		}
 		samples := run.Samples[full]
 		if len(samples) == 0 {
 			fmt.Fprintf(&sb, "FAIL %s: no samples in benchmark output\n", full)

@@ -149,3 +149,37 @@ func TestTrimProcSuffix(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareFullNameKeys(t *testing.T) {
+	// A baseline key that is itself a full "Benchmark..." name fences a
+	// top-level (sub-less) benchmark; one file can cover a flat family.
+	out := `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStoreAppend-8 	  200000	      1616 ns/op	      92 B/op	       1 allocs/op
+BenchmarkStoreScan-8 	      30	  24766478 ns/op	     120 B/op	       3 allocs/op
+`
+	base := &Baseline{
+		Benchmark:    "BenchmarkStore",
+		CPU:          "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		TolerancePct: 20,
+		Baseline: map[string]Metric{
+			"BenchmarkStoreAppend": {NsPerOp: 1616, BytesPerOp: 92, AllocsPerOp: 1},
+			"BenchmarkStoreScan":   {NsPerOp: 24766478, BytesPerOp: 120, AllocsPerOp: 3},
+		},
+	}
+	run, err := ParseRun(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, ok := Compare(base, run, false)
+	if !ok {
+		t.Fatalf("clean run failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "ok   BenchmarkStoreAppend: ns/op") {
+		t.Fatalf("full-name key not matched:\n%s", report)
+	}
+
+	base.Baseline["BenchmarkStoreScan"] = Metric{NsPerOp: 24766478, BytesPerOp: 120, AllocsPerOp: 1}
+	if report, ok := Compare(base, run, false); ok {
+		t.Fatalf("allocs regression passed the gate:\n%s", report)
+	}
+}

@@ -1,0 +1,589 @@
+// Package eventstore is the durable, segmented, append-only event store
+// that lets the repo hold a zombie's full lifetime on disk — the paper's
+// headline result is stuck routes living for days to months (up to 8.5
+// months), far past anything an in-memory replay window can retain.
+//
+// The design extends the columnar zombie.History layout (PR 4) to disk.
+// Events append to a segment file as CRC-32C-framed records; collector
+// names, peers and prefixes are canonicalized into per-segment dense
+// dictionaries (dictionary entries interleave with events, so a segment
+// is self-describing under a pure sequential scan). When a segment
+// reaches its size budget — or the store closes — it is sealed: a sidecar
+// index file records the event offset table, the dictionaries, a
+// (time, peer, prefix) span index and per-collector counts, all under
+// their own CRC-checked header, so sealed segments open in O(1) and
+// filtered reads touch only matching events. Sealed segments are mmap'd
+// (with a plain-read fallback on platforms without mmap) and Scan hands
+// out payload slices that alias the mapping, so MRT payloads feed
+// bgp.Scratch / the intern table zero-copy.
+//
+// Crash safety is by construction: every frame carries a CRC over its
+// kind and body, so a torn tail write (the process died mid-append) is
+// detected on the next Open and truncated back to the last whole frame.
+// A missing or corrupt index sidecar is rebuilt by scanning the segment.
+// A corrupt segment header on the newest segment quarantines the file; on
+// an older segment it is a hard error, because silently skipping interior
+// data would fabricate a gap.
+//
+// Background compaction merges runs of small adjacent sealed segments
+// under a size/age policy, and an optional retention bound drops the
+// oldest sealed segments once the store exceeds a byte budget (consumers
+// see the loss through FirstSeq, exactly like a broker replay window).
+//
+// Sequence numbers are assigned by the producer (the livefeed broker) and
+// must be contiguous: Append enforces Seq == LastSeq()+1, which is what
+// makes resume-from-sequence reads O(1) — the ordinal of seq s inside a
+// segment is s minus the segment's first sequence.
+package eventstore
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors of the store.
+var (
+	ErrClosed     = errors.New("eventstore: store closed")
+	ErrOutOfOrder = errors.New("eventstore: append out of sequence")
+	ErrCorrupt    = errors.New("eventstore: corrupt segment")
+	ErrReadOnly   = errors.New("eventstore: store opened read-only")
+)
+
+// Conventional payload kinds. The store treats Kind as opaque; these
+// constants only exist so producers and consumers that never import each
+// other (livefeed journaling, zombie history builds) agree on what a
+// payload holds. Kind 0 is reserved: Query.Kind uses it as "any".
+const (
+	// KindMRT marks a payload holding one complete MRT record (common
+	// header included) — the zero-copy detection feed.
+	KindMRT uint8 = 1
+	// KindJSON marks a payload holding one JSON-encoded application
+	// event (e.g. a livefeed zombie alert).
+	KindJSON uint8 = 2
+)
+
+// Event is one stored event. Collector, peer and prefixes are
+// dictionary-encoded on disk; Payload is opaque to the store.
+type Event struct {
+	// Seq is the producer-assigned sequence number; appends must be
+	// contiguous.
+	Seq uint64
+	// Time is the event instant (collector receive time for records,
+	// detection time for alerts).
+	Time time.Time
+	// Collector names the source collector ("" allowed).
+	Collector string
+	// PeerAS / PeerAddr identify the BGP peer, when there is one.
+	// An invalid (zero) PeerAddr with PeerAS 0 means "no peer".
+	PeerAS   uint32
+	PeerAddr netip.Addr
+	// Kind tags the payload encoding (see KindMRT / KindJSON).
+	Kind uint8
+	// Prefixes are the prefixes the event concerns; they feed the
+	// per-segment (time, peer, prefix) span index.
+	Prefixes []netip.Prefix
+	// Payload is the event body.
+	Payload []byte
+}
+
+// CompactPolicy controls merging of sealed segments.
+type CompactPolicy struct {
+	// MinSegments is how many adjacent small sealed segments must
+	// accumulate before a merge happens (default 4; negative disables
+	// compaction entirely).
+	MinSegments int
+	// TargetBytes bounds a merged segment's size (default SegmentBytes).
+	TargetBytes int64
+	// MinAge keeps segments sealed more recently than this out of
+	// compaction (default 0: age does not gate).
+	MinAge time.Duration
+	// Interval runs Compact in the background every Interval; 0 leaves
+	// compaction entirely to explicit Compact calls.
+	Interval time.Duration
+}
+
+// Options parameterize Open.
+type Options struct {
+	// Dir is the store directory (created if missing unless ReadOnly).
+	Dir string
+	// SegmentBytes rolls the active segment once it exceeds this size.
+	// Default 64 MiB; capped at 1 GiB (the offset table is 32-bit).
+	SegmentBytes int64
+	// SyncEvery fsyncs the active segment after every N appends.
+	// 0 syncs only on seal and Close; 1 syncs every append.
+	SyncEvery int
+	// RetainBytes drops the oldest sealed segments once the store
+	// exceeds this many bytes (0 = unbounded). The active segment is
+	// never dropped.
+	RetainBytes int64
+	// ReadOnly opens without repairing: torn tails and missing indexes
+	// are reported in SegmentInfo instead of truncated/rewritten, and
+	// Append/Compact fail.
+	ReadOnly bool
+	// Compact is the segment-merge policy.
+	Compact CompactPolicy
+	// Metrics is the instrument sink (nil: a private registry).
+	Metrics *Metrics
+}
+
+func (o Options) segmentBytes() int64 {
+	const (
+		def = 64 << 20
+		max = 1 << 30
+	)
+	switch {
+	case o.SegmentBytes <= 0:
+		return def
+	case o.SegmentBytes > max:
+		return max
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) compactMinSegments() int {
+	if o.Compact.MinSegments == 0 {
+		return 4
+	}
+	return o.Compact.MinSegments
+}
+
+func (o Options) compactTargetBytes() int64 {
+	if o.Compact.TargetBytes <= 0 {
+		return o.segmentBytes()
+	}
+	return o.Compact.TargetBytes
+}
+
+// Store is a durable event log. All methods are safe for concurrent use.
+type Store struct {
+	opts    Options
+	metrics *Metrics
+
+	mu         sync.Mutex
+	segs       []*segment // sealed segments, ascending baseSeq
+	w          *segWriter // active segment; nil between rotation and next append
+	lastSeq    uint64
+	closed     bool
+	compacting bool
+
+	scans sync.WaitGroup
+
+	compactStop chan struct{}
+	compactDone chan struct{}
+}
+
+// Open opens (creating if needed) the store at opts.Dir, recovering from
+// any crash the previous process suffered: the newest segment's torn
+// tail, if any, is truncated back to the last whole frame, missing or
+// corrupt index sidecars are rebuilt, and fully-superseded compaction
+// leftovers are removed.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("eventstore: empty dir")
+	}
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("eventstore: %w", err)
+		}
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = NewMetrics(nil)
+	}
+	s := &Store{opts: opts, metrics: m}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.syncGauges()
+	if iv := opts.Compact.Interval; iv > 0 && !opts.ReadOnly && opts.Compact.MinSegments >= 0 {
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop(iv)
+	}
+	return s, nil
+}
+
+// load discovers and validates the on-disk segments.
+func (s *Store) load() error {
+	if !s.opts.ReadOnly {
+		removeTempFiles(s.opts.Dir)
+	}
+	names, err := segmentFiles(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var segs []*segment
+	for i, name := range names {
+		last := i == len(names)-1
+		seg, err := openSegment(filepath.Join(s.opts.Dir, name), last, s.opts.ReadOnly, s.metrics)
+		if err != nil {
+			if last && errors.Is(err, errBadHeader) && !s.opts.ReadOnly {
+				// The newest segment's header never made it to disk
+				// whole: quarantine the file and carry on. Older
+				// segments get no such mercy — skipping interior data
+				// would fabricate a silent gap.
+				bad := filepath.Join(s.opts.Dir, name)
+				if rerr := os.Rename(bad, bad+".corrupt"); rerr != nil {
+					return fmt.Errorf("eventstore: quarantine %s: %w", name, rerr)
+				}
+				os.Remove(idxPathFor(bad))
+				s.metrics.repairs.Inc()
+				continue
+			}
+			return err
+		}
+		if seg == nil {
+			continue // empty tail segment, removed
+		}
+		segs = append(segs, seg)
+	}
+	// Drop compaction leftovers (segments fully covered by their
+	// predecessor: the crash hit between the merged rename and the input
+	// deletes) and verify the survivors are contiguous.
+	var kept []*segment
+	for _, seg := range segs {
+		if n := len(kept); n > 0 {
+			prev := kept[n-1]
+			if seg.idx.lastSeq <= prev.idx.lastSeq {
+				if s.opts.ReadOnly {
+					seg.release()
+					continue
+				}
+				seg.removeFiles()
+				seg.release()
+				s.metrics.repairs.Inc()
+				continue
+			}
+			if seg.idx.firstSeq != prev.idx.lastSeq+1 {
+				return fmt.Errorf("%w: %s starts at seq %d, previous segment ends at %d",
+					ErrCorrupt, filepath.Base(seg.path), seg.idx.firstSeq, prev.idx.lastSeq)
+			}
+		}
+		kept = append(kept, seg)
+	}
+	s.segs = kept
+	if n := len(kept); n > 0 {
+		s.lastSeq = kept[n-1].idx.lastSeq
+	}
+	return nil
+}
+
+// removeTempFiles clears compaction/seal temp files left by a crash.
+func removeTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpSuffix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// segmentFiles lists *.seg files in dir, sorted (zero-padded hex names
+// sort by base sequence).
+func segmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("eventstore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.opts.Dir }
+
+// Metrics returns the store's instrument sink.
+func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// LastSeq returns the sequence number of the newest stored event (0 when
+// empty).
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// FirstSeq returns the oldest retained sequence number (0 when empty).
+// It advances past 1 only when retention dropped old segments.
+func (s *Store) FirstSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) > 0 {
+		return s.segs[0].idx.firstSeq
+	}
+	if s.w != nil && s.w.count() > 0 {
+		return s.w.firstSeq()
+	}
+	return 0
+}
+
+// Append durably logs one event. Sequence numbers must be contiguous:
+// ev.Seq must equal LastSeq()+1 (the producer owns numbering).
+func (s *Store) Append(ev Event) error {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if ev.Seq != s.lastSeq+1 {
+		return fmt.Errorf("%w: got seq %d, want %d", ErrOutOfOrder, ev.Seq, s.lastSeq+1)
+	}
+	if s.w == nil {
+		w, err := newSegWriter(s.opts.Dir, ev.Seq)
+		if err != nil {
+			return err
+		}
+		s.w = w
+		s.metrics.segments.Set(float64(len(s.segs) + 1))
+	}
+	n, err := s.w.append(ev)
+	if err != nil {
+		return err
+	}
+	s.lastSeq = ev.Seq
+	s.metrics.appends.Inc()
+	s.metrics.appendBytes.Add(int64(n))
+	s.metrics.bytes.Add(float64(n))
+	if se := s.opts.SyncEvery; se > 0 {
+		s.w.pendingSync++
+		if s.w.pendingSync >= se {
+			if err := s.fsyncActiveLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	if s.w.size >= s.opts.segmentBytes() {
+		if err := s.sealLocked(); err != nil {
+			return err
+		}
+	}
+	s.metrics.appendSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+func (s *Store) fsyncActiveLocked() error {
+	start := time.Now()
+	if err := s.w.f.Sync(); err != nil {
+		return fmt.Errorf("eventstore: fsync %s: %w", filepath.Base(s.w.path), err)
+	}
+	s.w.pendingSync = 0
+	s.metrics.fsyncSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Sync fsyncs the active segment.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w == nil {
+		return nil
+	}
+	return s.fsyncActiveLocked()
+}
+
+// Seal forces the active segment to seal now (normally it seals when it
+// exceeds Options.SegmentBytes or on Close).
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w == nil || s.w.count() == 0 {
+		return nil
+	}
+	return s.sealLocked()
+}
+
+// sealLocked seals the active segment: fsync data, write the index
+// sidecar, reopen read-only (mmap'd) and apply retention.
+func (s *Store) sealLocked() error {
+	w := s.w
+	if w == nil {
+		return nil
+	}
+	if w.count() == 0 {
+		// Nothing was ever appended; drop the empty file.
+		w.f.Close()
+		os.Remove(w.path)
+		s.w = nil
+		return nil
+	}
+	seg, err := w.seal(s.metrics)
+	if err != nil {
+		return err
+	}
+	s.w = nil
+	s.segs = append(s.segs, seg)
+	s.metrics.seals.Inc()
+	s.enforceRetentionLocked()
+	s.syncGaugesLocked()
+	return nil
+}
+
+// enforceRetentionLocked drops the oldest sealed segments while the
+// sealed total exceeds RetainBytes.
+func (s *Store) enforceRetentionLocked() {
+	limit := s.opts.RetainBytes
+	if limit <= 0 || s.compacting {
+		// Retention pauses during compaction so the merge group stays
+		// stable; the next seal applies the budget.
+		return
+	}
+	total := int64(0)
+	for _, seg := range s.segs {
+		total += seg.size
+	}
+	for len(s.segs) > 1 && total > limit {
+		old := s.segs[0]
+		s.segs = s.segs[1:]
+		total -= old.size
+		old.removeFiles()
+		old.release()
+		s.metrics.retentionDrops.Inc()
+	}
+}
+
+func (s *Store) syncGauges() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncGaugesLocked()
+}
+
+func (s *Store) syncGaugesLocked() {
+	n := len(s.segs)
+	total := int64(0)
+	for _, seg := range s.segs {
+		total += seg.size
+	}
+	if s.w != nil {
+		n++
+		total += s.w.size
+	}
+	s.metrics.segments.Set(float64(n))
+	s.metrics.bytes.Set(float64(total))
+}
+
+// Close seals the active segment and releases every mapping. In-flight
+// scans are waited for.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if !s.opts.ReadOnly {
+		err = s.sealLocked()
+	}
+	segs := s.segs
+	s.segs = nil
+	stop, done := s.compactStop, s.compactDone
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.scans.Wait()
+	for _, seg := range segs {
+		seg.release()
+	}
+	return err
+}
+
+// Abandon closes the store's file handles WITHOUT sealing, fsyncing or
+// writing indexes — it leaves the on-disk state exactly as a crashed
+// process would. It exists for crash-recovery tests; production code
+// wants Close.
+func (s *Store) Abandon() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	w := s.w
+	s.w = nil
+	segs := s.segs
+	s.segs = nil
+	stop, done := s.compactStop, s.compactDone
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.scans.Wait()
+	if w != nil {
+		w.f.Close()
+	}
+	for _, seg := range segs {
+		seg.release()
+	}
+	return nil
+}
+
+// SegmentInfo describes one on-disk segment for inspection tooling.
+type SegmentInfo struct {
+	Path     string
+	Sealed   bool // a valid index sidecar is on disk
+	FirstSeq uint64
+	LastSeq  uint64
+	Events   int
+	Bytes    int64
+	MinTime  time.Time
+	MaxTime  time.Time
+	// Dictionary and span-index cardinalities.
+	Collectors int
+	Peers      int
+	Prefixes   int
+	Pairs      int
+	// Postings is the total number of span-index entries across pairs.
+	Postings int
+	// CollectorCounts is the per-collector event count.
+	CollectorCounts map[string]uint64
+	// TornBytes reports unrecoverable tail bytes found at open time in
+	// read-only mode (a read-write open truncates them instead).
+	TornBytes int64
+}
+
+// SegmentInfos reports every segment, oldest first, the active segment
+// last.
+func (s *Store) SegmentInfos() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(s.segs)+1)
+	for _, seg := range s.segs {
+		out = append(out, seg.info())
+	}
+	if s.w != nil && s.w.count() > 0 {
+		out = append(out, s.w.info())
+	}
+	return out
+}

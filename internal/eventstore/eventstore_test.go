@@ -1,0 +1,520 @@
+package eventstore
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testEvents builds a deterministic mixed workload: MRT-style payloads
+// with peers and prefixes, peerless JSON events (alerts), multi-prefix
+// updates, v4 and v6 — every dictionary and span-index shape the store
+// supports.
+func testEvents(n int) []Event {
+	base := time.Date(2025, 5, 1, 0, 0, 0, 0, time.UTC)
+	colls := []string{"rrc00", "rrc01", "route-views2"}
+	peers := []struct {
+		as   uint32
+		addr netip.Addr
+	}{
+		{25091, netip.MustParseAddr("192.0.2.1")},
+		{8298, netip.MustParseAddr("198.51.100.7")},
+		{210312, netip.MustParseAddr("2001:db8::1")},
+	}
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("93.175.146.0/24"),
+		netip.MustParsePrefix("93.175.147.0/24"),
+		netip.MustParsePrefix("2a0d:3dc1::/32"),
+		netip.MustParsePrefix("2a0d:3dc1:1200::/48"),
+	}
+	out := make([]Event, n)
+	for i := range out {
+		ev := Event{
+			Seq:  uint64(i + 1),
+			Time: base.Add(time.Duration(i) * time.Second),
+			Kind: KindMRT,
+		}
+		ev.Collector = colls[i%len(colls)]
+		payload := make([]byte, 20+i%40)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		ev.Payload = payload
+		switch i % 4 {
+		case 0:
+			p := peers[0]
+			ev.PeerAS, ev.PeerAddr = p.as, p.addr
+			ev.Prefixes = []netip.Prefix{prefixes[(i/4)%len(prefixes)]}
+		case 1:
+			p := peers[1]
+			ev.PeerAS, ev.PeerAddr = p.as, p.addr
+			ev.Prefixes = []netip.Prefix{prefixes[0], prefixes[2]}
+		case 2:
+			// Peerless, prefixless event (e.g. a serialized alert).
+			ev.Kind = KindJSON
+		case 3:
+			p := peers[2]
+			ev.PeerAS, ev.PeerAddr = p.as, p.addr
+			ev.Prefixes = []netip.Prefix{prefixes[3]}
+		}
+		out[i] = ev
+	}
+	return out
+}
+
+func eventsEqual(a, b Event) bool {
+	if a.Seq != b.Seq || a.Time.UnixNano() != b.Time.UnixNano() ||
+		a.Collector != b.Collector || a.PeerAS != b.PeerAS ||
+		a.PeerAddr != b.PeerAddr || a.Kind != b.Kind {
+		return false
+	}
+	if len(a.Prefixes) != len(b.Prefixes) || len(a.Payload) != len(b.Payload) {
+		return false
+	}
+	for i := range a.Prefixes {
+		if a.Prefixes[i] != b.Prefixes[i] {
+			return false
+		}
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func appendAll(t testing.TB, st *Store, evs []Event) {
+	t.Helper()
+	for _, ev := range evs {
+		if err := st.Append(ev); err != nil {
+			t.Fatalf("append seq %d: %v", ev.Seq, err)
+		}
+	}
+}
+
+func replayAll(t testing.TB, st *Store) []Event {
+	t.Helper()
+	var got []Event
+	if err := st.Replay(0, st.LastSeq(), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func checkEvents(t *testing.T, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !eventsEqual(got[i], want[i]) {
+			t.Fatalf("event %d mismatch:\ngot  %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	want := testEvents(500)
+	// Small segments so the run spans several sealed segments plus an
+	// active tail.
+	st, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, st, want)
+	if got := replayAll(t, st); true {
+		checkEvents(t, got, want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = Open(Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if first, last := st.FirstSeq(), st.LastSeq(); first != 1 || last != 500 {
+		t.Fatalf("FirstSeq/LastSeq = %d/%d, want 1/500", first, last)
+	}
+	checkEvents(t, replayAll(t, st), want)
+
+	infos := st.SegmentInfos()
+	if len(infos) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(infos))
+	}
+	next := uint64(1)
+	for _, info := range infos {
+		if !info.Sealed {
+			t.Errorf("%s: not sealed after reopen", filepath.Base(info.Path))
+		}
+		if info.FirstSeq != next {
+			t.Errorf("%s: FirstSeq %d, want %d", filepath.Base(info.Path), info.FirstSeq, next)
+		}
+		next = info.LastSeq + 1
+	}
+	if next != 501 {
+		t.Fatalf("segments cover up to %d, want 501", next)
+	}
+}
+
+func TestRecoverUnsealedTail(t *testing.T) {
+	dir := t.TempDir()
+	want := testEvents(100)
+	st, err := Open(Options{Dir: dir, SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, st, want)
+	// Abandon leaves the tail segment with no index sidecar, as a crash
+	// would; reopen must seal it by scanning.
+	if err := st.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Open(Options{Dir: dir, SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if last := st.LastSeq(); last != 100 {
+		t.Fatalf("LastSeq = %d, want 100", last)
+	}
+	checkEvents(t, replayAll(t, st), want)
+	// Appends must continue seamlessly after recovery.
+	more := testEvents(110)[100:]
+	appendAll(t, st, more)
+	checkEvents(t, replayAll(t, st), testEvents(110))
+}
+
+func TestAppendOutOfOrder(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	evs := testEvents(3)
+	appendAll(t, st, evs[:2])
+	bad := evs[2]
+	bad.Seq = 5
+	if err := st.Append(bad); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap append error = %v, want ErrOutOfOrder", err)
+	}
+	bad.Seq = 2
+	if err := st.Append(bad); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("replayed-seq append error = %v, want ErrOutOfOrder", err)
+	}
+	appendAll(t, st, evs[2:])
+}
+
+func TestReplayRange(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir(), SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	want := testEvents(200)
+	appendAll(t, st, want)
+	var got []Event
+	if err := st.Replay(50, 120, func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkEvents(t, got, want[50:120]) // (50, 120] is seqs 51..120
+}
+
+func TestScanFilters(t *testing.T) {
+	dir := t.TempDir()
+	all := testEvents(400)
+	st, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendAll(t, st, all)
+
+	naive := func(match func(Event) bool) []Event {
+		var out []Event
+		for _, ev := range all {
+			if match(ev) {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	run := func(name string, q Query, match func(Event) bool) {
+		t.Run(name, func(t *testing.T) {
+			var got []Event
+			if err := st.Scan(q, func(ev Event) error {
+				// Scan events alias store memory; copy to retain.
+				ev.Payload = append([]byte(nil), ev.Payload...)
+				ev.Prefixes = append([]netip.Prefix(nil), ev.Prefixes...)
+				got = append(got, ev)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			checkEvents(t, got, naive(match))
+		})
+	}
+
+	run("all", Query{}, func(Event) bool { return true })
+	run("collector", Query{Collector: "rrc01"},
+		func(ev Event) bool { return ev.Collector == "rrc01" })
+	peerAddr := netip.MustParseAddr("192.0.2.1")
+	run("peer", Query{PeerAS: 25091, PeerAddr: peerAddr},
+		func(ev Event) bool { return ev.PeerAS == 25091 && ev.PeerAddr == peerAddr })
+	px := netip.MustParsePrefix("93.175.146.0/24")
+	run("prefix", Query{Prefix: px}, func(ev Event) bool {
+		for _, p := range ev.Prefixes {
+			if p == px {
+				return true
+			}
+		}
+		return false
+	})
+	run("peer-and-prefix", Query{PeerAS: 8298, PeerAddr: netip.MustParseAddr("198.51.100.7"), Prefix: px},
+		func(ev Event) bool {
+			if ev.PeerAS != 8298 {
+				return false
+			}
+			for _, p := range ev.Prefixes {
+				if p == px {
+					return true
+				}
+			}
+			return false
+		})
+	run("kind", Query{Kind: KindJSON}, func(ev Event) bool { return ev.Kind == KindJSON })
+	from := all[100].Time
+	to := all[300].Time
+	run("time-window", Query{From: from, To: to}, func(ev Event) bool {
+		return !ev.Time.Before(from) && ev.Time.Before(to)
+	})
+	run("combined", Query{Collector: "rrc00", Kind: KindMRT, From: from},
+		func(ev Event) bool {
+			return ev.Collector == "rrc00" && ev.Kind == KindMRT && !ev.Time.Before(from)
+		})
+	run("absent-peer", Query{PeerAS: 65000, PeerAddr: netip.MustParseAddr("10.0.0.1")},
+		func(Event) bool { return false })
+}
+
+func TestScanStopsOnCallbackError(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendAll(t, st, testEvents(50))
+	sentinel := errors.New("stop")
+	n := 0
+	err = st.Scan(Query{}, func(Event) error {
+		n++
+		if n == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 10 {
+		t.Fatalf("scan stopped after %d events with err %v", n, err)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir(), SegmentBytes: 2 << 10, RetainBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	all := testEvents(2000)
+	appendAll(t, st, all)
+	first, last := st.FirstSeq(), st.LastSeq()
+	if last != 2000 {
+		t.Fatalf("LastSeq = %d, want 2000", last)
+	}
+	if first <= 1 {
+		t.Fatalf("FirstSeq = %d; retention should have dropped old segments", first)
+	}
+	got := replayAll(t, st)
+	checkEvents(t, got, all[first-1:])
+	if st.metrics.retentionDrops.Value() == 0 {
+		t.Fatal("retention drop counter never moved")
+	}
+}
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEvents(100)
+	appendAll(t, st, want)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if err := ro.Append(want[0]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only append error = %v, want ErrReadOnly", err)
+	}
+	if _, err := ro.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only compact error = %v, want ErrReadOnly", err)
+	}
+	checkEvents(t, replayAll(t, ro), want)
+}
+
+func TestReadOnlyOpenOfUnsealedTailDoesNotModify(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEvents(50)
+	appendAll(t, st, want)
+	if err := st.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSnapshot(t, dir)
+
+	ro, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEvents(t, replayAll(t, ro), want)
+	ro.Close()
+
+	if after := dirSnapshot(t, dir); fmt.Sprint(after) != fmt.Sprint(before) {
+		t.Fatalf("read-only open modified the store:\nbefore %v\nafter  %v", before, after)
+	}
+}
+
+// dirSnapshot captures (name, size) of every file in dir.
+func dirSnapshot(t *testing.T, dir string) [][2]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][2]string
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, [2]string{e.Name(), fmt.Sprint(info.Size())})
+	}
+	return out
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, st, testEvents(5))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testEvents(6)[5]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := st.Scan(Query{}, func(Event) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("scan after close = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestConcurrentAppendAndScan(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir(), SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	all := testEvents(1000)
+	appendAll(t, st, all[:500])
+	done := make(chan error, 1)
+	go func() {
+		for _, ev := range all[500:] {
+			if err := st.Append(ev); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	// Scans during concurrent appends must each see a gap-free prefix.
+	for i := 0; i < 20; i++ {
+		next := uint64(1)
+		if err := st.Scan(Query{}, func(ev Event) error {
+			if ev.Seq != next {
+				return fmt.Errorf("gap: got seq %d, want %d", ev.Seq, next)
+			}
+			next++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if next < 501 {
+			t.Fatalf("scan saw only %d events", next-1)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	checkEvents(t, replayAll(t, st), all)
+}
+
+func TestSegmentInfoStats(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	all := testEvents(100)
+	appendAll(t, st, all)
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	infos := st.SegmentInfos()
+	if len(infos) != 1 {
+		t.Fatalf("got %d segments, want 1", len(infos))
+	}
+	info := infos[0]
+	if info.Events != 100 || info.FirstSeq != 1 || info.LastSeq != 100 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Collectors != 3 || info.Peers != 3 || info.Prefixes != 4 {
+		t.Fatalf("dict cardinalities = %d/%d/%d, want 3/3/4",
+			info.Collectors, info.Peers, info.Prefixes)
+	}
+	total := uint64(0)
+	for _, n := range info.CollectorCounts {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("collector counts sum to %d, want 100", total)
+	}
+	if info.MinTime.After(info.MaxTime) || !info.MinTime.Equal(all[0].Time) {
+		t.Fatalf("time bounds %v..%v", info.MinTime, info.MaxTime)
+	}
+	if info.Postings == 0 || info.Pairs == 0 {
+		t.Fatalf("span index empty: %+v", info)
+	}
+}

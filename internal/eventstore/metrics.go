@@ -1,0 +1,63 @@
+package eventstore
+
+import "zombiescope/internal/obs"
+
+// Metrics are the store's instruments, registered (idempotently) on an
+// obs.Registry. A nil-metrics store gets a private registry, so library
+// use never pollutes the process-wide exposition.
+type Metrics struct {
+	segments *obs.Gauge
+	bytes    *obs.Gauge
+
+	appends        *obs.Counter
+	appendBytes    *obs.Counter
+	seals          *obs.Counter
+	compactions    *obs.Counter
+	compactedSegs  *obs.Counter
+	repairs        *obs.Counter
+	retentionDrops *obs.Counter
+	truncatedBytes *obs.Counter
+	scans          *obs.Counter
+	scanBytes      *obs.Counter
+
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
+}
+
+// NewMetrics registers the store instrument families on reg (nil: a
+// private registry).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		segments: reg.Gauge("eventstore_segments",
+			"Number of on-disk segments (sealed plus active)."),
+		bytes: reg.Gauge("eventstore_bytes",
+			"Total bytes across all segments."),
+		appends: reg.Counter("eventstore_appends_total",
+			"Events appended to the store."),
+		appendBytes: reg.Counter("eventstore_append_bytes_total",
+			"Bytes written by appends (frames plus dictionary entries)."),
+		seals: reg.Counter("eventstore_seals_total",
+			"Segments sealed (index sidecar written)."),
+		compactions: reg.Counter("eventstore_compactions_total",
+			"Compaction merges performed."),
+		compactedSegs: reg.Counter("eventstore_compacted_segments_total",
+			"Input segments consumed by compaction merges."),
+		repairs: reg.Counter("eventstore_repairs_total",
+			"Open-time repairs (torn-tail truncations, index rebuilds, quarantines, leftover removals)."),
+		retentionDrops: reg.Counter("eventstore_retention_dropped_total",
+			"Sealed segments dropped by the retention byte budget."),
+		truncatedBytes: reg.Counter("eventstore_truncated_bytes_total",
+			"Torn tail bytes truncated during recovery."),
+		scans: reg.Counter("eventstore_scans_total",
+			"Scan and Replay calls."),
+		scanBytes: reg.Counter("eventstore_scan_bytes_total",
+			"Event frame bytes visited by scans and replays."),
+		appendSeconds: reg.Histogram("eventstore_append_seconds",
+			"Append latency, including any fsync and seal work.", nil),
+		fsyncSeconds: reg.Histogram("eventstore_fsync_seconds",
+			"fsync latency of the active segment.", nil),
+	}
+}

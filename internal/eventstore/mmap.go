@@ -1,0 +1,49 @@
+package eventstore
+
+import (
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// mapping is a refcounted read-only view of a segment file, either an
+// mmap (unix) or a heap copy (fallback). The store holds one reference;
+// every scan snapshot holds another, so compaction and retention can drop
+// a segment while scans over it finish.
+type mapping struct {
+	data  []byte
+	refs  atomic.Int32
+	unmap func()
+}
+
+func (m *mapping) acquire() { m.refs.Add(1) }
+
+func (m *mapping) release() {
+	if m.refs.Add(-1) == 0 && m.unmap != nil {
+		m.unmap()
+		m.unmap = nil
+	}
+}
+
+// mapFile maps [0, size) of f read-only. The file descriptor is not
+// retained (an mmap outlives its fd; the fallback copies). A failed mmap
+// degrades to the heap copy.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	if size == 0 {
+		m := &mapping{}
+		m.refs.Store(1)
+		return m, nil
+	}
+	if data, unmap, err := rawMap(f, size); err == nil {
+		m := &mapping{data: data, unmap: unmap}
+		m.refs.Store(1)
+		return m, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, err
+	}
+	m := &mapping{data: data}
+	m.refs.Store(1)
+	return m, nil
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package eventstore
+
+import (
+	"errors"
+	"os"
+)
+
+// rawMap always fails on platforms without unix mmap; mapFile falls back
+// to reading the segment into the heap.
+func rawMap(*os.File, int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("eventstore: mmap unsupported")
+}

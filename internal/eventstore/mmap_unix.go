@@ -1,0 +1,17 @@
+//go:build unix
+
+package eventstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// rawMap mmaps [0, size) of f read-only; the returned func unmaps.
+func rawMap(f *os.File, size int64) ([]byte, func(), error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

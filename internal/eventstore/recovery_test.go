@@ -1,0 +1,455 @@
+package eventstore
+
+// Crash-recovery coverage: every corruption a torn write or interrupted
+// compaction can leave behind — partial tail frames, flipped bytes, lost
+// or stale index sidecars, quarantined headers, superseded leftovers —
+// must be detected at Open and either repaired (newest segment) or
+// refused (interior segments, where silent repair would fabricate gaps).
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildCrashedStore appends n events across small segments and abandons
+// the store mid-flight (no seal, no sidecar on the tail), returning the
+// sorted segment file names.
+func buildCrashedStore(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	st, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, st, testEvents(n))
+	if err := st.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 segments for recovery tests, got %d", len(names))
+	}
+	return names
+}
+
+func damageFile(t *testing.T, path string, f func(data []byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopenAndCheck opens dir and requires a clean contiguous store whose
+// events match the testEvents prefix of the recovered length.
+func reopenAndCheck(t *testing.T, dir string, wantLastAtLeast, wantLastAtMost uint64) uint64 {
+	t.Helper()
+	st, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	last := st.LastSeq()
+	if last < wantLastAtLeast || last > wantLastAtMost {
+		t.Fatalf("recovered LastSeq = %d, want within [%d, %d]", last, wantLastAtLeast, wantLastAtMost)
+	}
+	checkEvents(t, replayAll(t, st), testEvents(int(last)))
+	// The store must accept appends immediately after recovery.
+	more := testEvents(int(last) + 1)
+	if err := st.Append(more[last]); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	return last
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	const n = 300
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, dir string, names []string)
+		// minLast bounds how much data may be lost: everything before
+		// the damaged tail region must survive.
+		minLast func(names []string, dir string, t *testing.T) uint64
+	}{
+		{
+			name: "truncate-mid-frame",
+			damage: func(t *testing.T, dir string, names []string) {
+				tail := filepath.Join(dir, names[len(names)-1])
+				damageFile(t, tail, func(data []byte) []byte {
+					return data[:len(data)-7]
+				})
+			},
+		},
+		{
+			name: "flip-byte-in-last-frame",
+			damage: func(t *testing.T, dir string, names []string) {
+				tail := filepath.Join(dir, names[len(names)-1])
+				damageFile(t, tail, func(data []byte) []byte {
+					data[len(data)-3] ^= 0xff
+					return data
+				})
+			},
+		},
+		{
+			name: "garbage-appended-after-tail",
+			damage: func(t *testing.T, dir string, names []string) {
+				tail := filepath.Join(dir, names[len(names)-1])
+				damageFile(t, tail, func(data []byte) []byte {
+					return append(data, 0xde, 0xad, 0xbe, 0xef, 0x01)
+				})
+			},
+		},
+		{
+			name: "truncate-to-header-only",
+			damage: func(t *testing.T, dir string, names []string) {
+				tail := filepath.Join(dir, names[len(names)-1])
+				damageFile(t, tail, func(data []byte) []byte {
+					return data[:segHeaderLen]
+				})
+			},
+		},
+		{
+			name: "tail-header-flipped",
+			damage: func(t *testing.T, dir string, names []string) {
+				tail := filepath.Join(dir, names[len(names)-1])
+				damageFile(t, tail, func(data []byte) []byte {
+					data[2] ^= 0xff // inside the magic
+					return data
+				})
+			},
+		},
+		{
+			name: "tail-shorter-than-header",
+			damage: func(t *testing.T, dir string, names []string) {
+				tail := filepath.Join(dir, names[len(names)-1])
+				damageFile(t, tail, func(data []byte) []byte {
+					return data[:10]
+				})
+			},
+		},
+		{
+			name: "sealed-index-deleted",
+			damage: func(t *testing.T, dir string, names []string) {
+				// Delete a sealed (non-tail) segment's sidecar: open must
+				// rebuild it by scanning with zero data loss.
+				if err := os.Remove(idxPathFor(filepath.Join(dir, names[0]))); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "sealed-index-corrupted",
+			damage: func(t *testing.T, dir string, names []string) {
+				idx := idxPathFor(filepath.Join(dir, names[0]))
+				damageFile(t, idx, func(data []byte) []byte {
+					data[len(data)/2] ^= 0xff
+					return data
+				})
+			},
+		},
+		{
+			name: "all-indexes-deleted",
+			damage: func(t *testing.T, dir string, names []string) {
+				entries, err := os.ReadDir(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range entries {
+					if strings.HasSuffix(e.Name(), idxSuffix) {
+						if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			names := buildCrashedStore(t, dir, n)
+			// Every event before the tail segment must survive any
+			// tail damage.
+			tailFirst := mustBaseSeq(t, names[len(names)-1])
+			tc.damage(t, dir, names)
+			last := reopenAndCheck(t, dir, tailFirst-1, n)
+			t.Logf("recovered %d/%d events", last, n)
+		})
+	}
+}
+
+func mustBaseSeq(t *testing.T, name string) uint64 {
+	t.Helper()
+	var base uint64
+	if _, err := fmtSscanHex(strings.TrimSuffix(name, segSuffix), &base); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func fmtSscanHex(s string, v *uint64) (int, error) {
+	var x uint64
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			x = x<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			x = x<<4 | uint64(c-'a'+10)
+		default:
+			return 0, errors.New("bad hex segment name: " + s)
+		}
+	}
+	*v = x
+	return 1, nil
+}
+
+func TestInteriorCorruptionRefusesOpen(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, dir string, names []string)
+	}{
+		{
+			name: "interior-header-flipped",
+			damage: func(t *testing.T, dir string, names []string) {
+				p := filepath.Join(dir, names[0])
+				// Kill both the header and the sidecar so the open cannot
+				// sidestep the damaged header via the index fast path.
+				damageFile(t, p, func(data []byte) []byte {
+					data[0] ^= 0xff
+					return data
+				})
+				os.Remove(idxPathFor(p))
+			},
+		},
+		{
+			name: "interior-frame-corrupt-no-index",
+			damage: func(t *testing.T, dir string, names []string) {
+				p := filepath.Join(dir, names[0])
+				damageFile(t, p, func(data []byte) []byte {
+					data[len(data)/2] ^= 0xff
+					return data
+				})
+				os.Remove(idxPathFor(p))
+			},
+		},
+		{
+			name: "interior-truncated-no-index",
+			damage: func(t *testing.T, dir string, names []string) {
+				p := filepath.Join(dir, names[0])
+				damageFile(t, p, func(data []byte) []byte {
+					return data[:len(data)-20]
+				})
+				os.Remove(idxPathFor(p))
+			},
+		},
+		{
+			name: "gap-between-segments",
+			damage: func(t *testing.T, dir string, names []string) {
+				// Remove an interior segment entirely: the survivors are
+				// individually valid but no longer contiguous.
+				p := filepath.Join(dir, names[1])
+				if err := os.Remove(p); err != nil {
+					t.Fatal(err)
+				}
+				os.Remove(idxPathFor(p))
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			names := buildCrashedStore(t, dir, 300)
+			tc.damage(t, dir, names)
+			if _, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10}); err == nil {
+				t.Fatal("open of a store with interior damage succeeded; refusal expected")
+			} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, errBadHeader) {
+				t.Fatalf("open error = %v, want corruption", err)
+			}
+		})
+	}
+}
+
+func TestTailHeaderQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	names := buildCrashedStore(t, dir, 300)
+	tail := filepath.Join(dir, names[len(names)-1])
+	tailFirst := mustBaseSeq(t, names[len(names)-1])
+	damageFile(t, tail, func(data []byte) []byte {
+		data[9] ^= 0xff // inside baseSeq, breaks the header CRC
+		return data
+	})
+	last := reopenAndCheck(t, dir, tailFirst-1, tailFirst-1)
+	if last != tailFirst-1 {
+		t.Fatalf("recovered LastSeq = %d, want %d", last, tailFirst-1)
+	}
+	quarantined, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantined files = %v (err %v), want exactly one", quarantined, err)
+	}
+}
+
+func TestRecoveryMetricsMove(t *testing.T) {
+	dir := t.TempDir()
+	names := buildCrashedStore(t, dir, 300)
+	tail := filepath.Join(dir, names[len(names)-1])
+	damageFile(t, tail, func(data []byte) []byte {
+		return data[:len(data)-5]
+	})
+	m := NewMetrics(nil)
+	st, err := Open(Options{Dir: dir, SegmentBytes: 4 << 10, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if m.repairs.Value() == 0 {
+		t.Fatal("repairs counter never moved")
+	}
+	if m.truncatedBytes.Value() == 0 {
+		t.Fatal("truncated bytes counter never moved")
+	}
+}
+
+func TestReadOnlyReportsTornBytes(t *testing.T) {
+	dir := t.TempDir()
+	names := buildCrashedStore(t, dir, 300)
+	tail := filepath.Join(dir, names[len(names)-1])
+	damageFile(t, tail, func(data []byte) []byte {
+		return append(data, 1, 2, 3, 4, 5, 6, 7)
+	})
+	st, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	infos := st.SegmentInfos()
+	torn := int64(0)
+	for _, info := range infos {
+		torn += info.TornBytes
+	}
+	if torn == 0 {
+		t.Fatal("read-only open reported no torn bytes on a damaged tail")
+	}
+}
+
+func TestCompactionCrashLeftoverRemoved(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := testEvents(600)
+	appendAll(t, st, all)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 4 {
+		t.Fatalf("want >= 4 segments, got %d", len(names))
+	}
+	// Preserve the soon-to-be-merged inputs, compact, then restore them —
+	// the state a crash between the merged rename and the input deletes
+	// leaves behind (fully-contained leftovers on disk).
+	type saved struct {
+		name string
+		data []byte
+	}
+	var stash []saved
+	for _, name := range names {
+		for _, p := range []string{name, strings.TrimSuffix(name, segSuffix) + idxSuffix} {
+			data, err := os.ReadFile(filepath.Join(dir, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stash = append(stash, saved{name: p, data: data})
+		}
+	}
+	st, err = Open(Options{Dir: dir, SegmentBytes: 2 << 10, Compact: CompactPolicy{MinSegments: 2, TargetBytes: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 {
+		t.Fatal("compaction merged nothing")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restore the original inputs alongside the merged output.
+	for _, s := range stash {
+		p := filepath.Join(dir, s.name)
+		if _, err := os.Stat(p); err == nil {
+			continue // still present (e.g. replaced first input)
+		}
+		if err := os.WriteFile(p, s.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopenAndCheck(t, dir, 600, 600)
+	// The leftovers must be gone from disk.
+	after, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(after)
+	for _, name := range after[:len(after)-1] {
+		// No remaining segment may be fully contained in a predecessor;
+		// reopenAndCheck already proved contiguity via replay.
+		_ = name
+	}
+	if len(after) >= len(names) {
+		t.Fatalf("leftover segments not removed: %d files before, %d after", len(names), len(after))
+	}
+}
+
+func TestCompactionStaleIndexRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, st, testEvents(600))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stash the first segment's sidecar, compact (merging it away), then
+	// put the stale sidecar back over the merged segment's: the crash
+	// state of "data renamed, index rename lost".
+	firstIdx := idxPathFor(filepath.Join(dir, names[0]))
+	stale, err := os.ReadFile(firstIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = Open(Options{Dir: dir, SegmentBytes: 2 << 10, Compact: CompactPolicy{MinSegments: 2, TargetBytes: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged, err := st.Compact(); err != nil || merged == 0 {
+		t.Fatalf("compact: %d merged, err %v", merged, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(firstIdx, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, 600, 600)
+}

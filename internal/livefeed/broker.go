@@ -72,6 +72,15 @@ type Config struct {
 	// a private Metrics on its own registry; pass NewMetrics(sharedReg)
 	// to scrape the broker alongside other subsystems.
 	Metrics *Metrics
+	// Journal, when set, durably records every published event and backs
+	// resume-from-sequence requests that fall off the in-memory replay
+	// window. Append errors are counted (livefeed_journal_errors_total)
+	// but never stall publishing.
+	Journal Journal
+	// StartSeq seeds the broker's sequence counter, so a broker recovered
+	// from a journal continues numbering where the previous run stopped
+	// instead of reissuing sequence numbers.
+	StartSeq uint64
 }
 
 func (c Config) ringSize() int {
@@ -121,6 +130,7 @@ func NewBroker(cfg Config) *Broker {
 	b := &Broker{
 		cfg:     cfg,
 		metrics: m,
+		seq:     cfg.StartSeq,
 		subs:    make(map[*Subscriber]struct{}),
 	}
 	if n := cfg.replaySize(); n > 0 {
@@ -158,6 +168,11 @@ func (b *Broker) Publish(ev Event) uint64 {
 	}
 	b.seq++
 	ev.Seq = b.seq
+	if b.cfg.Journal != nil {
+		if err := b.cfg.Journal.Append(ev); err != nil {
+			b.metrics.journalErrors.Add(1)
+		}
+	}
 	b.metrics.recordsIn.Add(1)
 	if ev.Channel == ChannelZombie {
 		b.metrics.alerts.Add(1)
@@ -204,9 +219,10 @@ func (b *Broker) PublishRecord(collector string, rec mrt.Record) (seq uint64, ok
 // Subscribe attaches a subscriber with the given filter and policy.
 // resumeFrom > 0 asks for replay of retained events with sequence numbers
 // strictly greater than resumeFrom; lost reports how many of those were
-// no longer retained. Matching retained events are pre-loaded into the
-// subscriber's buffer (they count against its ring size under the same
-// policy).
+// no longer retained (neither in the replay ring nor, when the broker is
+// journaled, in the journal). The catch-up is served lazily by Next, ahead
+// of live events; a journal read failure during it surfaces as ErrJournal
+// from Next.
 func (b *Broker) Subscribe(f Filter, policy Policy, resumeFrom uint64) (sub *Subscriber, lost uint64, err error) {
 	return b.SubscribeFrom(f, policy, resumeFrom, false)
 }
@@ -229,20 +245,48 @@ func (b *Broker) SubscribeFrom(f Filter, policy Policy, resumeFrom uint64, fromS
 		replay = b.seq > 0
 	}
 	if replay {
+		// The catch-up is NOT pushed into the subscriber's ring here: a
+		// journal-served gap can exceed any ring (a month-scale store vs a
+		// 1024-slot buffer), and a blocked push would deadlock the broker —
+		// SubscribeFrom holds b.mu and the consumer that would drain the
+		// ring only exists after it returns. Instead the gap is recorded as
+		// a backlog (journal range + a snapshot of matching retained ring
+		// events) that Next serves lazily, in batches, before live events.
+		// Live pushes start at the current head, above everything in the
+		// backlog, so ordering stays contiguous.
 		firstAvail := b.seq + 1 - uint64(b.count) // oldest retained seq
+		bl := &backfill{}
 		if resumeFrom+1 < firstAvail {
-			lost = firstAvail - resumeFrom - 1
+			if b.cfg.Journal != nil {
+				// Serve the part of the gap the journal still holds; only
+				// events older than its retention horizon are truly lost.
+				from := resumeFrom
+				jFirst := b.cfg.Journal.FirstSeq()
+				if jFirst == 0 { // empty journal: the whole gap is gone
+					lost = firstAvail - resumeFrom - 1
+					from = firstAvail - 1
+				} else if jFirst-1 > from {
+					lost = jFirst - 1 - from
+					from = jFirst - 1
+				}
+				if from+1 < firstAvail {
+					bl.journal = b.cfg.Journal
+					bl.nextSeq = from + 1
+					bl.endSeq = firstAvail - 1
+				}
+			} else {
+				lost = firstAvail - resumeFrom - 1
+			}
 		}
 		for i := 0; i < b.count; i++ {
 			ev := b.replay[(b.start+i)%len(b.replay)]
 			if ev.Seq <= resumeFrom || !f.Match(&ev) {
 				continue
 			}
-			if sub.push(ev, b.metrics) {
-				b.metrics.eventsOut.Add(1)
-			} else {
-				return nil, lost, ErrKicked
-			}
+			bl.ring = append(bl.ring, ev)
+		}
+		if bl.journal != nil || len(bl.ring) > 0 {
+			sub.backlog = bl
 		}
 	}
 	b.subs[sub] = struct{}{}
@@ -289,6 +333,11 @@ type Subscriber struct {
 	filter Filter
 	policy Policy
 
+	// backlog holds the resume catch-up (journal range + retained-ring
+	// snapshot) that Next serves before live events. It is touched only
+	// by the consumer goroutine, never under a lock.
+	backlog *backfill
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	buf    []Event // fixed-capacity ring; buf[(head+i)%cap] for i<n
@@ -297,6 +346,88 @@ type Subscriber struct {
 	closed bool
 	reason error
 	drops  uint64
+}
+
+// backfillBatch bounds how many journal sequences one Next pulls at a
+// time: large enough to amortise the span-index lookup, small enough to
+// keep memory flat while catching up over a month-scale journal.
+const backfillBatch = 512
+
+// backfill is the catch-up state handed to a resuming subscriber by
+// SubscribeFrom: first the journal range (nextSeq..endSeq), then the
+// snapshot of matching events the broker's replay ring still retained at
+// subscribe time. Consumer-goroutine-only; no lock needed.
+type backfill struct {
+	journal  Journal
+	nextSeq  uint64 // next journal seq to serve; > endSeq when done
+	endSeq   uint64 // last journal seq to serve (inclusive); 0 = no journal part
+	batch    []Event
+	batchPos int
+	ring     []Event
+	ringPos  int
+}
+
+// backfillNext serves the next catch-up event, reading the journal in
+// batches outside every lock. ok is false once the backlog is exhausted
+// (the caller falls through to the live ring). A journal read error
+// closes the subscriber with ErrJournal: a journal that cannot be read
+// must not become a silent gap in a stream the client asked to resume.
+func (s *Subscriber) backfillNext() (ev Event, ok bool, err error) {
+	bl := s.backlog
+	if bl == nil {
+		return Event{}, false, nil
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// Abandon the catch-up; next() drains any buffered live events
+		// and then reports the close reason, same as every consumer.
+		s.backlog = nil
+		return Event{}, false, nil
+	}
+	for {
+		if bl.batchPos < len(bl.batch) {
+			ev := bl.batch[bl.batchPos]
+			bl.batch[bl.batchPos] = Event{} // release references
+			bl.batchPos++
+			s.b.metrics.eventsOut.Add(1)
+			return ev, true, nil
+		}
+		if bl.journal != nil && bl.nextSeq <= bl.endSeq {
+			to := bl.nextSeq - 1 + backfillBatch
+			if to > bl.endSeq {
+				to = bl.endSeq
+			}
+			bl.batch = bl.batch[:0]
+			bl.batchPos = 0
+			rerr := bl.journal.Replay(bl.nextSeq-1, to, func(ev Event) error {
+				if s.filter.Match(&ev) {
+					bl.batch = append(bl.batch, ev)
+				}
+				return nil
+			})
+			if rerr != nil {
+				s.b.metrics.journalErrors.Add(1)
+				s.backlog = nil
+				werr := fmt.Errorf("%w: %v", ErrJournal, rerr)
+				s.markClosed(werr)
+				s.b.remove(s)
+				return Event{}, false, werr
+			}
+			bl.nextSeq = to + 1
+			continue
+		}
+		if bl.ringPos < len(bl.ring) {
+			ev := bl.ring[bl.ringPos]
+			bl.ring[bl.ringPos] = Event{} // release references
+			bl.ringPos++
+			s.b.metrics.eventsOut.Add(1)
+			return ev, true, nil
+		}
+		s.backlog = nil
+		return Event{}, false, nil
+	}
 }
 
 func newSubscriber(b *Broker, f Filter, policy Policy, ringSize int) *Subscriber {
@@ -346,10 +477,15 @@ func (s *Subscriber) push(ev Event, m *Metrics) bool {
 	return true
 }
 
-// Next blocks until an event is available and returns it. It returns
-// ErrKicked if the subscriber was disconnected for being too slow, or
+// Next blocks until an event is available and returns it. Resume
+// catch-up (journal + retained ring) is served first, then live events.
+// It returns ErrKicked if the subscriber was disconnected for being too
+// slow, ErrJournal if the resume gap could not be read back, or
 // ErrClosed/ErrBrokerClosed after Close.
 func (s *Subscriber) Next() (Event, error) {
+	if ev, ok, err := s.backfillNext(); ok || err != nil {
+		return ev, err
+	}
 	return s.next(time.Time{})
 }
 
@@ -360,6 +496,9 @@ var errIdle = fmt.Errorf("livefeed: no event within the wait")
 // returns errIdle while the subscription stays attached. The server's
 // heartbeat loop uses it to interleave keepalives into idle streams.
 func (s *Subscriber) NextTimeout(d time.Duration) (Event, error) {
+	if ev, ok, err := s.backfillNext(); ok || err != nil {
+		return ev, err
+	}
 	if d <= 0 {
 		return s.Next()
 	}

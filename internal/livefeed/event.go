@@ -56,12 +56,12 @@ type Alert struct {
 // ris_message shape (collector host, peer, type, path, announcements,
 // withdrawals, optional raw record); zombie-channel events carry an Alert.
 type Event struct {
-	Seq       uint64    `json:"seq"`
-	Channel   string    `json:"channel"`
-	Type      string    `json:"type"`
-	Collector string    `json:"collector,omitempty"`
-	Timestamp time.Time `json:"timestamp"`
-	PeerAS    bgp.ASN   `json:"peer_as,omitempty"`
+	Seq       uint64     `json:"seq"`
+	Channel   string     `json:"channel"`
+	Type      string     `json:"type"`
+	Collector string     `json:"collector,omitempty"`
+	Timestamp time.Time  `json:"timestamp"`
+	PeerAS    bgp.ASN    `json:"peer_as,omitempty"`
 	Peer      netip.Addr `json:"peer,omitempty"`
 
 	// UPDATE fields.
@@ -80,6 +80,16 @@ type Event struct {
 
 	// Alert is set on zombie-channel events.
 	Alert *Alert `json:"alert,omitempty"`
+}
+
+// Streamable reports whether EventFromRecord would publish rec: BGP4MP
+// messages and state changes stream, RIB-dump record types do not.
+func Streamable(rec mrt.Record) bool {
+	switch rec.(type) {
+	case *mrt.BGP4MPMessage, *mrt.BGP4MPStateChange:
+		return true
+	}
+	return false
 }
 
 // EventFromRecord converts a tapped collector record into a feed event.

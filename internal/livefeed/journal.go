@@ -1,0 +1,128 @@
+package livefeed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"zombiescope/internal/eventstore"
+	"zombiescope/internal/mrt"
+)
+
+// Journal is the durable log a broker writes published events through.
+// The broker appends every event under its publish lock (so journal order
+// is sequence order) and reads ranges back when a subscriber resumes from
+// a sequence number older than the in-memory replay window. FirstSeq and
+// LastSeq bound what Replay can serve; FirstSeq 0 means the journal is
+// empty.
+type Journal interface {
+	// Append durably records one published event. Called with the
+	// broker's publish lock held: implementations must not call back
+	// into the broker.
+	Append(ev Event) error
+	// Replay invokes fn for every journaled event with sequence number
+	// in (fromSeq, toSeq], in order. The events passed to fn are fully
+	// owned by the callee.
+	Replay(fromSeq, toSeq uint64, fn func(Event) error) error
+	// FirstSeq returns the oldest retained sequence number (0 if empty).
+	FirstSeq() uint64
+	// LastSeq returns the newest journaled sequence number (0 if empty).
+	LastSeq() uint64
+}
+
+// StoreJournal adapts an eventstore.Store into a broker Journal.
+//
+// Update-channel events that carry their raw MRT record are stored as
+// KindMRT with the record bytes as the payload — the densest encoding,
+// and the one recovery replays through the detector byte-faithfully.
+// Everything else (alerts, raw-omitted updates) is stored as KindJSON
+// with the JSON-encoded event as payload.
+type StoreJournal struct {
+	Store *eventstore.Store
+}
+
+// Append implements Journal.
+func (j *StoreJournal) Append(ev Event) error {
+	return j.Store.Append(storeEvent(ev))
+}
+
+// storeEvent converts a feed event to its on-disk representation.
+func storeEvent(ev Event) eventstore.Event {
+	se := eventstore.Event{
+		Seq:       ev.Seq,
+		Time:      ev.Timestamp,
+		Collector: ev.Collector,
+		PeerAS:    uint32(ev.PeerAS),
+		PeerAddr:  ev.Peer,
+		Prefixes:  ev.Prefixes(),
+	}
+	if ev.Channel == ChannelUpdates && len(ev.Raw) > 0 {
+		se.Kind = eventstore.KindMRT
+		se.Payload = ev.Raw
+		return se
+	}
+	se.Kind = eventstore.KindJSON
+	se.Payload, _ = json.Marshal(&ev)
+	return se
+}
+
+// feedEvent converts a stored event back to the feed event that produced
+// it. Stored events handed to Replay callbacks are fully owned, so the
+// reconstruction can alias the payload.
+func feedEvent(se eventstore.Event) (Event, error) {
+	switch se.Kind {
+	case eventstore.KindMRT:
+		rec, err := decodeMRTPayload(se.Seq, se.Payload)
+		if err != nil {
+			return Event{}, err
+		}
+		ev, ok := EventFromRecord(se.Collector, rec, false)
+		if !ok {
+			return Event{}, fmt.Errorf("livefeed: journaled record %d is not streamable", se.Seq)
+		}
+		ev.Seq = se.Seq
+		ev.Raw = se.Payload
+		return ev, nil
+	case eventstore.KindJSON:
+		var ev Event
+		if err := json.Unmarshal(se.Payload, &ev); err != nil {
+			return Event{}, fmt.Errorf("livefeed: journaled event %d: %w", se.Seq, err)
+		}
+		ev.Seq = se.Seq
+		return ev, nil
+	default:
+		return Event{}, fmt.Errorf("livefeed: journaled event %d has unknown kind %d", se.Seq, se.Kind)
+	}
+}
+
+// decodeMRTPayload decodes the single MRT record a KindMRT payload holds.
+func decodeMRTPayload(seq uint64, payload []byte) (mrt.Record, error) {
+	rec, err := mrt.NewReader(bytes.NewReader(payload)).Next()
+	if err == io.EOF {
+		return nil, fmt.Errorf("livefeed: journaled event %d payload empty", seq)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("livefeed: journaled event %d: %w", seq, err)
+	}
+	return rec, nil
+}
+
+// Replay implements Journal.
+func (j *StoreJournal) Replay(fromSeq, toSeq uint64, fn func(Event) error) error {
+	return j.Store.Replay(fromSeq, toSeq, func(se eventstore.Event) error {
+		ev, err := feedEvent(se)
+		if err != nil {
+			return err
+		}
+		return fn(ev)
+	})
+}
+
+// FirstSeq implements Journal.
+func (j *StoreJournal) FirstSeq() uint64 { return j.Store.FirstSeq() }
+
+// LastSeq implements Journal.
+func (j *StoreJournal) LastSeq() uint64 { return j.Store.LastSeq() }
+
+var _ Journal = (*StoreJournal)(nil)

@@ -1,0 +1,396 @@
+package livefeed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/eventstore"
+	"zombiescope/internal/experiments"
+	"zombiescope/internal/zombie"
+)
+
+// drainUntil reads events off sub until it sees sequence head (inclusive)
+// or goes idle.
+func drainUntil(t *testing.T, sub *Subscriber, head uint64) []Event {
+	t.Helper()
+	var out []Event
+	for {
+		ev, err := sub.NextTimeout(2 * time.Second)
+		if err == errIdle {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		out = append(out, ev)
+		if ev.Seq >= head {
+			return out
+		}
+	}
+}
+
+func eventJSON(t *testing.T, ev Event) string {
+	t.Helper()
+	b, err := json.Marshal(&ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestJournalRoundTripAcrossRestart is the durability contract end to
+// end: a broker journaling through an eventstore is closed, the store
+// reopened, and a fresh broker serves the complete event history — raw
+// MRT records, reconstructed UPDATE fields, and JSON-coded alerts all
+// byte-equivalent — to FromStart and mid-sequence resumers.
+func TestJournalRoundTripAcrossRestart(t *testing.T) {
+	data, err := experiments.RunAuthorScenario(experiments.DefaultAuthorConfig(42, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := MergeUpdates(data.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st1, err := eventstore.Open(eventstore.Options{Dir: dir, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBroker(Config{RingSize: 1 << 16, Journal: &StoreJournal{Store: st1}})
+	sub1, _, err := b1.Subscribe(Filter{}, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(b1, data.Intervals, 0)
+	for _, sr := range stream {
+		pipe.Ingest(sr)
+	}
+	pipe.Flush(data.Config.TrackUntil)
+	head := b1.Seq()
+	if head == 0 {
+		t.Fatal("nothing published")
+	}
+	live := drainUntil(t, sub1, head)
+	if uint64(len(live)) != head {
+		t.Fatalf("live subscriber saw %d events, want %d", len(live), head)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b1.Close()
+
+	// Restart: a new store over the same directory, a new broker that
+	// continues numbering where the old one stopped.
+	st2, err := eventstore.Open(eventstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.LastSeq() != head {
+		t.Fatalf("recovered store at seq %d, want %d", st2.LastSeq(), head)
+	}
+	b2 := NewBroker(Config{RingSize: 1 << 16, Journal: &StoreJournal{Store: st2}, StartSeq: st2.LastSeq()})
+	defer b2.Close()
+
+	sub2, lost, err := b2.SubscribeFrom(Filter{}, PolicyBlock, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("FromStart across restart lost %d events", lost)
+	}
+	got := drainUntil(t, sub2, head)
+	if len(got) != len(live) {
+		t.Fatalf("journal replay returned %d events, want %d", len(got), len(live))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("journal replay gap: event %d has seq %d", i, ev.Seq)
+		}
+		if want, g := eventJSON(t, live[i]), eventJSON(t, ev); want != g {
+			t.Fatalf("event %d diverges after restart:\n live: %s\n got:  %s", i+1, want, g)
+		}
+	}
+
+	// Mid-sequence resume serves the strict suffix.
+	mid := head / 2
+	sub3, lost, err := b2.SubscribeFrom(Filter{}, PolicyBlock, mid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("mid resume lost %d events", lost)
+	}
+	suffix := drainUntil(t, sub3, head)
+	if uint64(len(suffix)) != head-mid {
+		t.Fatalf("mid resume returned %d events, want %d", len(suffix), head-mid)
+	}
+	if suffix[0].Seq != mid+1 {
+		t.Fatalf("mid resume starts at %d, want %d", suffix[0].Seq, mid+1)
+	}
+
+	// New publishes keep numbering past the recovered head.
+	if seq := b2.Publish(Event{Channel: ChannelUpdates, Type: TypeUpdate, Collector: "rrc00", Timestamp: time.Now()}); seq != head+1 {
+		t.Fatalf("post-restart publish got seq %d, want %d", seq, head+1)
+	}
+}
+
+// syntheticEvents builds raw-less update events that journal as KindJSON.
+func syntheticEvents(n int) []Event {
+	base := time.Date(2025, 5, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			Channel:   ChannelUpdates,
+			Type:      TypeUpdate,
+			Collector: "rrc00",
+			Timestamp: base.Add(time.Duration(i) * time.Second),
+			PeerAS:    bgp.ASN(64500 + i%3),
+			Peer:      netip.MustParseAddr("192.0.2.1"),
+			Withdrawals: []netip.Prefix{
+				netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", i%200)),
+			},
+		}
+	}
+	return out
+}
+
+// TestJournalServesEvictedWindow: events evicted from the in-memory
+// replay ring are not lost when a journal backs the broker.
+func TestJournalServesEvictedWindow(t *testing.T) {
+	st, err := eventstore.Open(eventstore.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := NewBroker(Config{RingSize: 4096, ReplaySize: 8, Journal: &StoreJournal{Store: st}})
+	defer b.Close()
+	evs := syntheticEvents(200)
+	for _, ev := range evs {
+		b.Publish(ev)
+	}
+	sub, lost, err := b.SubscribeFrom(Filter{}, PolicyBlock, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("journal-backed FromStart lost %d events", lost)
+	}
+	got := drainUntil(t, sub, 200)
+	if len(got) != 200 {
+		t.Fatalf("got %d events, want 200", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("gap at %d: seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestJournalRetentionReportsLost: once the store's own retention drops
+// old segments, only the truly unrecoverable prefix counts as lost and
+// the stream picks up gap-free at the journal's horizon.
+func TestJournalRetentionReportsLost(t *testing.T) {
+	st, err := eventstore.Open(eventstore.Options{Dir: t.TempDir(), SegmentBytes: 4096, RetainBytes: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := NewBroker(Config{RingSize: 4096, ReplaySize: 8, Journal: &StoreJournal{Store: st}})
+	defer b.Close()
+	for _, ev := range syntheticEvents(600) {
+		b.Publish(ev)
+	}
+	jFirst := st.FirstSeq()
+	if jFirst <= 1 {
+		t.Fatalf("retention never dropped a segment (first seq %d); shrink RetainBytes", jFirst)
+	}
+	sub, lost, err := b.SubscribeFrom(Filter{}, PolicyBlock, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != jFirst-1 {
+		t.Fatalf("lost = %d, want %d (journal first seq %d)", lost, jFirst-1, jFirst)
+	}
+	got := drainUntil(t, sub, 600)
+	if uint64(len(got)) != 600-(jFirst-1) {
+		t.Fatalf("got %d events, want %d", len(got), 600-(jFirst-1))
+	}
+	next := jFirst
+	for _, ev := range got {
+		if ev.Seq != next {
+			t.Fatalf("gap: seq %d, want %d", ev.Seq, next)
+		}
+		next++
+	}
+}
+
+// errJournal fails on demand, for error-path coverage.
+type errJournal struct {
+	appendErr error
+	replayErr error
+	last      uint64
+}
+
+func (j *errJournal) Append(ev Event) error {
+	j.last = ev.Seq
+	return j.appendErr
+}
+
+func (j *errJournal) Replay(fromSeq, toSeq uint64, fn func(Event) error) error {
+	return j.replayErr
+}
+
+func (j *errJournal) FirstSeq() uint64 {
+	if j.last == 0 {
+		return 0
+	}
+	return 1
+}
+
+func (j *errJournal) LastSeq() uint64 { return j.last }
+
+// TestJournalErrors: append failures never stall publishing (counted
+// only), while an unreadable journal ends the resume catch-up with
+// ErrJournal from Next rather than handing the client a silent gap.
+func TestJournalErrors(t *testing.T) {
+	j := &errJournal{appendErr: errors.New("disk full"), replayErr: errors.New("bad sector")}
+	b := NewBroker(Config{ReplaySize: 4, Journal: j})
+	defer b.Close()
+	for _, ev := range syntheticEvents(50) {
+		if seq := b.Publish(ev); seq == 0 {
+			t.Fatal("publish failed under journal append error")
+		}
+	}
+	if got := b.Metrics().journalErrors.Value(); got != 50 {
+		t.Fatalf("journal error counter = %d, want 50", got)
+	}
+	sub, _, err := b.SubscribeFrom(Filter{}, PolicyDropOldest, 1, false)
+	if err != nil {
+		t.Fatalf("resume subscribe: %v", err)
+	}
+	if _, err := sub.Next(); !errors.Is(err, ErrJournal) {
+		t.Fatalf("Next over unreadable journal = %v, want ErrJournal", err)
+	} else if !strings.Contains(err.Error(), "bad sector") {
+		t.Fatalf("journal error %v does not carry the underlying failure", err)
+	}
+	if got := b.Metrics().journalErrors.Value(); got != 51 {
+		t.Fatalf("journal error counter = %d after failed catch-up, want 51", got)
+	}
+	if b.SubscriberCount() != 0 {
+		t.Fatalf("failed subscriber left attached (%d)", b.SubscriberCount())
+	}
+}
+
+// TestRecoverRebuildsDetector kills the pipeline mid-stream (store
+// abandoned without a seal, as a crash would), recovers a fresh pipeline
+// from the journal, resumes ingestion at ResumeOffset, and requires the
+// union of pre-crash and post-recovery alerts to equal the batch
+// detector's route set — detection unchanged by the crash.
+func TestRecoverRebuildsDetector(t *testing.T) {
+	data, err := experiments.RunAuthorScenario(experiments.DefaultAuthorConfig(42, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := MergeUpdates(data.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&zombie.Detector{}).Detect(data.Updates, data.Intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make(map[routeKey]bool)
+	for _, ob := range res.Outbreaks {
+		for _, r := range ob.Routes {
+			batch[routeKey{r.Peer, r.Prefix.String(), r.Interval.AnnounceAt.Unix(), r.Duplicate}] = true
+		}
+	}
+	if len(batch) == 0 {
+		t.Fatal("batch detector found no zombies; scenario too small")
+	}
+
+	dir := t.TempDir()
+	st1, err := eventstore.Open(eventstore.Options{Dir: dir, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBroker(Config{RingSize: 1 << 16, Journal: &StoreJournal{Store: st1}})
+	sub1, _, err := b1.Subscribe(Filter{Channels: []string{ChannelZombie}}, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe1 := NewPipeline(b1, data.Intervals, 0)
+	mid := len(stream) / 2
+	for _, sr := range stream[:mid] {
+		pipe1.Ingest(sr)
+	}
+	preHead := b1.Seq()
+	preAlerts := alertKeys(drainUntil(t, sub1, preHead))
+	if err := st1.Abandon(); err != nil { // crash: no seal, no final fsync
+		t.Fatal(err)
+	}
+	b1.Close()
+
+	st2, err := eventstore.Open(eventstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	b2 := NewBroker(Config{RingSize: 1 << 16, Journal: &StoreJournal{Store: st2}, StartSeq: st2.LastSeq()})
+	defer b2.Close()
+	sub2, _, err := b2.Subscribe(Filter{Channels: []string{ChannelZombie}}, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe2 := NewPipeline(b2, data.Intervals, 0)
+	n, err := pipe2.Recover(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > mid {
+		t.Fatalf("recovered %d records, want (0, %d]", n, mid)
+	}
+	offset := ResumeOffset(stream, n)
+	for _, sr := range stream[offset:] {
+		pipe2.Ingest(sr)
+	}
+	pipe2.Flush(data.Config.TrackUntil)
+	postAlerts := alertKeys(drainUntil(t, sub2, b2.Seq()))
+
+	got := make(map[routeKey]bool)
+	for k := range preAlerts {
+		got[k] = true
+	}
+	for k := range postAlerts {
+		got[k] = true
+	}
+	if err := equalSets(batch, got); err != nil {
+		t.Fatalf("crash-recovered detection diverges from batch: %v", err)
+	}
+}
+
+// alertKeys projects zombie-channel events onto comparable route keys.
+func alertKeys(evs []Event) map[routeKey]bool {
+	out := make(map[routeKey]bool)
+	for _, ev := range evs {
+		if ev.Alert == nil {
+			continue
+		}
+		out[routeKey{
+			peer:      zombie.PeerID{Collector: ev.Collector, AS: ev.PeerAS, Addr: ev.Peer},
+			prefix:    ev.Alert.Prefix.String(),
+			interval:  ev.Alert.IntervalStart.Unix(),
+			duplicate: ev.Alert.Duplicate,
+		}] = true
+	}
+	return out
+}

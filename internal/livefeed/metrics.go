@@ -30,6 +30,7 @@ type Metrics struct {
 	recordsIn      *obs.Counter
 	eventsOut      *obs.Counter
 	publishSeconds *obs.Histogram
+	journalErrors  *obs.Counter
 
 	// Backpressure, per policy.
 	dropsDropOldest *obs.Counter
@@ -65,6 +66,8 @@ func (m *Metrics) init() {
 		m.eventsOut = m.reg.Counter("livefeed_events_out_total", "Events queued to subscribers (post-filter).")
 		m.publishSeconds = m.reg.Histogram("livefeed_publish_seconds",
 			"Broker fan-out latency per published event.", publishBuckets)
+		m.journalErrors = m.reg.Counter("livefeed_journal_errors_total",
+			"Journal appends or resume reads that failed.")
 		m.dropsDropOldest = m.reg.Counter("livefeed_drops_drop_oldest_total", "Events evicted under drop-oldest.")
 		m.blockStalls = m.reg.Counter("livefeed_block_stalls_total", "Publishes that had to wait under block.")
 		m.kicks = m.reg.Counter("livefeed_kicks_total", "Subscribers kicked under kick-slowest.")

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"zombiescope/internal/beacon"
+	"zombiescope/internal/eventstore"
 	"zombiescope/internal/mrt"
 	"zombiescope/internal/obs"
 	"zombiescope/internal/pipeline"
@@ -61,6 +62,11 @@ type Pipeline struct {
 	sd        *zombie.StreamDetector
 	watermark time.Time
 
+	// recovering mutes alert publication while Recover re-observes
+	// journaled records: those detections already fired (and were
+	// published) before the restart.
+	recovering bool
+
 	// Per-family beacon announcement counts and per-(peer, family)
 	// deduped zombie counts back the detector_peer_zombie_rate gauges —
 	// the paper's noisy-peer likelihood, computed live. Only touched from
@@ -89,6 +95,12 @@ func NewPipeline(b *Broker, intervals []beacon.Interval, threshold time.Duration
 		p.annByFam[famIdx(iv.Prefix.Addr().Is6())]++
 	}
 	p.sd = zombie.NewStreamDetector(intervals, threshold, func(ev zombie.ZombieEvent) {
+		if p.recovering {
+			// The pre-crash run already published this alert; recovery
+			// only needs the detector (and rate gauges) to catch up.
+			p.notePeerZombie(ev)
+			return
+		}
 		// Detection latency: how far the record watermark had advanced
 		// past the scheduled check instant when the check actually fired.
 		b.Metrics().ObserveDetectionLatency(p.watermark.Sub(ev.DetectedAt))
@@ -166,6 +178,67 @@ func (p *Pipeline) Flush(until time.Time) {
 // reads a mirrored counter rather than the detector itself, so it is
 // safe to call concurrently with Ingest/Replay (zombied's /readyz does).
 func (p *Pipeline) PendingChecks() int { return int(p.pending.Load()) }
+
+// Recover rebuilds the detector from the durable event store: every
+// journaled update record is re-observed (with alert publication muted —
+// the pre-crash run already delivered those alerts), leaving the detector
+// in the exact state it held when the last record was journaled. It
+// returns how many update records were recovered; a daemon replaying a
+// merged archive stream resumes ingestion at that offset. Alerts landing
+// exactly at a crash boundary are delivered at least once: an alert
+// published but not yet journaled before the crash is re-detected, muted,
+// only if its interval check had not fired — consumers comparing route
+// keys tolerate the duplicate.
+func (p *Pipeline) Recover(st *eventstore.Store) (int, error) {
+	sp := obs.StartSpan("livefeed.recover")
+	defer sp.End()
+	p.recovering = true
+	defer func() { p.recovering = false }()
+	n := 0
+	err := st.Scan(eventstore.Query{}, func(se eventstore.Event) error {
+		if se.Kind != eventstore.KindMRT {
+			// Non-record events (alerts, raw-less updates) carry clock
+			// information only: a journaled alert proves its interval
+			// check fired before the restart, so advancing past its
+			// detection time keeps it from re-firing. Event times never
+			// exceed the pre-crash record watermark, so this cannot
+			// over-advance the clock.
+			if se.Time.After(p.watermark) {
+				p.watermark = se.Time
+				p.sd.Advance(p.watermark)
+			}
+			return nil
+		}
+		rec, err := decodeMRTPayload(se.Seq, se.Payload)
+		if err != nil {
+			return err
+		}
+		p.watermark = rec.RecordTime()
+		p.sd.Advance(p.watermark)
+		p.sd.Observe(se.Collector, rec)
+		n++
+		return nil
+	})
+	p.syncChecks()
+	sp.SetArg("records", n)
+	return n, err
+}
+
+// ResumeOffset maps a Recover count back into a merged record stream:
+// it returns the index of the first record to ingest after n journaled
+// update records were recovered. Only streamable records are journaled,
+// so non-streamable records between journaled ones are skipped along the
+// way (their only effect, advancing the detection clock, is reproduced
+// by the journaled records around them).
+func ResumeOffset(stream []SourcedRecord, n int) int {
+	i := 0
+	for ; i < len(stream) && n > 0; i++ {
+		if Streamable(stream[i].Rec) {
+			n--
+		}
+	}
+	return i
+}
 
 // Replay feeds a pre-merged record stream through the pipeline. speed 0
 // replays as fast as possible; otherwise record timestamp deltas are

@@ -266,10 +266,10 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			if errors.Is(err, ErrKicked) {
+			if errors.Is(err, ErrKicked) || errors.Is(err, ErrJournal) {
 				// Best effort: tell the client why before closing.
 				armWrite()
-				WriteFrame(bw, FrameError, ErrorFrame{Message: ErrKicked.Error()})
+				WriteFrame(bw, FrameError, ErrorFrame{Message: err.Error()})
 				bw.Flush()
 			}
 			return

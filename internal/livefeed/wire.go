@@ -102,6 +102,7 @@ var (
 	ErrHandshake     = fmt.Errorf("livefeed: handshake failed")
 	ErrServerRefused = fmt.Errorf("livefeed: server refused subscription")
 	ErrIdleTimeout   = fmt.Errorf("livefeed: no frame within the idle timeout")
+	ErrJournal       = fmt.Errorf("livefeed: journal read failed")
 )
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on amd64
