@@ -51,6 +51,7 @@ type config struct {
 	ringSize     int
 	replayBuf    int
 	allowBlock   bool
+	writeBatch   int // frames per writev batch (0: server default)
 	oneshot      bool
 	// grace bounds how long an exiting daemon waits for feed handlers to
 	// flush their subscribers' buffered events. Default 5s.
@@ -146,7 +147,7 @@ func newDaemon(cfg config, logger *slog.Logger) (*daemon, error) {
 		broker:  broker,
 		store:   store,
 		pipe:    livefeed.NewPipeline(broker, feed.intervals, cfg.threshold),
-		srv:     &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: cfg.allowBlock},
+		srv:     &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: cfg.allowBlock, WriteBatch: cfg.writeBatch},
 		stream:  stream,
 		flushAt: feed.flushAt,
 	}

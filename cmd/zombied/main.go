@@ -89,6 +89,7 @@ func main() {
 		ringSize   = flag.Int("ring", 1024, "per-subscriber ring buffer size (events)")
 		replayBuf  = flag.Int("resume-buffer", 4096, "events retained for resume-from-sequence")
 		allowBlock = flag.Bool("policy-block", false, "allow subscribers to request the block backpressure policy")
+		writeBatch = flag.Int("write-batch", 0, "max frames gathered per writev to a subscriber (0: default 64)")
 		oneshot    = flag.Bool("oneshot", false, "exit once the replay completes instead of serving forever")
 		grace      = flag.Duration("grace", 5*time.Second, "how long a graceful exit waits for subscribers to drain")
 		logFormat  = flag.String("log-format", "text", "log output format: text | json")
@@ -126,6 +127,7 @@ func main() {
 		ringSize:     *ringSize,
 		replayBuf:    *replayBuf,
 		allowBlock:   *allowBlock,
+		writeBatch:   *writeBatch,
 		oneshot:      *oneshot,
 		grace:        *grace,
 	}

@@ -2,6 +2,9 @@ package livefeed
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,7 +78,9 @@ type Config struct {
 	// Journal, when set, durably records every published event and backs
 	// resume-from-sequence requests that fall off the in-memory replay
 	// window. Append errors are counted (livefeed_journal_errors_total)
-	// but never stall publishing.
+	// but never stall publishing. Implementations that also satisfy
+	// EncodedJournal receive the broker's shared encoding instead of
+	// re-marshalling the event.
 	Journal Journal
 	// StartSeq seeds the broker's sequence counter, so a broker recovered
 	// from a journal continues numbering where the previous run stopped
@@ -100,8 +105,92 @@ func (c Config) replaySize() int {
 	return c.ReplaySize
 }
 
-// Broker assigns sequence numbers to published events, retains a bounded
-// replay window, and fans events out to subscribers.
+// shard groups every subscriber sharing one canonical filter signature.
+// Because the subscribers of a shard have semantically identical filters
+// (same membership sets per dimension), Publish evaluates the filter ONCE
+// per shard and then walks only the members of matching shards — at RIS
+// scale this turns "filter × subscribers" work into "filter × distinct
+// filters", and the common case (everyone on the firehose or one of a
+// few canned filters) into a handful of checks per event.
+type shard struct {
+	sig      string
+	filter   Filter
+	channels []string // channel index keys ("" = unrestricted)
+	subs     map[*Subscriber]struct{}
+}
+
+// filterSig canonicalizes a filter into a signature string: each
+// dimension's values are sorted and length-prefixed, so two filters with
+// the same membership sets — in any order — land in the same shard.
+// Filter semantics are pure set membership per dimension, which is what
+// makes signature equality imply identical match behavior.
+func filterSig(f Filter) string {
+	var sb strings.Builder
+	dim := func(tag byte, vals []string) {
+		sb.WriteByte(tag)
+		if len(vals) == 0 {
+			return
+		}
+		sorted := append([]string(nil), vals...)
+		sort.Strings(sorted)
+		for _, v := range sorted {
+			sb.WriteString(strconv.Itoa(len(v)))
+			sb.WriteByte(':')
+			sb.WriteString(v)
+		}
+	}
+	dim('c', f.Channels)
+	dim('t', f.Types)
+	dim('o', f.Collectors)
+	sb.WriteByte('a')
+	if len(f.PeerAS) > 0 {
+		asns := make([]uint64, len(f.PeerAS))
+		for i, as := range f.PeerAS {
+			asns[i] = uint64(as)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, as := range asns {
+			sb.WriteString(strconv.FormatUint(as, 10))
+			sb.WriteByte(',')
+		}
+	}
+	sb.WriteByte('p')
+	if len(f.Prefixes) > 0 {
+		ps := make([]string, len(f.Prefixes))
+		for i, p := range f.Prefixes {
+			ps[i] = p.String()
+		}
+		sort.Strings(ps)
+		for _, p := range ps {
+			sb.WriteString(p)
+			sb.WriteByte(',')
+		}
+	}
+	return sb.String()
+}
+
+// channelKeys returns the channel-index keys a filter's shard registers
+// under: the filter's channel set, or the catch-all "" when the filter
+// does not restrict channels (it must be walked for every event).
+func channelKeys(f Filter) []string {
+	if len(f.Channels) == 0 {
+		return []string{""}
+	}
+	keys := append([]string(nil), f.Channels...)
+	sort.Strings(keys)
+	uniq := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	return uniq
+}
+
+// Broker assigns sequence numbers to published events, encodes each one
+// exactly once into a shared wire frame, retains a bounded replay window
+// of frames, and broadcasts frame references to subscribers grouped into
+// filter shards.
 type Broker struct {
 	cfg     Config
 	metrics *Metrics
@@ -111,9 +200,17 @@ type Broker struct {
 	subs   map[*Subscriber]struct{}
 	closed bool
 
-	// replay is a circular buffer of the most recent events, for
-	// resume-from-sequence. replay[i] for i in [start, start+count).
-	replay []Event
+	// shards groups subscribers by canonical filter signature; byChannel
+	// indexes the shards whose filters can match an event of a given
+	// channel ("" holds channel-unrestricted shards). Publish walks
+	// byChannel[ev.Channel] + byChannel[""] only.
+	shards    map[string]*shard
+	byChannel map[string][]*shard
+
+	// replay is a circular buffer of the most recent event frames, for
+	// resume-from-sequence. replay[i] for i in [start, start+count); each
+	// slot holds one frame reference.
+	replay []*sharedFrame
 	start  int
 	count  int
 }
@@ -128,13 +225,15 @@ func NewBroker(cfg Config) *Broker {
 		m.init()
 	}
 	b := &Broker{
-		cfg:     cfg,
-		metrics: m,
-		seq:     cfg.StartSeq,
-		subs:    make(map[*Subscriber]struct{}),
+		cfg:       cfg,
+		metrics:   m,
+		seq:       cfg.StartSeq,
+		subs:      make(map[*Subscriber]struct{}),
+		shards:    make(map[string]*shard),
+		byChannel: make(map[string][]*shard),
 	}
 	if n := cfg.replaySize(); n > 0 {
-		b.replay = make([]Event, n)
+		b.replay = make([]*sharedFrame, n)
 	}
 	return b
 }
@@ -156,7 +255,15 @@ func (b *Broker) SubscriberCount() int {
 	return len(b.subs)
 }
 
-// Publish assigns the next sequence number to ev and fans it out to every
+// ShardCount returns the number of distinct filter shards.
+func (b *Broker) ShardCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.shards)
+}
+
+// Publish assigns the next sequence number to ev, encodes it exactly
+// once into a shared wire frame, and broadcasts the frame to every
 // matching subscriber, applying each subscriber's backpressure policy.
 // It returns the assigned sequence number (0 when the broker is closed).
 func (b *Broker) Publish(ev Event) uint64 {
@@ -168,8 +275,29 @@ func (b *Broker) Publish(ev Event) uint64 {
 	}
 	b.seq++
 	ev.Seq = b.seq
+
+	// Encode once. Every fan-out target below — journal, replay window,
+	// subscriber rings, and ultimately the server's writev batches —
+	// shares this frame's bytes.
+	f, encErr := newEventFrame(ev)
+	if encErr != nil {
+		// Unreachable for well-formed events (every Event field marshals);
+		// counted and skipped rather than crashing the feed. The sequence
+		// number stays consumed — subscribers tolerate gaps exactly as
+		// they do for filtered events.
+		b.metrics.encodeErrors.Add(1)
+	} else {
+		b.metrics.encodes.Add(1)
+	}
+
 	if b.cfg.Journal != nil {
-		if err := b.cfg.Journal.Append(ev); err != nil {
+		var jerr error
+		if ej, ok := b.cfg.Journal.(EncodedJournal); ok && f != nil {
+			jerr = ej.AppendEncoded(ev, f.payload())
+		} else {
+			jerr = b.cfg.Journal.Append(ev)
+		}
+		if jerr != nil {
 			b.metrics.journalErrors.Add(1)
 		}
 	}
@@ -177,28 +305,57 @@ func (b *Broker) Publish(ev Event) uint64 {
 	if ev.Channel == ChannelZombie {
 		b.metrics.alerts.Add(1)
 	}
-	if len(b.replay) > 0 {
+	if f != nil && len(b.replay) > 0 {
 		if b.count == len(b.replay) {
+			b.replay[b.start].release()
+			b.replay[b.start] = nil
 			b.start = (b.start + 1) % len(b.replay)
 			b.count--
 		}
-		b.replay[(b.start+b.count)%len(b.replay)] = ev
+		f.retain()
+		b.replay[(b.start+b.count)%len(b.replay)] = f
 		b.count++
 	}
+
+	// Broadcast: walk only the shards whose channel index can match, and
+	// evaluate each shard's filter once for all of its subscribers.
 	var kicked []*Subscriber
-	for s := range b.subs {
-		if !s.filter.Match(&ev) {
-			continue
+	var pushes, skips, matches int64
+	if f != nil {
+		walk := func(list []*shard) {
+			for _, sh := range list {
+				if !sh.filter.Match(&ev) {
+					skips++
+					continue
+				}
+				matches++
+				for s := range sh.subs {
+					if s.push(f, b.metrics) {
+						pushes++
+					} else {
+						kicked = append(kicked, s)
+					}
+				}
+			}
 		}
-		if s.push(ev, b.metrics) {
-			b.metrics.eventsOut.Add(1)
-		} else {
-			kicked = append(kicked, s)
-		}
+		walk(b.byChannel[ev.Channel])
+		walk(b.byChannel[""])
+	}
+	if pushes > 0 {
+		b.metrics.eventsOut.Add(pushes)
+		b.metrics.framesShared.Add(pushes)
+	}
+	if skips > 0 {
+		b.metrics.shardSkips.Add(skips)
+	}
+	if matches > 0 {
+		b.metrics.shardMatches.Add(matches)
 	}
 	for _, s := range kicked {
-		delete(b.subs, s)
-		b.metrics.subscribers.Add(-1)
+		b.removeLocked(s)
+	}
+	if f != nil {
+		f.release() // the publisher's reference
 	}
 	seq := b.seq
 	b.mu.Unlock()
@@ -250,10 +407,11 @@ func (b *Broker) SubscribeFrom(f Filter, policy Policy, resumeFrom uint64, fromS
 		// 1024-slot buffer), and a blocked push would deadlock the broker —
 		// SubscribeFrom holds b.mu and the consumer that would drain the
 		// ring only exists after it returns. Instead the gap is recorded as
-		// a backlog (journal range + a snapshot of matching retained ring
-		// events) that Next serves lazily, in batches, before live events.
-		// Live pushes start at the current head, above everything in the
-		// backlog, so ordering stays contiguous.
+		// a backlog (journal range + a snapshot of matching retained replay
+		// frames, each holding its own reference) that Next serves lazily,
+		// in batches, before live events. Live pushes start at the current
+		// head, above everything in the backlog, so ordering stays
+		// contiguous.
 		firstAvail := b.seq + 1 - uint64(b.count) // oldest retained seq
 		bl := &backfill{}
 		if resumeFrom+1 < firstAvail {
@@ -279,30 +437,85 @@ func (b *Broker) SubscribeFrom(f Filter, policy Policy, resumeFrom uint64, fromS
 			}
 		}
 		for i := 0; i < b.count; i++ {
-			ev := b.replay[(b.start+i)%len(b.replay)]
-			if ev.Seq <= resumeFrom || !f.Match(&ev) {
+			fr := b.replay[(b.start+i)%len(b.replay)]
+			if fr.ev.Seq <= resumeFrom || !f.Match(&fr.ev) {
 				continue
 			}
-			bl.ring = append(bl.ring, ev)
+			fr.retain()
+			bl.ring = append(bl.ring, fr)
 		}
 		if bl.journal != nil || len(bl.ring) > 0 {
 			sub.backlog = bl
 		}
 	}
 	b.subs[sub] = struct{}{}
+	b.addToShardLocked(sub)
 	b.metrics.subscribers.Add(1)
 	b.metrics.subscribersTotal.Add(1)
 	return sub, lost, nil
+}
+
+// addToShardLocked registers sub in the shard of its filter signature,
+// creating the shard (and its channel-index entries) on first use.
+func (b *Broker) addToShardLocked(sub *Subscriber) {
+	sig := filterSig(sub.filter)
+	sh := b.shards[sig]
+	if sh == nil {
+		sh = &shard{
+			sig:      sig,
+			filter:   sub.filter,
+			channels: channelKeys(sub.filter),
+			subs:     make(map[*Subscriber]struct{}),
+		}
+		b.shards[sig] = sh
+		for _, ch := range sh.channels {
+			b.byChannel[ch] = append(b.byChannel[ch], sh)
+		}
+		b.metrics.filterShards.Set(float64(len(b.shards)))
+	}
+	sh.subs[sub] = struct{}{}
+	sub.shard = sh
+}
+
+// removeLocked detaches a subscriber from the broker's maps and its
+// shard, dropping empty shards from the channel index.
+func (b *Broker) removeLocked(s *Subscriber) {
+	if _, ok := b.subs[s]; !ok {
+		return
+	}
+	delete(b.subs, s)
+	b.metrics.subscribers.Add(-1)
+	sh := s.shard
+	if sh == nil {
+		return
+	}
+	delete(sh.subs, s)
+	if len(sh.subs) > 0 {
+		return
+	}
+	delete(b.shards, sh.sig)
+	for _, ch := range sh.channels {
+		list := b.byChannel[ch]
+		for i, cand := range list {
+			if cand == sh {
+				list[i] = list[len(list)-1]
+				list[len(list)-1] = nil
+				b.byChannel[ch] = list[:len(list)-1]
+				break
+			}
+		}
+		if len(b.byChannel[ch]) == 0 {
+			delete(b.byChannel, ch)
+		}
+	}
+	b.metrics.filterShards.Set(float64(len(b.shards)))
 }
 
 // remove detaches a subscriber (called from Subscriber.Close, never while
 // holding the subscriber's lock).
 func (b *Broker) remove(s *Subscriber) {
 	b.mu.Lock()
-	if _, ok := b.subs[s]; ok {
-		delete(b.subs, s)
-		b.metrics.subscribers.Add(-1)
-	}
+	b.removeLocked(s)
 	b.mu.Unlock()
 }
 
@@ -319,7 +532,19 @@ func (b *Broker) Close() {
 		subs = append(subs, s)
 	}
 	b.subs = make(map[*Subscriber]struct{})
+	b.shards = make(map[string]*shard)
+	b.byChannel = make(map[string][]*shard)
 	b.metrics.subscribers.Add(-float64(len(subs)))
+	b.metrics.filterShards.Set(0)
+	// Release the replay window's frame references; subscribers still
+	// drain whatever sits in their own rings (each slot holds its own
+	// reference).
+	for i := 0; i < b.count; i++ {
+		idx := (b.start + i) % len(b.replay)
+		b.replay[idx].release()
+		b.replay[idx] = nil
+	}
+	b.count = 0
 	b.mu.Unlock()
 	for _, s := range subs {
 		s.closeDetached(ErrBrokerClosed)
@@ -327,20 +552,24 @@ func (b *Broker) Close() {
 }
 
 // Subscriber is one attached feed consumer: a bounded ring of pending
-// events plus the policy applied when the ring is full.
+// event frames plus the policy applied when the ring is full. Each ring
+// slot holds one reference on its frame; dequeuing transfers that
+// reference to the consumer (Next releases it after copying the event
+// out, NextFrame hands it to the caller).
 type Subscriber struct {
 	b      *Broker
 	filter Filter
 	policy Policy
+	shard  *shard // registration shard; broker-lock protected
 
-	// backlog holds the resume catch-up (journal range + retained-ring
+	// backlog holds the resume catch-up (journal range + retained-frame
 	// snapshot) that Next serves before live events. It is touched only
 	// by the consumer goroutine, never under a lock.
 	backlog *backfill
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []Event // fixed-capacity ring; buf[(head+i)%cap] for i<n
+	buf    []*sharedFrame // fixed-capacity ring; buf[(head+i)%cap] for i<n
 	head   int
 	n      int
 	closed bool
@@ -355,27 +584,41 @@ const backfillBatch = 512
 
 // backfill is the catch-up state handed to a resuming subscriber by
 // SubscribeFrom: first the journal range (nextSeq..endSeq), then the
-// snapshot of matching events the broker's replay ring still retained at
-// subscribe time. Consumer-goroutine-only; no lock needed.
+// snapshot of matching frames the broker's replay window still retained
+// at subscribe time (one reference each). Consumer-goroutine-only; no
+// lock needed. Journal events are re-encoded into private frames on
+// dequeue — the filter applied inside the Replay callback is the
+// post-filter that keeps a resuming subscriber's view correct without
+// the broker walking its filter at publish time.
 type backfill struct {
 	journal  Journal
 	nextSeq  uint64 // next journal seq to serve; > endSeq when done
 	endSeq   uint64 // last journal seq to serve (inclusive); 0 = no journal part
 	batch    []Event
 	batchPos int
-	ring     []Event
+	ring     []*sharedFrame
 	ringPos  int
 }
 
-// backfillNext serves the next catch-up event, reading the journal in
+// releaseRing drops the snapshot's remaining frame references (used when
+// the catch-up is abandoned).
+func (bl *backfill) releaseRing() {
+	for ; bl.ringPos < len(bl.ring); bl.ringPos++ {
+		bl.ring[bl.ringPos].release()
+		bl.ring[bl.ringPos] = nil
+	}
+}
+
+// backfillNext serves the next catch-up frame, reading the journal in
 // batches outside every lock. ok is false once the backlog is exhausted
-// (the caller falls through to the live ring). A journal read error
-// closes the subscriber with ErrJournal: a journal that cannot be read
-// must not become a silent gap in a stream the client asked to resume.
-func (s *Subscriber) backfillNext() (ev Event, ok bool, err error) {
+// (the caller falls through to the live ring). The returned frame's
+// reference is owned by the caller. A journal read error closes the
+// subscriber with ErrJournal: a journal that cannot be read must not
+// become a silent gap in a stream the client asked to resume.
+func (s *Subscriber) backfillNext() (f *sharedFrame, ok bool, err error) {
 	bl := s.backlog
 	if bl == nil {
-		return Event{}, false, nil
+		return nil, false, nil
 	}
 	s.mu.Lock()
 	closed := s.closed
@@ -383,16 +626,27 @@ func (s *Subscriber) backfillNext() (ev Event, ok bool, err error) {
 	if closed {
 		// Abandon the catch-up; next() drains any buffered live events
 		// and then reports the close reason, same as every consumer.
+		bl.releaseRing()
 		s.backlog = nil
-		return Event{}, false, nil
+		return nil, false, nil
 	}
 	for {
 		if bl.batchPos < len(bl.batch) {
 			ev := bl.batch[bl.batchPos]
 			bl.batch[bl.batchPos] = Event{} // release references
 			bl.batchPos++
+			// Journal catch-up events are encoded on dequeue into private
+			// frames (refs=1, owned by the caller): the resume path is the
+			// one place re-encoding still happens, and it is metered.
+			f, ferr := newEventFrame(ev)
+			if ferr != nil {
+				b := s.b
+				b.metrics.encodeErrors.Add(1)
+				continue // skip the unencodable event, as Publish would
+			}
+			s.b.metrics.encodes.Add(1)
 			s.b.metrics.eventsOut.Add(1)
-			return ev, true, nil
+			return f, true, nil
 		}
 		if bl.journal != nil && bl.nextSeq <= bl.endSeq {
 			to := bl.nextSeq - 1 + backfillBatch
@@ -409,29 +663,30 @@ func (s *Subscriber) backfillNext() (ev Event, ok bool, err error) {
 			})
 			if rerr != nil {
 				s.b.metrics.journalErrors.Add(1)
+				bl.releaseRing()
 				s.backlog = nil
 				werr := fmt.Errorf("%w: %v", ErrJournal, rerr)
 				s.markClosed(werr)
 				s.b.remove(s)
-				return Event{}, false, werr
+				return nil, false, werr
 			}
 			bl.nextSeq = to + 1
 			continue
 		}
 		if bl.ringPos < len(bl.ring) {
-			ev := bl.ring[bl.ringPos]
-			bl.ring[bl.ringPos] = Event{} // release references
+			f := bl.ring[bl.ringPos]
+			bl.ring[bl.ringPos] = nil // reference transfers to the caller
 			bl.ringPos++
 			s.b.metrics.eventsOut.Add(1)
-			return ev, true, nil
+			return f, true, nil
 		}
 		s.backlog = nil
-		return Event{}, false, nil
+		return nil, false, nil
 	}
 }
 
 func newSubscriber(b *Broker, f Filter, policy Policy, ringSize int) *Subscriber {
-	s := &Subscriber{b: b, filter: f, policy: policy, buf: make([]Event, ringSize)}
+	s := &Subscriber{b: b, filter: f, policy: policy, buf: make([]*sharedFrame, ringSize)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -439,10 +694,11 @@ func newSubscriber(b *Broker, f Filter, policy Policy, ringSize int) *Subscriber
 // Policy returns the subscriber's backpressure policy.
 func (s *Subscriber) Policy() Policy { return s.policy }
 
-// push enqueues one event under the subscriber's policy. It returns false
-// when the subscriber was kicked (caller must detach it). Called with the
-// broker lock held; only the subscriber lock is taken here.
-func (s *Subscriber) push(ev Event, m *Metrics) bool {
+// push enqueues one frame under the subscriber's policy, taking a new
+// reference on success. It returns false when the subscriber was kicked
+// (caller must detach it). Called with the broker lock held; only the
+// subscriber lock is taken here.
+func (s *Subscriber) push(f *sharedFrame, m *Metrics) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -451,6 +707,9 @@ func (s *Subscriber) push(ev Event, m *Metrics) bool {
 	if s.n == len(s.buf) {
 		switch s.policy {
 		case PolicyDropOldest:
+			evicted := s.buf[s.head]
+			s.buf[s.head] = nil
+			evicted.release()
 			s.head = (s.head + 1) % len(s.buf)
 			s.n--
 			s.drops++
@@ -471,22 +730,26 @@ func (s *Subscriber) push(ev Event, m *Metrics) bool {
 			}
 		}
 	}
-	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	f.retain()
+	s.buf[(s.head+s.n)%len(s.buf)] = f
 	s.n++
 	s.cond.Signal()
 	return true
 }
 
 // Next blocks until an event is available and returns it. Resume
-// catch-up (journal + retained ring) is served first, then live events.
-// It returns ErrKicked if the subscriber was disconnected for being too
-// slow, ErrJournal if the resume gap could not be read back, or
-// ErrClosed/ErrBrokerClosed after Close.
+// catch-up (journal + retained frames) is served first, then live
+// events. It returns ErrKicked if the subscriber was disconnected for
+// being too slow, ErrJournal if the resume gap could not be read back,
+// or ErrClosed/ErrBrokerClosed after Close.
 func (s *Subscriber) Next() (Event, error) {
-	if ev, ok, err := s.backfillNext(); ok || err != nil {
-		return ev, err
+	f, err := s.nextFrame(time.Time{})
+	if err != nil {
+		return Event{}, err
 	}
-	return s.next(time.Time{})
+	ev := f.ev
+	f.release()
+	return ev, nil
 }
 
 // errIdle reports an expired NextTimeout wait; the subscriber is intact.
@@ -496,26 +759,107 @@ var errIdle = fmt.Errorf("livefeed: no event within the wait")
 // returns errIdle while the subscription stays attached. The server's
 // heartbeat loop uses it to interleave keepalives into idle streams.
 func (s *Subscriber) NextTimeout(d time.Duration) (Event, error) {
-	if ev, ok, err := s.backfillNext(); ok || err != nil {
-		return ev, err
+	f, err := s.nextFrameTimeout(d)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := f.ev
+	f.release()
+	return ev, nil
+}
+
+// NextFrame is the zero-copy Next: it blocks until an event is available
+// and returns it in encoded wire form. The caller owns the frame's
+// reference and must Release it once the bytes have been consumed.
+func (s *Subscriber) NextFrame() (Frame, error) {
+	f, err := s.nextFrame(time.Time{})
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{f: f}, nil
+}
+
+// NextFrameTimeout is NextFrame bounded by a wait (errIdle semantics as
+// NextTimeout).
+func (s *Subscriber) NextFrameTimeout(d time.Duration) (Frame, error) {
+	f, err := s.nextFrameTimeout(d)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{f: f}, nil
+}
+
+// TryNextFrame returns the next frame only if one is available without
+// blocking (backfill batches may still read the journal). ok reports
+// whether a frame was returned; a stream-ending condition surfaces on
+// the next blocking call instead.
+func (s *Subscriber) TryNextFrame() (Frame, bool) {
+	f, ok := s.tryNextFrame()
+	if !ok {
+		return Frame{}, false
+	}
+	return Frame{f: f}, true
+}
+
+func (s *Subscriber) nextFrameTimeout(d time.Duration) (*sharedFrame, error) {
+	if f, ok, err := s.backfillNext(); ok || err != nil {
+		return f, err
 	}
 	if d <= 0 {
-		return s.Next()
+		return s.nextLive(time.Time{})
 	}
 	// A sleeping cond.Wait cannot be timed out directly; an AfterFunc
 	// broadcast wakes every waiter, and the deadline check below turns
 	// the spurious wakeup into errIdle for this caller only.
 	timer := time.AfterFunc(d, func() { s.cond.Broadcast() })
 	defer timer.Stop()
-	return s.next(time.Now().Add(d))
+	return s.nextLive(time.Now().Add(d))
 }
 
-func (s *Subscriber) next(deadline time.Time) (Event, error) {
+func (s *Subscriber) nextFrame(deadline time.Time) (*sharedFrame, error) {
+	if f, ok, err := s.backfillNext(); ok || err != nil {
+		return f, err
+	}
+	return s.nextLive(deadline)
+}
+
+// tryNextFrame is the non-blocking dequeue the server's writev batching
+// uses to gather consecutive frames: backlog first, then whatever the
+// live ring holds right now. Errors (journal failure, close) are left
+// for the next blocking call to surface so a partially-gathered batch
+// is still written.
+func (s *Subscriber) tryNextFrame() (*sharedFrame, bool) {
+	if s.backlog != nil {
+		f, ok, err := s.backfillNext()
+		if err != nil {
+			return nil, false
+		}
+		if ok {
+			return f, true
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return nil, false
+	}
+	f := s.buf[s.head]
+	s.buf[s.head] = nil // reference transfers to the caller
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	s.cond.Signal() // wake a blocked publisher
+	return f, true
+}
+
+// nextLive dequeues from the live ring, blocking until a frame arrives,
+// the deadline passes (errIdle), or the subscriber closes. The dequeued
+// slot's reference transfers to the caller.
+func (s *Subscriber) nextLive(deadline time.Time) (*sharedFrame, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.n == 0 && !s.closed {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return Event{}, errIdle
+			return nil, errIdle
 		}
 		s.cond.Wait()
 	}
@@ -524,14 +868,14 @@ func (s *Subscriber) next(deadline time.Time) (Event, error) {
 		if reason == nil {
 			reason = ErrClosed
 		}
-		return Event{}, reason
+		return nil, reason
 	}
-	ev := s.buf[s.head]
-	s.buf[s.head] = Event{} // release references
+	f := s.buf[s.head]
+	s.buf[s.head] = nil // reference transfers to the caller
 	s.head = (s.head + 1) % len(s.buf)
 	s.n--
 	s.cond.Signal() // wake a blocked publisher
-	return ev, nil
+	return f, nil
 }
 
 // Len returns how many events are queued.

@@ -31,6 +31,20 @@ type Journal interface {
 	LastSeq() uint64
 }
 
+// EncodedJournal is an optional Journal extension: a journal that can
+// reuse the broker's shared encoding instead of re-marshalling the
+// event. payload is the frame's NDJSON payload (json.Marshal(&ev) plus a
+// trailing newline) aliasing the broker's pooled frame buffer — it is
+// valid only for the duration of the call, so implementations must copy
+// it before returning if they retain it.
+type EncodedJournal interface {
+	Journal
+	// AppendEncoded durably records one published event whose JSON
+	// encoding is already available. Called with the broker's publish
+	// lock held, same contract as Append.
+	AppendEncoded(ev Event, payload []byte) error
+}
+
 // StoreJournal adapts an eventstore.Store into a broker Journal.
 //
 // Update-channel events that carry their raw MRT record are stored as
@@ -45,6 +59,32 @@ type StoreJournal struct {
 // Append implements Journal.
 func (j *StoreJournal) Append(ev Event) error {
 	return j.Store.Append(storeEvent(ev))
+}
+
+// AppendEncoded implements EncodedJournal: KindJSON events reuse the
+// broker's shared encoding (minus the NDJSON trailing newline) instead
+// of marshalling again. The store copies the payload into its segment
+// buffer before Append returns, so aliasing the pooled frame buffer is
+// safe under the broker's publish lock. KindMRT events (raw-carrying
+// updates) store the MRT bytes and never needed the JSON encoding.
+func (j *StoreJournal) AppendEncoded(ev Event, payload []byte) error {
+	if ev.Channel == ChannelUpdates && len(ev.Raw) > 0 {
+		return j.Store.Append(storeEvent(ev))
+	}
+	se := eventstore.Event{
+		Seq:       ev.Seq,
+		Time:      ev.Timestamp,
+		Collector: ev.Collector,
+		PeerAS:    uint32(ev.PeerAS),
+		PeerAddr:  ev.Peer,
+		Prefixes:  ev.Prefixes(),
+		Kind:      eventstore.KindJSON,
+	}
+	if n := len(payload); n > 0 && payload[n-1] == '\n' {
+		payload = payload[:n-1]
+	}
+	se.Payload = payload
+	return j.Store.Append(se)
 }
 
 // storeEvent converts a feed event to its on-disk representation.
@@ -125,4 +165,4 @@ func (j *StoreJournal) FirstSeq() uint64 { return j.Store.FirstSeq() }
 // LastSeq implements Journal.
 func (j *StoreJournal) LastSeq() uint64 { return j.Store.LastSeq() }
 
-var _ Journal = (*StoreJournal)(nil)
+var _ EncodedJournal = (*StoreJournal)(nil)

@@ -32,6 +32,14 @@ type Metrics struct {
 	publishSeconds *obs.Histogram
 	journalErrors  *obs.Counter
 
+	// Encode-once broadcast path.
+	encodes      *obs.Counter
+	encodeErrors *obs.Counter
+	framesShared *obs.Counter
+	filterShards *obs.Gauge
+	shardMatches *obs.Counter
+	shardSkips   *obs.Counter
+
 	// Backpressure, per policy.
 	dropsDropOldest *obs.Counter
 	blockStalls     *obs.Counter
@@ -68,6 +76,18 @@ func (m *Metrics) init() {
 			"Broker fan-out latency per published event.", publishBuckets)
 		m.journalErrors = m.reg.Counter("livefeed_journal_errors_total",
 			"Journal appends or resume reads that failed.")
+		m.encodes = m.reg.Counter("livefeed_encode_total",
+			"Events JSON-encoded into wire frames (once per publish plus journal-served resume catch-up).")
+		m.encodeErrors = m.reg.Counter("livefeed_encode_errors_total",
+			"Events that failed to encode and were skipped.")
+		m.framesShared = m.reg.Counter("livefeed_frames_shared_total",
+			"Frame references handed to subscriber rings; deliveries reusing a shared encoding.")
+		m.filterShards = m.reg.Gauge("livefeed_filter_shards",
+			"Distinct filter shards currently registered (subscribers grouped by canonical filter signature).")
+		m.shardMatches = m.reg.Counter("livefeed_shard_matches_total",
+			"Shard filter evaluations that matched a published event.")
+		m.shardSkips = m.reg.Counter("livefeed_shard_skips_total",
+			"Shard filter evaluations that rejected a published event (one check skipped the whole shard).")
 		m.dropsDropOldest = m.reg.Counter("livefeed_drops_drop_oldest_total", "Events evicted under drop-oldest.")
 		m.blockStalls = m.reg.Counter("livefeed_block_stalls_total", "Publishes that had to wait under block.")
 		m.kicks = m.reg.Counter("livefeed_kicks_total", "Subscribers kicked under kick-slowest.")

@@ -1,0 +1,5 @@
+//go:build !race
+
+package livefeed
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package livefeed
+
+// raceEnabled gates allocation-count assertions: the race runtime adds
+// bookkeeping allocations that make AllocsPerRun meaningless.
+const raceEnabled = true

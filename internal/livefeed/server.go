@@ -1,7 +1,6 @@
 package livefeed
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +13,11 @@ import (
 // Each accepted connection performs the hello/subscribe/ack handshake and
 // then receives a stream of Event frames; the subscriber's backpressure
 // policy is chosen by the client (subject to AllowBlock).
+//
+// The event path is zero-copy: the write loop dequeues encoded frames
+// (Subscriber.NextFrame) and hands their shared buffers straight to the
+// kernel via net.Buffers — on a TCP connection consecutive frames go out
+// in one writev call. Events are never re-marshalled per connection.
 type Server struct {
 	Broker *Broker
 	// Name is reported in the Hello frame (e.g. "zombied/1").
@@ -34,6 +38,11 @@ type Server struct {
 	// default: a remote subscriber that stalls under block would stall
 	// ingestion for everyone.
 	AllowBlock bool
+	// WriteBatch caps how many queued frames one writev gathers. Default
+	// 64; larger batches amortise syscalls under bursts at the cost of
+	// holding more frame references per connection while the write is in
+	// flight.
+	WriteBatch int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -67,6 +76,13 @@ func (s *Server) heartbeatInterval() time.Duration {
 		return 0
 	}
 	return s.HeartbeatInterval
+}
+
+func (s *Server) writeBatch() int {
+	if s.WriteBatch <= 0 {
+		return 64
+	}
+	return s.WriteBatch
 }
 
 // Serve accepts connections on l until the listener fails or Close is
@@ -201,48 +217,43 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 
-	bw := bufio.NewWriter(conn)
+	// Handshake and control frames are rare and tiny; they use the
+	// encode-per-write path (WriteFrame) directly against the conn.
 	armWrite()
-	if err := WriteFrame(bw, FrameHello, Hello{
+	if err := WriteFrame(conn, FrameHello, Hello{
 		Version: ProtocolVersion,
 		Server:  s.Name,
 		Head:    s.Broker.Seq(),
 	}); err != nil {
 		return
 	}
-	if bw.Flush() != nil {
-		return
-	}
 
 	conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout()))
 	var req Subscribe
 	if err := readFrameInto(conn, FrameSubscribe, &req); err != nil {
-		refuse(bw, fmt.Sprintf("bad subscribe: %v", err))
+		refuse(conn, fmt.Sprintf("bad subscribe: %v", err))
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
 	policy, err := ParsePolicy(req.Policy)
 	if err != nil {
-		refuse(bw, err.Error())
+		refuse(conn, err.Error())
 		return
 	}
 	if policy == PolicyBlock && !s.AllowBlock {
-		refuse(bw, "block policy not allowed on this server")
+		refuse(conn, "block policy not allowed on this server")
 		return
 	}
 	sub, lost, err := s.Broker.SubscribeFrom(req.Filter, policy, req.ResumeFrom, req.FromStart)
 	if err != nil {
-		refuse(bw, err.Error())
+		refuse(conn, err.Error())
 		return
 	}
 	defer sub.Close()
 
 	armWrite()
-	if err := WriteFrame(bw, FrameAck, Ack{Head: s.Broker.Seq(), Lost: lost}); err != nil {
-		return
-	}
-	if bw.Flush() != nil {
+	if err := WriteFrame(conn, FrameAck, Ack{Head: s.Broker.Seq(), Lost: lost}); err != nil {
 		return
 	}
 
@@ -253,15 +264,23 @@ func (s *Server) handle(conn net.Conn) {
 		sub.Close()
 	}()
 
+	// Write loop: block for one frame, then gather everything else the
+	// ring already holds (up to WriteBatch) and hand the shared buffers
+	// to the kernel in a single writev. Frame references are held until
+	// the batch is fully written, then released — win or lose — so a
+	// failed write can never leak a frame back to the pool early.
 	hb := s.heartbeatInterval()
+	maxBatch := s.writeBatch()
+	frames := make([]Frame, 0, maxBatch)
+	bufs := make(net.Buffers, 0, maxBatch)
 	for {
-		ev, err := sub.NextTimeout(hb)
+		fr, err := sub.NextFrameTimeout(hb)
 		if err != nil {
 			if errors.Is(err, errIdle) {
 				// Idle stream: prove liveness so clients with a read
 				// deadline don't mistake quiet for stalled.
 				armWrite()
-				if WriteFrame(bw, FrameHeartbeat, Heartbeat{Head: s.Broker.Seq()}) != nil || bw.Flush() != nil {
+				if WriteFrame(conn, FrameHeartbeat, Heartbeat{Head: s.Broker.Seq()}) != nil {
 					return
 				}
 				continue
@@ -269,26 +288,35 @@ func (s *Server) handle(conn net.Conn) {
 			if errors.Is(err, ErrKicked) || errors.Is(err, ErrJournal) {
 				// Best effort: tell the client why before closing.
 				armWrite()
-				WriteFrame(bw, FrameError, ErrorFrame{Message: err.Error()})
-				bw.Flush()
+				WriteFrame(conn, FrameError, ErrorFrame{Message: err.Error()})
 			}
 			return
+		}
+		frames = append(frames[:0], fr)
+		bufs = append(bufs[:0], fr.Wire())
+		for len(frames) < maxBatch {
+			more, ok := sub.TryNextFrame()
+			if !ok {
+				break
+			}
+			frames = append(frames, more)
+			bufs = append(bufs, more.Wire())
 		}
 		armWrite()
-		if err := WriteFrame(bw, FrameEvent, &ev); err != nil {
-			return
+		// net.Buffers.WriteTo is writev on a *net.TCPConn and a plain
+		// per-slice Write loop on wrapped conns; either way the shared
+		// frame bytes go out without a copy into any intermediate buffer.
+		_, werr := bufs.WriteTo(conn)
+		for i := range frames {
+			frames[i].Release()
+			frames[i] = Frame{}
 		}
-		// Flush eagerly when the queue is empty so low-rate feeds have
-		// low latency; under load, frames batch up in the buffer.
-		if sub.Len() == 0 {
-			if bw.Flush() != nil {
-				return
-			}
+		if werr != nil {
+			return
 		}
 	}
 }
 
-func refuse(w *bufio.Writer, msg string) {
+func refuse(w io.Writer, msg string) {
 	WriteFrame(w, FrameError, ErrorFrame{Message: msg})
-	w.Flush()
 }

@@ -173,13 +173,19 @@ func WriteFrame(w io.Writer, t FrameType, v any) error {
 // payload (trailing newline included). Frames are canonical: these bytes
 // are fully determined by (t, payload), which FuzzFrame relies on.
 func appendFrame(dst []byte, t FrameType, payload []byte) []byte {
-	var hdr [frameHeaderLen]byte
+	// The header is built in place inside dst (not in a local array that
+	// escape analysis would heap-allocate per call): the encode-once hot
+	// path reuses dst's capacity, keeping appendFrame allocation-free.
+	off := len(dst)
+	dst = append(dst, make([]byte, frameHeaderLen)...)
+	dst = append(dst, payload...)
+	hdr := dst[off : off+frameHeaderLen]
 	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
 	hdr[2] = ProtocolVersion
 	hdr[3] = uint8(t)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[8:], frameCRC(hdr[:8], payload))
-	return append(append(dst, hdr[:]...), payload...)
+	binary.BigEndian.PutUint32(hdr[8:], frameCRC(hdr[:8], dst[off+frameHeaderLen:]))
+	return dst
 }
 
 // ReadFrame reads one frame and returns its type and raw NDJSON payload
