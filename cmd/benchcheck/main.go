@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"zombiescope/internal/benchstat"
 )
@@ -35,6 +36,14 @@ func main() {
 	base, err := benchstat.LoadBaseline(*baselinePath)
 	if err != nil {
 		fatalf("benchcheck: %v", err)
+	}
+	// Core-count drift shifts parallel benchmarks even on a matching cpu
+	// string (CI runners carve containers out of the same silicon with
+	// different quotas), so it is reported for the record but never fails
+	// the gate — the cpu-string match still decides whether ns/op counts.
+	if base.NumCPU > 0 && base.NumCPU != runtime.NumCPU() {
+		fmt.Printf("benchcheck: note: running on %d CPUs, baseline recorded on %d\n",
+			runtime.NumCPU(), base.NumCPU)
 	}
 
 	var in io.Reader = os.Stdin

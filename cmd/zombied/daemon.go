@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/netip"
+	"os"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"zombiescope/internal/livefeed"
 	"zombiescope/internal/obs"
 	"zombiescope/internal/pipeline"
+	"zombiescope/internal/statusz"
 )
 
 // config carries the daemon's resolved settings, one field per flag.
@@ -56,6 +59,11 @@ type config struct {
 	// grace bounds how long an exiting daemon waits for feed handlers to
 	// flush their subscribers' buffered events. Default 5s.
 	grace time.Duration
+	// traceFile, when set, installs a process-wide tracer and writes its
+	// Chrome trace there at exit; traceSample is the broker's 1/N event
+	// span sampling rate (0: no per-event spans, only coarse ones).
+	traceFile   string
+	traceSample int
 
 	// replayGate, when non-nil, holds the replay until the channel is
 	// closed. Lifecycle tests use it to observe the not-ready window;
@@ -85,6 +93,8 @@ type daemon struct {
 
 	stream  []livefeed.SourcedRecord
 	flushAt time.Time
+	started time.Time   // process birth, for /statusz uptime
+	tracer  *obs.Tracer // non-nil only with cfg.traceFile
 
 	feedL net.Listener
 	httpL net.Listener // nil when the HTTP surface is disabled
@@ -112,14 +122,16 @@ func newDaemon(cfg config, logger *slog.Logger) (*daemon, error) {
 		"collectors", len(feed.updates),
 		"intervals", len(feed.intervals))
 
-	// One registry carries the broker + detector instruments; /metrics
-	// unions it with the pipeline and collector-fleet registries so the
-	// daemon is a single scrape target.
+	// One registry carries the broker + detector instruments plus the Go
+	// runtime gauges; /metrics unions it with the pipeline and
+	// collector-fleet registries so the daemon is a single scrape target.
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 	bcfg := livefeed.Config{
-		RingSize:   cfg.ringSize,
-		ReplaySize: cfg.replayBuf,
-		Metrics:    livefeed.NewMetrics(reg),
+		RingSize:    cfg.ringSize,
+		ReplaySize:  cfg.replayBuf,
+		Metrics:     livefeed.NewMetrics(reg),
+		TraceSample: cfg.traceSample,
 	}
 	var store *eventstore.Store
 	if cfg.storeDir != "" {
@@ -142,14 +154,25 @@ func newDaemon(cfg config, logger *slog.Logger) (*daemon, error) {
 	}
 	broker := livefeed.NewBroker(bcfg)
 	d := &daemon{
-		cfg:     cfg,
-		logger:  logger,
-		broker:  broker,
-		store:   store,
-		pipe:    livefeed.NewPipeline(broker, feed.intervals, cfg.threshold),
-		srv:     &livefeed.Server{Broker: broker, Name: "zombied/1", AllowBlock: cfg.allowBlock, WriteBatch: cfg.writeBatch},
+		cfg:    cfg,
+		logger: logger,
+		broker: broker,
+		store:  store,
+		pipe:   livefeed.NewPipeline(broker, feed.intervals, cfg.threshold),
+		srv: &livefeed.Server{
+			Broker: broker, Name: "zombied/1",
+			AllowBlock: cfg.allowBlock, WriteBatch: cfg.writeBatch,
+			// Connection-lifecycle errors arrive at reconnect-storm rate;
+			// throttle them so a flapping client cannot flood the log.
+			Log: obs.Throttled(obs.Component(logger, "livefeed"), time.Second, 4),
+		},
 		stream:  stream,
 		flushAt: feed.flushAt,
+		started: time.Now(),
+	}
+	if cfg.traceFile != "" {
+		d.tracer = obs.NewTracer()
+		obs.SetTracer(d.tracer)
 	}
 	d.feedL, err = net.Listen("tcp", cfg.listenAddr)
 	if err != nil {
@@ -207,7 +230,7 @@ func (d *daemon) run(ctx context.Context) error {
 		httpSrv = &http.Server{Handler: d.httpMux()}
 		go httpSrv.Serve(d.httpL)
 		d.logger.Info("http listening", "addr", d.httpAddr().String(),
-			"endpoints", "/metrics /metrics/livefeed /metrics/pipeline /healthz /readyz /debug/pprof/")
+			"endpoints", "/metrics /metrics/livefeed /metrics/pipeline /statusz /healthz /readyz /debug/pprof/")
 	}
 
 	replayed := make(chan error, 1)
@@ -274,7 +297,28 @@ func (d *daemon) run(ctx context.Context) error {
 	// The broker is closed, so no further journal appends: seal and fsync
 	// the store last so everything published is durable.
 	d.closeStore()
+	d.writeTrace()
 	return runErr
+}
+
+// writeTrace exports the sampled event spans as a Chrome trace file and
+// uninstalls the tracer. No-op without -trace.
+func (d *daemon) writeTrace() {
+	if d.tracer == nil {
+		return
+	}
+	obs.SetTracer(nil)
+	f, err := os.Create(d.cfg.traceFile)
+	if err != nil {
+		d.logger.Error("creating trace file", "err", err)
+		return
+	}
+	defer f.Close()
+	if err := d.tracer.WriteChromeTrace(f); err != nil {
+		d.logger.Error("writing trace", "err", err)
+		return
+	}
+	d.logger.Info("trace written", "path", d.cfg.traceFile, "spans", d.tracer.Len())
 }
 
 // httpMux assembles the daemon's observability surface: a unified
@@ -285,6 +329,7 @@ func (d *daemon) httpMux() *http.ServeMux {
 	mux.Handle("/metrics", obs.MultiHandler(d.broker.Metrics().Registry(), pipeline.Default.Registry(), collector.Registry()))
 	mux.Handle("/metrics/livefeed", d.broker.Metrics().Handler())
 	mux.Handle("/metrics/pipeline", pipeline.Default.Handler())
+	mux.Handle("/statusz", statusz.Handler(d.status))
 	// /healthz is pure liveness: the process is up and serving HTTP.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -317,6 +362,43 @@ func (d *daemon) httpMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// status assembles the /statusz snapshot: every number a human reaches
+// for first when a feed looks wrong, in one document. All sources are
+// concurrency-safe reads (atomics, mutex-guarded snapshots), so the
+// builder may run at any point of the daemon's life.
+func (d *daemon) status() statusz.Status {
+	m := d.broker.Metrics()
+	st := statusz.Status{
+		Server:         d.srv.Name,
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		UptimeSeconds:  time.Since(d.started).Seconds(),
+		Ready:          d.ready.Load(),
+		HeadSeq:        d.broker.Seq(),
+		PendingChecks:  d.pipe.PendingChecks(),
+		Subscribers:    d.broker.SubscriberCount(),
+		Shards:         d.broker.ShardCount(),
+		Counters:       m.Snapshot(),
+		Stages:         m.LatencySummaries(),
+		PipelineStages: pipeline.Default.StageSummaries(),
+		Sessions:       d.broker.Sessions(),
+		Runtime:        obs.ReadRuntimeStats(),
+	}
+	if d.store != nil {
+		ss := &statusz.StoreStatus{
+			Dir:      d.cfg.storeDir,
+			FirstSeq: d.store.FirstSeq(),
+			LastSeq:  d.store.LastSeq(),
+		}
+		for _, seg := range d.store.SegmentInfos() {
+			ss.Segments++
+			ss.Bytes += seg.Bytes
+		}
+		st.Store = ss
+	}
+	return st
 }
 
 // feedSource is the resolved record source: per-collector update archives

@@ -41,12 +41,21 @@
 //
 //	/metrics           Prometheus text exposition of every subsystem
 //	                   (livefeed broker + detector, pipeline stages,
-//	                   collector fleet) as one scrape target
+//	                   collector fleet, Go runtime) as one scrape target
 //	/metrics/livefeed  legacy expvar-style JSON broker counters
 //	/metrics/pipeline  legacy expvar-style JSON pipeline counters
+//	/statusz           one-page introspection snapshot: stage latency
+//	                   summaries, per-subscriber sessions, store
+//	                   watermarks (JSON; ?format=html for a browser view;
+//	                   `zombietop` renders it live in a terminal)
 //	/healthz           pure liveness (200 once the HTTP server is up)
 //	/readyz            readiness: 503 until the archive replay completes
 //	/debug/pprof/      the standard Go profiler endpoints
+//
+// With -trace the daemon samples 1 of every -trace-sample published
+// events into a per-event span tree (encode, journal append, fan-out,
+// socket flush) and writes a Chrome trace file ("chrome://tracing",
+// Perfetto) at exit.
 //
 // Logs are structured (log/slog); -log-format selects text or json and
 // -log-level the threshold.
@@ -92,6 +101,8 @@ func main() {
 		writeBatch = flag.Int("write-batch", 0, "max frames gathered per writev to a subscriber (0: default 64)")
 		oneshot    = flag.Bool("oneshot", false, "exit once the replay completes instead of serving forever")
 		grace      = flag.Duration("grace", 5*time.Second, "how long a graceful exit waits for subscribers to drain")
+		traceFile  = flag.String("trace", "", "write a Chrome trace of sampled event spans to this file at exit (empty disables tracing)")
+		traceSmpl  = flag.Int("trace-sample", 256, "trace 1 of every N published events (with -trace; 0 disables event spans)")
 		logFormat  = flag.String("log-format", "text", "log output format: text | json")
 		logLevel   = flag.String("log-level", "info", "log threshold: debug | info | warn | error")
 	)
@@ -130,6 +141,8 @@ func main() {
 		writeBatch:   *writeBatch,
 		oneshot:      *oneshot,
 		grace:        *grace,
+		traceFile:    *traceFile,
+		traceSample:  *traceSmpl,
 	}
 	d, err := newDaemon(cfg, logger)
 	if err != nil {

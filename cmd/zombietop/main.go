@@ -1,0 +1,98 @@
+// Command zombietop is a terminal dashboard over a zombied /statusz
+// endpoint, in the spirit of top(1): it polls the JSON snapshot, derives
+// event/byte rates from consecutive counter readings, and redraws a
+// one-screen view — feed head, per-stage latency quantiles, and the
+// subscriber sessions ranked by lag, so the subscriber currently hurting
+// the feed is always the first row.
+//
+// Usage:
+//
+//	zombietop [-statusz http://127.0.0.1:8479/statusz] [-interval 2s] [-top 20]
+//	zombietop -oneshot        # print one frame and exit (no rates; CI smoke)
+//
+// All rendering lives in internal/statusz (shared with the daemon's HTML
+// view); this binary is only the fetch-clear-render loop.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zombiescope/internal/statusz"
+)
+
+func main() {
+	var (
+		url      = flag.String("statusz", "http://127.0.0.1:8479/statusz", "zombied /statusz URL to poll")
+		interval = flag.Duration("interval", 2*time.Second, "poll/redraw interval")
+		top      = flag.Int("top", 20, "session rows shown (0: all)")
+		oneshot  = flag.Bool("oneshot", false, "print a single frame and exit")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, *url, *interval, *top, *oneshot); err != nil {
+		fmt.Fprintln(os.Stderr, "zombietop:", err)
+		os.Exit(1)
+	}
+}
+
+// fetch retrieves and decodes one /statusz snapshot.
+func fetch(client *http.Client, url string) (*statusz.Status, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var st statusz.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &st, nil
+}
+
+// run is the dashboard loop: fetch, clear, render, sleep. In oneshot
+// mode it renders exactly one frame (without rate columns — those need
+// two snapshots) and returns. A fetch error ends the loop: a dashboard
+// that cannot reach its daemon should say so and exit rather than
+// redraw stale numbers.
+func run(ctx context.Context, w io.Writer, url string, interval time.Duration, top int, oneshot bool) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	var prev *statusz.Status
+	for {
+		cur, err := fetch(client, url)
+		if err != nil {
+			return err
+		}
+		if !oneshot {
+			// ANSI home + clear-to-end: repaint in place without the flicker
+			// a full-screen erase causes on slow terminals.
+			fmt.Fprint(w, "\x1b[H\x1b[J")
+		}
+		statusz.Render(w, prev, cur, top)
+		if oneshot {
+			return nil
+		}
+		prev = cur
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}

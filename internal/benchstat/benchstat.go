@@ -25,8 +25,13 @@ type Metric struct {
 // Baseline.Baseline maps sub-benchmark names (the part after the first
 // "/", e.g. "workers=0") to their fenced medians.
 type Baseline struct {
-	Benchmark    string            `json:"benchmark"`
-	CPU          string            `json:"cpu"`
+	Benchmark string `json:"benchmark"`
+	CPU       string `json:"cpu"`
+	// NumCPU records how many cores the baseline machine exposed. Core
+	// count shifts parallel benchmarks even when the cpu string matches
+	// (container CPU quotas), so benchcheck reports — without failing —
+	// when the checking machine differs. 0 means unrecorded.
+	NumCPU       int               `json:"num_cpu,omitempty"`
 	TolerancePct float64           `json:"tolerance_pct"`
 	Baseline     map[string]Metric `json:"baseline"`
 }
@@ -180,12 +185,30 @@ func Compare(base *Baseline, run *Run, forceTime bool) (report string, ok bool) 
 			continue
 		}
 		med := Median(samples)
-		ok = check(&sb, full, "allocs/op", med.AllocsPerOp, want.AllocsPerOp, base.TolerancePct) && ok
+		ok = checkAllocs(&sb, full, med.AllocsPerOp, want.AllocsPerOp, base.TolerancePct) && ok
 		if checkTime {
 			ok = check(&sb, full, "ns/op", med.NsPerOp, want.NsPerOp, base.TolerancePct) && ok
 		}
 	}
 	return sb.String(), ok
+}
+
+// checkAllocs gates allocs/op. Unlike ns/op, a zero baseline is a real
+// fence — "this path is allocation-free" — so want == 0 fails on any
+// allocation instead of skipping. A negative want opts the field out.
+func checkAllocs(w io.Writer, name string, got, want, tolPct float64) bool {
+	if want < 0 {
+		return true
+	}
+	if want == 0 {
+		if got > 0 {
+			fmt.Fprintf(w, "FAIL %s: allocs/op %.0f vs baseline 0 (allocation-free fence)\n", name, got)
+			return false
+		}
+		fmt.Fprintf(w, "ok   %s: allocs/op 0 (allocation-free)\n", name)
+		return true
+	}
+	return check(w, name, "allocs/op", got, want, tolPct)
 }
 
 func check(w io.Writer, name, unit string, got, want, tolPct float64) bool {

@@ -1,6 +1,7 @@
 package benchstat
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -181,5 +182,58 @@ BenchmarkStoreScan-8 	      30	  24766478 ns/op	     120 B/op	       3 allocs/op
 	base.Baseline["BenchmarkStoreScan"] = Metric{NsPerOp: 24766478, BytesPerOp: 120, AllocsPerOp: 1}
 	if report, ok := Compare(base, run, false); ok {
 		t.Fatalf("allocs regression passed the gate:\n%s", report)
+	}
+}
+
+// TestCompareZeroAllocFence: an allocs/op baseline of exactly 0 is a
+// fence ("this path is allocation-free"), not a skip — any allocation
+// fails. A negative want is the explicit opt-out.
+func TestCompareZeroAllocFence(t *testing.T) {
+	base := &Baseline{
+		Benchmark:    "BenchmarkObs",
+		TolerancePct: 20,
+		Baseline: map[string]Metric{
+			"BenchmarkObsCounter": {NsPerOp: 10, AllocsPerOp: 0},
+		},
+	}
+	clean := &Run{Samples: map[string][]Metric{
+		"BenchmarkObsCounter": {{NsPerOp: 10, AllocsPerOp: 0}},
+	}}
+	if report, ok := Compare(base, clean, false); !ok {
+		t.Errorf("allocation-free run failed the zero fence:\n%s", report)
+	}
+	dirty := &Run{Samples: map[string][]Metric{
+		"BenchmarkObsCounter": {{NsPerOp: 10, AllocsPerOp: 1}},
+	}}
+	report, ok := Compare(base, dirty, false)
+	if ok {
+		t.Errorf("1 alloc/op passed a zero-alloc fence:\n%s", report)
+	}
+	if !strings.Contains(report, "allocation-free fence") {
+		t.Errorf("report does not name the fence:\n%s", report)
+	}
+
+	base.Baseline["BenchmarkObsCounter"] = Metric{NsPerOp: 10, AllocsPerOp: -1}
+	if report, ok := Compare(base, dirty, false); !ok {
+		t.Errorf("negative want must skip the alloc check:\n%s", report)
+	}
+}
+
+// TestBaselineNumCPURoundTrip pins that num_cpu survives the JSON
+// baseline format (benchcheck reports — not fails — on a mismatch).
+func TestBaselineNumCPURoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/b.json"
+	doc := `{"benchmark":"BenchmarkX","cpu":"test","num_cpu":4,
+		"baseline":{"BenchmarkX":{"ns_per_op":1,"allocs_per_op":1}}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumCPU != 4 {
+		t.Errorf("NumCPU = %d, want 4", b.NumCPU)
 	}
 }

@@ -327,6 +327,10 @@ func (s *Store) LastSeq() uint64 {
 func (s *Store) FirstSeq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.firstSeqLocked()
+}
+
+func (s *Store) firstSeqLocked() uint64 {
 	if len(s.segs) > 0 {
 		return s.segs[0].idx.firstSeq
 	}
@@ -367,6 +371,8 @@ func (s *Store) Append(ev Event) error {
 	s.metrics.appends.Inc()
 	s.metrics.appendBytes.Add(int64(n))
 	s.metrics.bytes.Add(float64(n))
+	s.metrics.lastSeq.Set(float64(ev.Seq))
+	s.metrics.firstSeq.Set(float64(s.firstSeqLocked()))
 	if se := s.opts.SyncEvery; se > 0 {
 		s.w.pendingSync++
 		if s.w.pendingSync >= se {
@@ -488,6 +494,8 @@ func (s *Store) syncGaugesLocked() {
 	}
 	s.metrics.segments.Set(float64(n))
 	s.metrics.bytes.Set(float64(total))
+	s.metrics.firstSeq.Set(float64(s.firstSeqLocked()))
+	s.metrics.lastSeq.Set(float64(s.lastSeq))
 }
 
 // Close seals the active segment and releases every mapping. In-flight

@@ -8,6 +8,8 @@ import "zombiescope/internal/obs"
 type Metrics struct {
 	segments *obs.Gauge
 	bytes    *obs.Gauge
+	firstSeq *obs.Gauge
+	lastSeq  *obs.Gauge
 
 	appends        *obs.Counter
 	appendBytes    *obs.Counter
@@ -35,6 +37,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Number of on-disk segments (sealed plus active)."),
 		bytes: reg.Gauge("eventstore_bytes",
 			"Total bytes across all segments."),
+		firstSeq: reg.Gauge("eventstore_first_seq",
+			"Oldest retained sequence number (0 when empty); with eventstore_last_seq, the store's durability watermarks."),
+		lastSeq: reg.Gauge("eventstore_last_seq",
+			"Newest stored sequence number (0 when empty)."),
 		appends: reg.Counter("eventstore_appends_total",
 			"Events appended to the store."),
 		appendBytes: reg.Counter("eventstore_append_bytes_total",

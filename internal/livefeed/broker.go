@@ -6,9 +6,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zombiescope/internal/mrt"
+	"zombiescope/internal/obs"
 )
 
 // Policy selects what happens when a subscriber's ring buffer is full at
@@ -86,6 +88,11 @@ type Config struct {
 	// from a journal continues numbering where the previous run stopped
 	// instead of reissuing sequence numbers.
 	StartSeq uint64
+	// TraceSample selects 1/N published events for span tracing through
+	// the installed obs tracer (publish plus every socket flush of the
+	// event's frame). 0 disables sampling; with no tracer installed the
+	// check costs one modulo on the publish path.
+	TraceSample int
 }
 
 func (c Config) ringSize() int {
@@ -195,6 +202,11 @@ type Broker struct {
 	cfg     Config
 	metrics *Metrics
 
+	// headSeq mirrors seq so lag math (scrape hooks, Sessions) reads the
+	// stream head without taking the broker lock.
+	headSeq   atomic.Uint64
+	nextSubID atomic.Uint64
+
 	mu     sync.Mutex
 	seq    uint64
 	subs   map[*Subscriber]struct{}
@@ -235,7 +247,42 @@ func NewBroker(cfg Config) *Broker {
 	if n := cfg.replaySize(); n > 0 {
 		b.replay = make([]*sharedFrame, n)
 	}
+	b.headSeq.Store(cfg.StartSeq)
+	// Session lag/queue gauges and journal watermarks are refreshed at
+	// scrape time, so the publish path carries none of their cost.
+	m.reg.OnScrape(b.refreshScrapeGauges)
 	return b
+}
+
+// refreshScrapeGauges recomputes the scrape-time views: journal
+// watermarks and each attached subscriber's lag/queue gauges. Lag is the
+// sequence distance between the stream head and the subscriber's last
+// consumed event — the number every "is this client keeping up" question
+// reduces to.
+func (b *Broker) refreshScrapeGauges() {
+	head := b.headSeq.Load()
+	b.metrics.journalHead.Set(float64(head))
+	if b.cfg.Journal != nil {
+		b.metrics.journalFirst.Set(float64(b.cfg.Journal.FirstSeq()))
+	}
+	b.mu.Lock()
+	subs := make([]*Subscriber, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.mu.Lock()
+		queued := s.n
+		s.mu.Unlock()
+		last := s.lastSeq.Load()
+		var lag uint64
+		if head > last {
+			lag = head - last
+		}
+		s.lagGauge.Set(float64(lag))
+		s.queueGauge.Set(float64(queued))
+	}
 }
 
 // Metrics returns the broker's counters.
@@ -266,8 +313,18 @@ func (b *Broker) ShardCount() int {
 // once into a shared wire frame, and broadcasts the frame to every
 // matching subscriber, applying each subscriber's backpressure policy.
 // It returns the assigned sequence number (0 when the broker is closed).
+// The ingest stamp is taken here — callers that know when the event
+// really entered the process use PublishAt.
 func (b *Broker) Publish(ev Event) uint64 {
-	start := time.Now()
+	return b.PublishAt(ev, obs.Nanos())
+}
+
+// PublishAt is Publish with an explicit ingest stamp (obs.Nanos at the
+// collector/archive boundary), the anchor of the end-to-end latency
+// histogram: the stamp rides the shared frame to every subscriber and is
+// observed against the clock at socket-flush time.
+func (b *Broker) PublishAt(ev Event, ingestNanos int64) uint64 {
+	start := obs.Nanos()
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -276,10 +333,29 @@ func (b *Broker) Publish(ev Event) uint64 {
 	b.seq++
 	ev.Seq = b.seq
 
+	// Span sampling: 1/TraceSample events carry a trace through publish
+	// and every later flush of their frame. The unsampled path pays one
+	// modulo; the no-tracer path additionally one atomic load.
+	var span *obs.Span
+	sampled := false
+	if n := b.cfg.TraceSample; n > 0 && b.seq%uint64(n) == 0 {
+		if span = obs.StartSpan("livefeed.event"); span != nil {
+			sampled = true
+			span.SetArg("seq", b.seq)
+			span.SetArg("channel", ev.Channel)
+		}
+	}
+
 	// Encode once. Every fan-out target below — journal, replay window,
 	// subscriber rings, and ultimately the server's writev batches —
 	// shares this frame's bytes.
+	encSpan := span.Start("encode")
 	f, encErr := newEventFrame(ev)
+	encSpan.End()
+	if f != nil {
+		f.ingest = ingestNanos
+		f.sampled = sampled
+	}
 	if encErr != nil {
 		// Unreachable for well-formed events (every Event field marshals);
 		// counted and skipped rather than crashing the feed. The sequence
@@ -291,12 +367,14 @@ func (b *Broker) Publish(ev Event) uint64 {
 	}
 
 	if b.cfg.Journal != nil {
+		jSpan := span.Start("journal")
 		var jerr error
 		if ej, ok := b.cfg.Journal.(EncodedJournal); ok && f != nil {
 			jerr = ej.AppendEncoded(ev, f.payload())
 		} else {
 			jerr = b.cfg.Journal.Append(ev)
 		}
+		jSpan.End()
 		if jerr != nil {
 			b.metrics.journalErrors.Add(1)
 		}
@@ -319,6 +397,7 @@ func (b *Broker) Publish(ev Event) uint64 {
 
 	// Broadcast: walk only the shards whose channel index can match, and
 	// evaluate each shard's filter once for all of its subscribers.
+	fanSpan := span.Start("fanout")
 	var kicked []*Subscriber
 	var pushes, skips, matches int64
 	if f != nil {
@@ -358,19 +437,31 @@ func (b *Broker) Publish(ev Event) uint64 {
 		f.release() // the publisher's reference
 	}
 	seq := b.seq
+	b.headSeq.Store(seq)
 	b.mu.Unlock()
-	b.metrics.publishSeconds.Observe(time.Since(start).Seconds())
+	fanSpan.End()
+	if span != nil {
+		span.SetArg("pushes", pushes)
+		span.End()
+	}
+	b.metrics.publishSeconds.Observe(obs.SinceNanos(start))
 	return seq
 }
 
 // PublishRecord converts a tapped collector record to an event and
 // publishes it. RIB-dump records are not streamed (ok is false).
 func (b *Broker) PublishRecord(collector string, rec mrt.Record) (seq uint64, ok bool) {
+	return b.PublishRecordAt(collector, rec, obs.Nanos())
+}
+
+// PublishRecordAt is PublishRecord with an explicit ingest stamp (see
+// PublishAt).
+func (b *Broker) PublishRecordAt(collector string, rec mrt.Record, ingestNanos int64) (seq uint64, ok bool) {
 	ev, ok := EventFromRecord(collector, rec, !b.cfg.OmitRaw)
 	if !ok {
 		return 0, false
 	}
-	return b.Publish(ev), true
+	return b.PublishAt(ev, ingestNanos), true
 }
 
 // Subscribe attaches a subscriber with the given filter and policy.
@@ -401,6 +492,14 @@ func (b *Broker) SubscribeFrom(f Filter, policy Policy, resumeFrom uint64, fromS
 	if fromStart && resumeFrom == 0 {
 		replay = b.seq > 0
 	}
+	// Seed the lag baseline: a resuming subscriber starts lagging by its
+	// catch-up distance and converges to zero as it drains; a fresh one
+	// starts at the head.
+	if replay {
+		sub.lastSeq.Store(resumeFrom)
+	} else {
+		sub.lastSeq.Store(b.seq)
+	}
 	if replay {
 		// The catch-up is NOT pushed into the subscriber's ring here: a
 		// journal-served gap can exceed any ring (a month-scale store vs a
@@ -413,6 +512,7 @@ func (b *Broker) SubscribeFrom(f Filter, policy Policy, resumeFrom uint64, fromS
 		// head, above everything in the backlog, so ordering stays
 		// contiguous.
 		firstAvail := b.seq + 1 - uint64(b.count) // oldest retained seq
+		sub.catchUpSeq = b.seq
 		bl := &backfill{}
 		if resumeFrom+1 < firstAvail {
 			if b.cfg.Journal != nil {
@@ -485,6 +585,8 @@ func (b *Broker) removeLocked(s *Subscriber) {
 	}
 	delete(b.subs, s)
 	b.metrics.subscribers.Add(-1)
+	b.metrics.subLag.Delete(s.idStr)
+	b.metrics.subQueue.Delete(s.idStr)
 	sh := s.shard
 	if sh == nil {
 		return
@@ -536,6 +638,10 @@ func (b *Broker) Close() {
 	b.byChannel = make(map[string][]*shard)
 	b.metrics.subscribers.Add(-float64(len(subs)))
 	b.metrics.filterShards.Set(0)
+	for _, s := range subs {
+		b.metrics.subLag.Delete(s.idStr)
+		b.metrics.subQueue.Delete(s.idStr)
+	}
 	// Release the replay window's frame references; subscribers still
 	// drain whatever sits in their own rings (each slot holds its own
 	// reference).
@@ -562,10 +668,33 @@ type Subscriber struct {
 	policy Policy
 	shard  *shard // registration shard; broker-lock protected
 
+	// Session identity and telemetry. The atomics are written on the
+	// consumer's dequeue path and on block-policy stalls, and read by the
+	// scrape hook and Sessions without any lock. lagGauge/queueGauge are
+	// the pre-resolved per-session children of the metrics vecs, deleted
+	// when the subscriber detaches.
+	id         uint64
+	idStr      string
+	since      int64 // obs.Nanos at subscribe
+	lastSeq    atomic.Uint64
+	delivered  atomic.Uint64
+	bytes      atomic.Uint64
+	stallNanos atomic.Int64
+	lagGauge   *obs.Gauge
+	queueGauge *obs.Gauge
+
 	// backlog holds the resume catch-up (journal range + retained-frame
 	// snapshot) that Next serves before live events. It is touched only
 	// by the consumer goroutine, never under a lock.
 	backlog *backfill
+
+	// catchUpSeq is the broker head at subscribe time for a resuming
+	// subscriber (0 otherwise). Frames at or below it are catch-up: their
+	// ingest stamps are historical, so the server excludes them from the
+	// end-to-end latency histogram — a reconnecting client must not spike
+	// e2e p999 with its own catch-up distance. Written once before the
+	// subscriber is returned, read-only after.
+	catchUpSeq uint64
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -646,6 +775,7 @@ func (s *Subscriber) backfillNext() (f *sharedFrame, ok bool, err error) {
 			}
 			s.b.metrics.encodes.Add(1)
 			s.b.metrics.eventsOut.Add(1)
+			s.noteDelivered(f)
 			return f, true, nil
 		}
 		if bl.journal != nil && bl.nextSeq <= bl.endSeq {
@@ -678,6 +808,7 @@ func (s *Subscriber) backfillNext() (f *sharedFrame, ok bool, err error) {
 			bl.ring[bl.ringPos] = nil // reference transfers to the caller
 			bl.ringPos++
 			s.b.metrics.eventsOut.Add(1)
+			s.noteDelivered(f)
 			return f, true, nil
 		}
 		s.backlog = nil
@@ -688,8 +819,17 @@ func (s *Subscriber) backfillNext() (f *sharedFrame, ok bool, err error) {
 func newSubscriber(b *Broker, f Filter, policy Policy, ringSize int) *Subscriber {
 	s := &Subscriber{b: b, filter: f, policy: policy, buf: make([]*sharedFrame, ringSize)}
 	s.cond = sync.NewCond(&s.mu)
+	s.id = b.nextSubID.Add(1)
+	s.idStr = strconv.FormatUint(s.id, 10)
+	s.since = obs.Nanos()
+	s.lagGauge = b.metrics.subLag.With(s.idStr)
+	s.queueGauge = b.metrics.subQueue.With(s.idStr)
 	return s
 }
+
+// ID returns the session id, unique per broker lifetime — the value of
+// the id label on this subscriber's lag/queue gauges.
+func (s *Subscriber) ID() uint64 { return s.id }
 
 // Policy returns the subscriber's backpressure policy.
 func (s *Subscriber) Policy() Policy { return s.policy }
@@ -722,9 +862,11 @@ func (s *Subscriber) push(f *sharedFrame, m *Metrics) bool {
 			return false
 		case PolicyBlock:
 			m.blockStalls.Add(1)
+			stallStart := obs.CoarseNanos()
 			for s.n == len(s.buf) && !s.closed {
 				s.cond.Wait()
 			}
+			s.stallNanos.Add(obs.CoarseNanos() - stallStart)
 			if s.closed {
 				return true
 			}
@@ -848,6 +990,7 @@ func (s *Subscriber) tryNextFrame() (*sharedFrame, bool) {
 	s.head = (s.head + 1) % len(s.buf)
 	s.n--
 	s.cond.Signal() // wake a blocked publisher
+	s.noteDelivered(f)
 	return f, true
 }
 
@@ -875,7 +1018,18 @@ func (s *Subscriber) nextLive(deadline time.Time) (*sharedFrame, error) {
 	s.head = (s.head + 1) % len(s.buf)
 	s.n--
 	s.cond.Signal() // wake a blocked publisher
+	s.noteDelivered(f)
 	return f, nil
+}
+
+// noteDelivered advances the session's consumption telemetry on every
+// dequeue (backfill and live): the lag baseline and delivered count the
+// scrape hook and Sessions read.
+func (s *Subscriber) noteDelivered(f *sharedFrame) {
+	if seq := f.ev.Seq; seq > s.lastSeq.Load() {
+		s.lastSeq.Store(seq)
+	}
+	s.delivered.Add(1)
 }
 
 // Len returns how many events are queued.
@@ -907,6 +1061,64 @@ func (s *Subscriber) Close() {
 
 // closeDetached closes a subscriber already removed from the broker.
 func (s *Subscriber) closeDetached(reason error) { s.markClosed(reason) }
+
+// SessionInfo is a point-in-time view of one attached subscriber's
+// session — the /statusz row zombietop renders. Lag is sequence distance
+// to the broker head; Bytes counts wire bytes the server flushed to this
+// session's connection (0 for in-process subscribers that never cross a
+// socket); StallSeconds is publish time spent blocked on this
+// subscriber's full ring (block policy only).
+type SessionInfo struct {
+	ID            uint64  `json:"id"`
+	Policy        string  `json:"policy"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queue         int     `json:"queue"`
+	Cap           int     `json:"cap"`
+	LastSeq       uint64  `json:"last_seq"`
+	Lag           uint64  `json:"lag"`
+	Delivered     uint64  `json:"delivered"`
+	Bytes         uint64  `json:"bytes"`
+	Drops         uint64  `json:"drops"`
+	StallSeconds  float64 `json:"stall_seconds"`
+}
+
+// Sessions snapshots every attached subscriber's session telemetry,
+// sorted by session id.
+func (b *Broker) Sessions() []SessionInfo {
+	head := b.headSeq.Load()
+	b.mu.Lock()
+	subs := make([]*Subscriber, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	out := make([]SessionInfo, 0, len(subs))
+	for _, s := range subs {
+		s.mu.Lock()
+		queued, drops := s.n, s.drops
+		s.mu.Unlock()
+		last := s.lastSeq.Load()
+		var lag uint64
+		if head > last {
+			lag = head - last
+		}
+		out = append(out, SessionInfo{
+			ID:            s.id,
+			Policy:        s.policy.String(),
+			UptimeSeconds: obs.SinceNanos(s.since),
+			Queue:         queued,
+			Cap:           len(s.buf),
+			LastSeq:       last,
+			Lag:           lag,
+			Delivered:     s.delivered.Load(),
+			Bytes:         s.bytes.Load(),
+			Drops:         drops,
+			StallSeconds:  float64(s.stallNanos.Load()) / 1e9,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // markClosed flips the closed flag; it never takes the broker lock, so it
 // is safe both from Publish (broker lock held) and from user code.

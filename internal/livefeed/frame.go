@@ -39,6 +39,18 @@ type sharedFrame struct {
 	ev   Event
 	wire []byte
 	refs atomic.Int32
+
+	// ingest is the obs.Nanos stamp taken where the event entered the
+	// process (the collector/archive boundary), carried on the frame — not
+	// on Event, whose JSON shape is the wire contract — so the server can
+	// observe true end-to-end latency at socket-flush time. Zero means
+	// unknown (journal-served backfill frames), and such frames are
+	// excluded from the e2e histogram.
+	ingest int64
+	// sampled marks the 1/N events chosen for span tracing at publish
+	// time, so downstream stages (socket flush) can attach their spans
+	// without re-deriving the sampling decision.
+	sampled bool
 }
 
 // framePool recycles frames and their wire buffers so a steady-state
@@ -102,6 +114,8 @@ func (f *sharedFrame) release() {
 	case n == 0:
 		f.ev = Event{} // drop slice references so the publisher's memory can be collected
 		f.wire = f.wire[:0]
+		f.ingest = 0
+		f.sampled = false
 		framePool.Put(f)
 	case n < 0:
 		panic("livefeed: sharedFrame reference count went negative (double release)")
@@ -131,6 +145,10 @@ func (fr Frame) Event() Event { return fr.f.ev }
 
 // Seq returns the event's sequence number.
 func (fr Frame) Seq() uint64 { return fr.f.ev.Seq }
+
+// IngestNanos returns the obs.Nanos stamp taken when the event entered
+// the process, or 0 when unknown (journal-served backfill).
+func (fr Frame) IngestNanos() int64 { return fr.f.ingest }
 
 // Release returns the consumer's reference. The Frame must not be used
 // afterwards.

@@ -15,6 +15,15 @@ var publishBuckets = []float64{
 	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2, 0.1,
 }
 
+// stageBuckets span the full latency provenance range: microsecond
+// in-process stages through second-scale end-to-end paths (a stalled
+// subscriber, a journal-served catch-up), so one bucket layout serves
+// every stage and the e2e histogram.
+var stageBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 1e-2, 0.1, 1, 10,
+}
+
 // Metrics holds the broker's instruments on an obs registry. The JSON
 // Snapshot (and its expvar-style handler) keeps the original flat-map
 // shape as a thin view; the registry serves the same state as Prometheus
@@ -48,6 +57,29 @@ type Metrics struct {
 	// Subscribers.
 	subscribers      *obs.Gauge
 	subscribersTotal *obs.Counter
+
+	// Latency provenance: per-stage clocks plus the end-to-end distance
+	// from the ingest stamp to the socket flush. stageDetect/stageFlush
+	// are the pre-resolved children of the stage vec, so hot paths pay a
+	// histogram observe, never a label lookup.
+	stageSeconds *obs.HistogramVec
+	stageDetect  *obs.Histogram
+	stageFlush   *obs.Histogram
+	e2eSeconds   *obs.Histogram
+	bytesWritten *obs.Counter
+
+	// Per-subscriber session gauges, labeled by session id; children are
+	// created at subscribe, refreshed by the broker's scrape hook, and
+	// deleted when the subscriber detaches.
+	subLag   *obs.GaugeVec
+	subQueue *obs.GaugeVec
+
+	// Durability watermarks (what the journal/store still holds vs the
+	// stream head) and the record-time watermark the detector clock runs
+	// on.
+	journalHead  *obs.Gauge
+	journalFirst *obs.Gauge
+	watermark    *obs.Gauge
 
 	// Detection (the server-side StreamDetector wired by Pipeline).
 	alerts        *obs.Counter
@@ -93,6 +125,25 @@ func (m *Metrics) init() {
 		m.kicks = m.reg.Counter("livefeed_kicks_total", "Subscribers kicked under kick-slowest.")
 		m.subscribers = m.reg.Gauge("livefeed_subscribers", "Currently attached subscribers.")
 		m.subscribersTotal = m.reg.Counter("livefeed_subscribers_total", "Subscribers ever attached.")
+		m.stageSeconds = m.reg.HistogramVec("livefeed_stage_seconds",
+			"Per-stage latency of the event path (detect: detector work per ingested record; flush: one socket writev batch).",
+			stageBuckets, "stage")
+		m.stageDetect = m.stageSeconds.With("detect")
+		m.stageFlush = m.stageSeconds.With("flush")
+		m.e2eSeconds = m.reg.Histogram("livefeed_e2e_seconds",
+			"End-to-end event latency: ingest stamp to socket flush, per delivered frame.", stageBuckets)
+		m.bytesWritten = m.reg.Counter("livefeed_bytes_written_total",
+			"Wire bytes flushed to subscriber connections.")
+		m.subLag = m.reg.GaugeVec("livefeed_subscriber_lag",
+			"Sequence distance between the broker head and the subscriber's last consumed event.", "id")
+		m.subQueue = m.reg.GaugeVec("livefeed_subscriber_queue",
+			"Frames queued in the subscriber's ring.", "id")
+		m.journalHead = m.reg.Gauge("livefeed_journal_head_seq",
+			"Highest sequence number published (journal head when journaled).")
+		m.journalFirst = m.reg.Gauge("livefeed_journal_first_seq",
+			"Oldest sequence number the journal still holds (0 when empty or not journaled).")
+		m.watermark = m.reg.Gauge("livefeed_watermark_unix_seconds",
+			"Record-time watermark the detector clock has advanced to.")
 		m.alerts = m.reg.Counter("livefeed_alerts_total", "Zombie-channel events published.")
 		m.detectLatency = m.reg.Histogram("detector_latency_seconds",
 			"How far behind the record stream detections fire.", obs.DefBuckets)
@@ -127,6 +178,23 @@ func (m *Metrics) ObserveDetectionLatency(d time.Duration) {
 	m.detectLatency.Observe(d.Seconds())
 }
 
+// LatencySummaries returns count/sum/quantile summaries of the feed's
+// latency histograms, keyed by stage — the /statusz view of the same
+// distributions the Prometheus exposition serves as buckets.
+func (m *Metrics) LatencySummaries() map[string]obs.HistogramSummary {
+	if m == nil {
+		return nil
+	}
+	m.init()
+	return map[string]obs.HistogramSummary{
+		"publish":          m.publishSeconds.Summary(),
+		"detect":           m.stageDetect.Summary(),
+		"flush":            m.stageFlush.Summary(),
+		"e2e":              m.e2eSeconds.Summary(),
+		"detector_latency": m.detectLatency.Summary(),
+	}
+}
+
 // Snapshot returns the counters as a flat map, expvar style — the legacy
 // JSON shape, now a view over the registry. A nil receiver returns the
 // all-zero snapshot.
@@ -134,7 +202,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	out := map[string]int64{
 		"records_in": 0, "events_out": 0, "drops_drop_oldest": 0,
 		"block_stalls": 0, "kicks": 0, "subscribers": 0,
-		"subscribers_total": 0, "alerts": 0,
+		"subscribers_total": 0, "alerts": 0, "bytes_written": 0,
 	}
 	if m == nil {
 		return out
@@ -148,6 +216,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	out["subscribers"] = int64(m.subscribers.Value())
 	out["subscribers_total"] = m.subscribersTotal.Value()
 	out["alerts"] = m.alerts.Value()
+	out["bytes_written"] = m.bytesWritten.Value()
 	if n := m.detectLatency.Count(); n > 0 {
 		out["detect_latency_avg_us"] = int64(m.detectLatency.Sum()*1e6) / int64(n)
 		out["detect_latency_count"] = int64(n)

@@ -104,7 +104,13 @@ func NewPipeline(b *Broker, intervals []beacon.Interval, threshold time.Duration
 		// Detection latency: how far the record watermark had advanced
 		// past the scheduled check instant when the check actually fired.
 		b.Metrics().ObserveDetectionLatency(p.watermark.Sub(ev.DetectedAt))
-		b.Publish(AlertEvent(ev))
+		// The alert inherits the ingest stamp of the record that fired the
+		// check, so alert e2e latency spans detection, not just fan-out.
+		ing := ev.IngestNanos
+		if ing == 0 {
+			ing = obs.Nanos()
+		}
+		b.PublishAt(AlertEvent(ev), ing)
 		p.notePeerZombie(ev)
 	})
 	p.lastPending = p.sd.PendingChecks()
@@ -157,21 +163,31 @@ func (p *Pipeline) syncChecks() {
 }
 
 // Ingest advances the detection clock to the record's timestamp (firing
-// any due checks) and publishes the record to the feed.
+// any due checks) and publishes the record to the feed. The ingest stamp
+// is taken here — the collector/archive boundary of the live path — and
+// carried through the detector and the published frame, anchoring the
+// end-to-end latency histogram.
 func (p *Pipeline) Ingest(sr SourcedRecord) {
+	ing := obs.Nanos()
+	m := p.Broker.Metrics()
 	p.watermark = sr.Rec.RecordTime()
+	p.sd.SetIngestStamp(ing)
 	p.sd.Advance(p.watermark)
 	p.sd.Observe(sr.Collector, sr.Rec)
+	m.stageDetect.Observe(obs.SinceNanos(ing))
 	p.syncChecks()
-	p.Broker.PublishRecord(sr.Collector, sr.Rec)
+	m.watermark.Set(float64(p.watermark.Unix()))
+	p.Broker.PublishRecordAt(sr.Collector, sr.Rec, ing)
 }
 
 // Flush advances the detection clock past the end of the experiment so
 // every remaining interval check fires.
 func (p *Pipeline) Flush(until time.Time) {
 	p.watermark = until
+	p.sd.SetIngestStamp(obs.Nanos())
 	p.sd.Advance(until)
 	p.syncChecks()
+	p.Broker.Metrics().watermark.Set(float64(until.Unix()))
 }
 
 // PendingChecks reports how many interval checks have not fired yet. It

@@ -4,9 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
+
+	"zombiescope/internal/obs"
 )
 
 // Server serves a Broker's feed over TCP using the frame protocol.
@@ -43,6 +46,11 @@ type Server struct {
 	// holding more frame references per connection while the write is in
 	// flight.
 	WriteBatch int
+	// Log, when set, receives per-connection lifecycle errors (failed
+	// handshakes, write errors, kicks). Pass an obs.Throttled logger: a
+	// reconnect storm produces these messages at connection rate, and the
+	// server never rate-limits them itself.
+	Log *slog.Logger
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -83,6 +91,15 @@ func (s *Server) writeBatch() int {
 		return 64
 	}
 	return s.WriteBatch
+}
+
+// logConn reports a per-connection error on the configured logger; a nil
+// Log drops it (the counters still account the failure).
+func (s *Server) logConn(msg string, conn net.Conn, err error) {
+	if s.Log == nil || err == nil {
+		return
+	}
+	s.Log.Warn(msg, "remote", conn.RemoteAddr().String(), "err", err.Error())
 }
 
 // Serve accepts connections on l until the listener fails or Close is
@@ -231,6 +248,7 @@ func (s *Server) handle(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout()))
 	var req Subscribe
 	if err := readFrameInto(conn, FrameSubscribe, &req); err != nil {
+		s.logConn("livefeed handshake failed", conn, err)
 		refuse(conn, fmt.Sprintf("bad subscribe: %v", err))
 		return
 	}
@@ -238,15 +256,18 @@ func (s *Server) handle(conn net.Conn) {
 
 	policy, err := ParsePolicy(req.Policy)
 	if err != nil {
+		s.logConn("livefeed subscribe refused", conn, err)
 		refuse(conn, err.Error())
 		return
 	}
 	if policy == PolicyBlock && !s.AllowBlock {
+		s.logConn("livefeed subscribe refused", conn, errors.New("block policy not allowed"))
 		refuse(conn, "block policy not allowed on this server")
 		return
 	}
 	sub, lost, err := s.Broker.SubscribeFrom(req.Filter, policy, req.ResumeFrom, req.FromStart)
 	if err != nil {
+		s.logConn("livefeed subscribe refused", conn, err)
 		refuse(conn, err.Error())
 		return
 	}
@@ -271,6 +292,7 @@ func (s *Server) handle(conn net.Conn) {
 	// failed write can never leak a frame back to the pool early.
 	hb := s.heartbeatInterval()
 	maxBatch := s.writeBatch()
+	m := s.Broker.metrics
 	frames := make([]Frame, 0, maxBatch)
 	bufs := make(net.Buffers, 0, maxBatch)
 	for {
@@ -280,13 +302,15 @@ func (s *Server) handle(conn net.Conn) {
 				// Idle stream: prove liveness so clients with a read
 				// deadline don't mistake quiet for stalled.
 				armWrite()
-				if WriteFrame(conn, FrameHeartbeat, Heartbeat{Head: s.Broker.Seq()}) != nil {
+				if werr := WriteFrame(conn, FrameHeartbeat, Heartbeat{Head: s.Broker.Seq()}); werr != nil {
+					s.logConn("livefeed heartbeat write failed", conn, werr)
 					return
 				}
 				continue
 			}
 			if errors.Is(err, ErrKicked) || errors.Is(err, ErrJournal) {
 				// Best effort: tell the client why before closing.
+				s.logConn("livefeed subscriber closed", conn, err)
 				armWrite()
 				WriteFrame(conn, FrameError, ErrorFrame{Message: err.Error()})
 			}
@@ -302,16 +326,45 @@ func (s *Server) handle(conn net.Conn) {
 			frames = append(frames, more)
 			bufs = append(bufs, more.Wire())
 		}
+		// A batch containing a sampled frame gets a flush span, tying the
+		// socket stage into the event's 1/N trace.
+		var flushSpan *obs.Span
+		for i := range frames {
+			if frames[i].f.sampled {
+				if flushSpan = obs.StartSpan("livefeed.flush"); flushSpan != nil {
+					flushSpan.SetArg("seq", frames[i].Seq())
+					flushSpan.SetArg("frames", len(frames))
+				}
+				break
+			}
+		}
 		armWrite()
 		// net.Buffers.WriteTo is writev on a *net.TCPConn and a plain
 		// per-slice Write loop on wrapped conns; either way the shared
 		// frame bytes go out without a copy into any intermediate buffer.
-		_, werr := bufs.WriteTo(conn)
+		flushStart := obs.Nanos()
+		n, werr := bufs.WriteTo(conn)
+		flushSpan.End()
+		m.stageFlush.Observe(obs.SinceNanos(flushStart))
+		if n > 0 {
+			m.bytesWritten.Add(n)
+			sub.bytes.Add(uint64(n))
+		}
 		for i := range frames {
+			// End-to-end latency closes here, at the kernel handoff; only
+			// frames that actually went out and carry an ingest stamp are
+			// observed. Catch-up is excluded twice over: journal backfill
+			// frames are re-encoded without a stamp, and ring-snapshot
+			// frames keep their historical stamp but sit at or below the
+			// subscriber's resume boundary.
+			if ing := frames[i].f.ingest; werr == nil && ing > 0 && frames[i].f.ev.Seq > sub.catchUpSeq {
+				m.e2eSeconds.Observe(obs.SinceNanos(ing))
+			}
 			frames[i].Release()
 			frames[i] = Frame{}
 		}
 		if werr != nil {
+			s.logConn("livefeed subscriber write failed", conn, werr)
 			return
 		}
 	}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// processEpoch anchors the monotonic stage clock. Stamps are nanoseconds
+// since process start, taken from Go's monotonic reading, so they are
+// immune to wall-clock steps and cheap to subtract — the currency every
+// stage-latency and end-to-end histogram in the repo trades in.
+var processEpoch = time.Now()
+
+// Nanos returns the monotonic stage clock: nanoseconds since process
+// start. It is allocation-free (one vDSO clock read), so hot paths stamp
+// events with it directly; latency between two stamps is their difference.
+func Nanos() int64 { return int64(time.Since(processEpoch)) }
+
+// SinceNanos converts the distance from an earlier Nanos stamp to now
+// into seconds, clamped at zero — the unit histograms observe.
+func SinceNanos(stamp int64) float64 {
+	d := Nanos() - stamp
+	if d < 0 {
+		return 0
+	}
+	return float64(d) / 1e9
+}
+
+// coarse is the background-updated coarse clock: an atomic Nanos mirror
+// refreshed every coarseStep by a ticker goroutine started on first use.
+var coarse struct {
+	once  sync.Once
+	nanos atomic.Int64
+}
+
+// coarseStep is the coarse clock's refresh period. Stall and session
+// accounting tolerate millisecond staleness; what they buy is a stamp
+// that costs one atomic load instead of a clock read.
+const coarseStep = time.Millisecond
+
+// CoarseNanos returns the coarse monotonic clock: at most coarseStep
+// stale, one atomic load per call. Use it where a stamp is taken under a
+// contended lock and millisecond resolution suffices (per-subscriber
+// stall accounting); use Nanos for stage latencies.
+func CoarseNanos() int64 {
+	coarse.once.Do(func() {
+		coarse.nanos.Store(Nanos())
+		go func() {
+			t := time.NewTicker(coarseStep)
+			defer t.Stop()
+			for range t.C {
+				coarse.nanos.Store(Nanos())
+			}
+		}()
+	})
+	return coarse.nanos.Load()
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNanosMonotone(t *testing.T) {
+	a := Nanos()
+	b := Nanos()
+	if b < a {
+		t.Fatalf("Nanos went backwards: %d then %d", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("Nanos negative at process start: %d", a)
+	}
+}
+
+func TestSinceNanos(t *testing.T) {
+	start := Nanos()
+	time.Sleep(2 * time.Millisecond)
+	d := SinceNanos(start)
+	if d <= 0 {
+		t.Fatalf("SinceNanos = %v after sleeping, want > 0", d)
+	}
+	if d > 10 {
+		t.Fatalf("SinceNanos = %v seconds, implausibly large", d)
+	}
+	// Future stamps clamp to zero rather than going negative: a latency
+	// histogram must never observe a negative sample.
+	if got := SinceNanos(Nanos() + int64(time.Hour)); got != 0 {
+		t.Fatalf("SinceNanos(future) = %v, want 0", got)
+	}
+}
+
+func TestCoarseNanosAdvances(t *testing.T) {
+	first := CoarseNanos()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if CoarseNanos() > first {
+			return
+		}
+		time.Sleep(coarseStep)
+	}
+	t.Fatalf("CoarseNanos stuck at %d for 2s", first)
+}

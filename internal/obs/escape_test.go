@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Satellite: the 0.0.4 text format escapes exactly backslash, quote, and
+// newline inside label values (backslash and newline in HELP). The
+// table pins each case, including the order trap: escaping quotes before
+// backslashes would double-escape.
+func TestEscapeLabelTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{`\"`, `\\\"`},
+		{"\\\n\"", `\\\n\"`},
+		{`already\\escaped`, `already\\\\escaped`},
+		{"", ""},
+		{"utf8 λ →", "utf8 λ →"},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeHelpTable(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain help", "plain help"},
+		{`with \ backslash`, `with \\ backslash`},
+		{"with\nnewline", `with\nnewline`},
+		{`quotes " stay`, `quotes " stay`}, // HELP text does not escape quotes
+	}
+	for _, c := range cases {
+		if got := escapeHelp(c.in); got != c.want {
+			t.Errorf("escapeHelp(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// End-to-end: hostile label values — including the registry's internal
+// key separator byte — round-trip through exposition without corrupting
+// neighbouring labels or lines.
+func TestExpositionHostileLabelValues(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("hostile", "", "a", "b")
+	v.With(`x"y\z`, "end").Set(1)
+	v.With("line\nbreak", "tail").Set(2)
+	v.With("sep"+labelSep+"inject", "intact").Set(3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`hostile{a="x\"y\\z",b="end"} 1`,
+		`hostile{a="line\nbreak",b="tail"} 2`,
+		`b="intact"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The separator byte must not shift the second label value: "intact"
+	// stays in column b, not merged into a.
+	if strings.Contains(out, `b=""`) {
+		t.Errorf("separator injection shifted label values:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "hostile{") && strings.Count(line, " ") != 1 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}

@@ -18,6 +18,7 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // text exposition format, families sorted by name and children sorted by
 // label values, so the output is deterministic for a given state.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	bw := bufio.NewWriter(w)
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
@@ -58,18 +59,18 @@ func (f *family) write(w *bufio.Writer) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	children := make([]any, len(keys))
+	children := make([]*child, len(keys))
 	for i, k := range keys {
 		children[i] = f.children[k]
 	}
 	f.mu.RUnlock()
 
-	for i, key := range keys {
-		var values []string
-		if len(f.labels) > 0 {
-			values = strings.Split(key, labelSep)
-		}
-		switch c := children[i].(type) {
+	for i := range keys {
+		// Label values come from the child itself, never by splitting the
+		// joined key: a value containing the separator byte must not be
+		// able to shift its neighbours (see child).
+		values := children[i].values
+		switch c := children[i].metric.(type) {
 		case *Counter:
 			writeSample(w, f.name, f.labels, values, "", "", strconv.FormatInt(c.Value(), 10))
 		case *Gauge:

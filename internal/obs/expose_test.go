@@ -1,16 +1,16 @@
 package obs
 
 import (
-	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
+
+	"zombiescope/internal/obs/obstest"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -84,34 +84,12 @@ func TestMultiHandlerMergesRegistries(t *testing.T) {
 	}
 }
 
-// ParsePrometheus parses the subset of the text exposition format the
-// registry emits, returning sample name+labels -> value. It is the
-// reference reader the parity tests use to compare the Prometheus view
-// with the JSON snapshots.
+// ParsePrometheus delegates to the shared reference reader in obstest —
+// kept as a local alias because the parity tests predate the helper
+// package.
 func ParsePrometheus(t *testing.T, text string) map[string]float64 {
 	t.Helper()
-	out := make(map[string]float64)
-	sc := bufio.NewScanner(strings.NewReader(text))
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			t.Fatalf("malformed exposition line %q", line)
-		}
-		key, valStr := line[:sp], line[sp+1:]
-		val, err := strconv.ParseFloat(valStr, 64)
-		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
-			t.Fatalf("malformed sample value in %q: %v", line, err)
-		}
-		if _, dup := out[key]; dup {
-			t.Fatalf("duplicate sample %q", key)
-		}
-		out[key] = val
-	}
-	return out
+	return obstest.ParsePrometheus(t, text)
 }
 
 func TestExpositionParses(t *testing.T) {
@@ -121,12 +99,12 @@ func TestExpositionParses(t *testing.T) {
 	}
 	samples := ParsePrometheus(t, buf.String())
 	checks := map[string]float64{
-		"app_requests_total":                1234,
-		`app_errors_total{class="decode"}`:  3,
-		"app_temperature_celsius":           36.6,
+		"app_requests_total":                    1234,
+		`app_errors_total{class="decode"}`:      3,
+		"app_temperature_celsius":               36.6,
 		`app_latency_seconds_bucket{le="0.01"}`: 1,
 		`app_latency_seconds_bucket{le="+Inf"}`: 5,
-		"app_latency_seconds_count":         5,
+		"app_latency_seconds_count":             5,
 	}
 	for k, want := range checks {
 		got, ok := samples[k]

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
 	"strings"
+	"sync"
+	"time"
 )
 
 // NewLogger builds a structured logger writing to w. format is "text" or
@@ -52,4 +55,92 @@ func Component(l *slog.Logger, name string) *slog.Logger {
 		l = slog.Default()
 	}
 	return l.With(slog.String("component", name))
+}
+
+// Throttled wraps a logger so that at most burst records per interval are
+// emitted per distinct message; the rest are counted, and the first
+// record of the next window carries a "suppressed" attribute reporting
+// how many were dropped. This is the per-connection error guard: a
+// reconnect storm hitting the livefeed produces thousands of identical
+// "subscriber write failed" records per second, and a daemon that spends
+// its time formatting them is a daemon amplifying its own overload.
+//
+// Rate state is keyed by the record's message string — call sites use
+// constant messages and carry the variance in attributes, so the key set
+// is bounded by the number of distinct log statements.
+func Throttled(l *slog.Logger, interval time.Duration, burst int) *slog.Logger {
+	if l == nil {
+		l = slog.Default()
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return slog.New(&throttledHandler{
+		inner: l.Handler(),
+		state: &throttleState{interval: interval, burst: burst, windows: make(map[string]*logWindow)},
+	})
+}
+
+// throttleState is shared across WithAttrs/WithGroup derivatives, so a
+// scoped logger cannot reset its parent's budget.
+type throttleState struct {
+	interval time.Duration
+	burst    int
+
+	mu      sync.Mutex
+	windows map[string]*logWindow
+}
+
+type logWindow struct {
+	start      int64 // Nanos stamp of the window's first record
+	sent       int
+	suppressed uint64
+}
+
+// throttledHandler is the slog.Handler applying the per-message budget.
+type throttledHandler struct {
+	inner slog.Handler
+	state *throttleState
+}
+
+func (h *throttledHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *throttledHandler) Handle(ctx context.Context, rec slog.Record) error {
+	st := h.state
+	now := Nanos()
+	st.mu.Lock()
+	w := st.windows[rec.Message]
+	if w == nil {
+		w = &logWindow{start: now}
+		st.windows[rec.Message] = w
+	}
+	var reopenSuppressed uint64
+	if now-w.start >= int64(st.interval) {
+		reopenSuppressed = w.suppressed
+		w.start, w.sent, w.suppressed = now, 0, 0
+	}
+	if w.sent >= st.burst {
+		w.suppressed++
+		st.mu.Unlock()
+		return nil
+	}
+	w.sent++
+	st.mu.Unlock()
+	if reopenSuppressed > 0 {
+		rec.AddAttrs(slog.Uint64("suppressed", reopenSuppressed))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *throttledHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &throttledHandler{inner: h.inner.WithAttrs(attrs), state: h.state}
+}
+
+func (h *throttledHandler) WithGroup(name string) slog.Handler {
+	return &throttledHandler{inner: h.inner.WithGroup(name), state: h.state}
 }

@@ -1,0 +1,42 @@
+// Package obstest holds test helpers for asserting on the obs registry's
+// Prometheus text exposition. It lives outside the obs test files so
+// other packages' tests (livefeed sessions, zombied lifecycle) can parse
+// scrapes with the same reference reader.
+package obstest
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ParsePrometheus parses the subset of the text exposition format the
+// registry emits, returning sample name+labels -> value. It fails the
+// test on malformed lines or duplicate samples, so it doubles as a
+// well-formedness check of the exposition itself.
+func ParsePrometheus(t testing.TB, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			t.Fatalf("malformed sample value in %q: %v", line, err)
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		out[key] = val
+	}
+	return out
+}

@@ -51,6 +51,9 @@ func (k metricKind) String() string {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // Default is the process-wide registry.
@@ -71,11 +74,24 @@ type family struct {
 	buckets []float64 // histogram families only
 
 	mu       sync.RWMutex
-	children map[string]any // label-value key -> *Counter | *Gauge | *Histogram
+	children map[string]*child
+}
+
+// child pairs one label-value combination's metric with the values
+// themselves. The values are stored, not reconstructed from the joined
+// map key at exposition time: a hostile label value containing the
+// separator byte (collector names come off the wire) would otherwise
+// split into the wrong number of values and silently shift every label
+// after it.
+type child struct {
+	values []string
+	metric any // *Counter | *Gauge | *Histogram
 }
 
 // labelSep separates joined label values in child keys; 0xff cannot occur
-// in valid UTF-8 label values, so the join is unambiguous.
+// in valid UTF-8 label values, so the join is unambiguous for well-formed
+// input (and the stored child.values keep exposition correct even for
+// malformed input).
 const labelSep = "\xff"
 
 // register returns the named family, creating it if needed. Re-registering
@@ -97,7 +113,7 @@ func (r *Registry) register(name, help string, kind metricKind, labels []string,
 		kind:     kind,
 		labels:   append([]string(nil), labels...),
 		buckets:  buckets,
-		children: make(map[string]any),
+		children: make(map[string]*child),
 	}
 	r.families[name] = f
 	return f
@@ -126,16 +142,46 @@ func (f *family) child(values []string, mk func() any) any {
 	c, ok := f.children[key]
 	f.mu.RUnlock()
 	if ok {
-		return c
+		return c.metric
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if c, ok := f.children[key]; ok {
-		return c
+		return c.metric
 	}
-	c = mk()
+	c = &child{values: append([]string(nil), values...), metric: mk()}
 	f.children[key] = c
-	return c
+	return c.metric
+}
+
+// delete drops the child for the given label values, if present. Handles
+// previously returned by With keep working but no longer export; a later
+// With for the same values creates a fresh child.
+func (f *family) delete(values []string) {
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	delete(f.children, key)
+	f.mu.Unlock()
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus
+// call, before any family is rendered. It is the seam for lazily-computed
+// gauges — runtime stats, journal watermarks — that are only worth
+// refreshing when someone is looking. Hooks run outside the registry
+// locks, so they may freely create or set metrics.
+func (r *Registry) OnScrape(fn func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	hooks := r.hooks
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Counter is a monotonically increasing metric. All methods are safe for
@@ -183,6 +229,9 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
 }
+
+// Delete drops the child for the given label values from the exposition.
+func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
 
 // Gauge is a metric that can go up and down. All methods are safe for
 // concurrent use; the nil Gauge is a no-op sink.
@@ -238,6 +287,11 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
 }
+
+// Delete drops the child for the given label values from the exposition.
+// Bounded-lifetime label sets (per-subscriber session gauges) call it on
+// teardown so series cardinality tracks live sessions, not history.
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(values) }
 
 // DefBuckets are the default latency buckets, in seconds: wide enough for
 // both microsecond-scale decode chunks and multi-second archive folds.
@@ -310,6 +364,75 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
 	return h.bounds, cumulative
 }
 
+// Quantile estimates the q-quantile (0..1) of the observed distribution
+// by linear interpolation inside the owning bucket — the Prometheus
+// histogram_quantile estimate, computed locally so /statusz can report
+// p50/p99/p999 without a query engine. Observations in the +Inf bucket
+// clamp to the highest finite bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (bound-lower)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSummary is a histogram condensed to the numbers a dashboard
+// line can carry: count, sum, and the latency percentiles operators
+// actually watch.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Summary returns the histogram's quantile summary. Safe on nil (all
+// zeros). Concurrent observations may land between the count and bucket
+// reads; the drift is one sample, irrelevant for monitoring.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	return HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
 // HistogramVec is a histogram family with labels; every child shares the
 // family's bucket bounds.
 type HistogramVec struct{ f *family }
@@ -335,3 +458,6 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.f.child(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
 }
+
+// Delete drops the child for the given label values from the exposition.
+func (v *HistogramVec) Delete(values ...string) { v.f.delete(values) }

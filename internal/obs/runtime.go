@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeStats is a point-in-time snapshot of Go runtime health: the
+// numbers that explain a latency regression before any application metric
+// does (GC pauses stretching the tail, heap growth foreshadowing them,
+// scheduler latency showing CPU starvation). Read with ReadRuntimeStats;
+// exported as gauges by RegisterRuntimeMetrics and inlined into /statusz.
+type RuntimeStats struct {
+	Goroutines    int64   `json:"goroutines"`
+	HeapLiveBytes uint64  `json:"heap_live_bytes"`
+	TotalBytes    uint64  `json:"total_bytes"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	GCPauseP50    float64 `json:"gc_pause_p50_seconds"`
+	GCPauseP99    float64 `json:"gc_pause_p99_seconds"`
+	SchedLatP50   float64 `json:"sched_latency_p50_seconds"`
+	SchedLatP99   float64 `json:"sched_latency_p99_seconds"`
+}
+
+// runtimeSampleNames are the runtime/metrics series the bridge reads.
+// Unknown names (older/newer toolchains) sample as KindBad and are
+// skipped, so the bridge degrades to zeros instead of breaking the build
+// or the scrape.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntimeStats samples the runtime. It allocates (fresh sample slice
+// and histogram buffers) and is meant for scrape/introspection frequency,
+// not hot paths.
+func ReadRuntimeStats() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var st RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				st.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				st.HeapLiveBytes = s.Value.Uint64()
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				st.TotalBytes = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				st.GCCycles = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				st.GCPauseP50 = runtimeHistQuantile(h, 0.50)
+				st.GCPauseP99 = runtimeHistQuantile(h, 0.99)
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				st.SchedLatP50 = runtimeHistQuantile(h, 0.50)
+				st.SchedLatP99 = runtimeHistQuantile(h, 0.99)
+			}
+		}
+	}
+	if st.Goroutines == 0 {
+		st.Goroutines = int64(runtime.NumGoroutine())
+	}
+	return st
+}
+
+// runtimeHistQuantile estimates a quantile of a runtime/metrics
+// Float64Histogram (bucket upper-bound estimate; ±Inf boundaries clamp to
+// the nearest finite one).
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Counts[i] covers Buckets[i] .. Buckets[i+1].
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, 1) {
+				upper = h.Buckets[i]
+			}
+			if math.IsInf(upper, -1) {
+				return 0
+			}
+			return upper
+		}
+	}
+	return 0
+}
+
+// RegisterRuntimeMetrics exposes the runtime bridge on r as gauges
+// (go_goroutines, go_heap_live_bytes, go_memory_total_bytes,
+// go_gc_cycles, and p50/p99 gauges for GC pause and scheduler latency),
+// refreshed by a scrape hook — the runtime is only sampled when someone
+// scrapes. Dependency-free: it reads the stdlib runtime/metrics, no
+// client library involved.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("go_goroutines", "Live goroutines.")
+	heap := r.Gauge("go_heap_live_bytes", "Bytes of live heap objects.")
+	total := r.Gauge("go_memory_total_bytes", "Total bytes of memory mapped by the Go runtime.")
+	cycles := r.Gauge("go_gc_cycles", "Completed GC cycles since process start.")
+	gcPause := r.GaugeVec("go_gc_pause_seconds",
+		"GC stop-the-world pause quantiles since process start.", "q")
+	schedLat := r.GaugeVec("go_sched_latency_seconds",
+		"Goroutine scheduling latency quantiles since process start.", "q")
+	gcP50, gcP99 := gcPause.With("0.5"), gcPause.With("0.99")
+	schedP50, schedP99 := schedLat.With("0.5"), schedLat.With("0.99")
+	r.OnScrape(func() {
+		st := ReadRuntimeStats()
+		goroutines.Set(float64(st.Goroutines))
+		heap.Set(float64(st.HeapLiveBytes))
+		total.Set(float64(st.TotalBytes))
+		cycles.Set(float64(st.GCCycles))
+		gcP50.Set(st.GCPauseP50)
+		gcP99.Set(st.GCPauseP99)
+		schedP50.Set(st.SchedLatP50)
+		schedP99.Set(st.SchedLatP99)
+	})
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestReadRuntimeStats(t *testing.T) {
+	st := ReadRuntimeStats()
+	if st.Goroutines <= 0 {
+		t.Errorf("Goroutines = %d, want > 0", st.Goroutines)
+	}
+	if st.HeapLiveBytes == 0 {
+		t.Errorf("HeapLiveBytes = 0, want > 0")
+	}
+	if st.TotalBytes < st.HeapLiveBytes {
+		t.Errorf("TotalBytes %d < HeapLiveBytes %d", st.TotalBytes, st.HeapLiveBytes)
+	}
+	if st.GCPauseP99 < st.GCPauseP50 {
+		t.Errorf("GC pause p99 %v < p50 %v", st.GCPauseP99, st.GCPauseP50)
+	}
+}
+
+func TestRuntimeHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1e-6, 1e-3, 1},
+	}
+	if got := runtimeHistQuantile(h, 0.5); got != 1e-3 {
+		t.Errorf("p50 = %v, want 1e-3 (middle bucket upper bound)", got)
+	}
+	if got := runtimeHistQuantile(h, 0.99); got != 1 {
+		t.Errorf("p99 = %v, want 1 (last bucket upper bound)", got)
+	}
+	// Empty histogram and nil are zero, not a panic.
+	if got := runtimeHistQuantile(&metrics.Float64Histogram{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := runtimeHistQuantile(nil, 0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"go_goroutines",
+		"go_heap_live_bytes",
+		"go_memory_total_bytes",
+		"go_gc_cycles",
+		`go_gc_pause_seconds{q="0.99"}`,
+		`go_sched_latency_seconds{q="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The scrape hook must have populated goroutines with a live value.
+	samples := ParsePrometheus(t, out)
+	if samples["go_goroutines"] <= 0 {
+		t.Errorf("go_goroutines = %v, want > 0", samples["go_goroutines"])
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThrottledLimitsPerMessage(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.New(slog.NewJSONHandler(&buf, nil))
+	l := Throttled(base, time.Hour, 2)
+	for i := 0; i < 10; i++ {
+		l.Warn("write failed", "conn", i)
+	}
+	// A different message has its own budget.
+	l.Warn("handshake failed")
+	out := buf.String()
+	if got := strings.Count(out, "write failed"); got != 2 {
+		t.Errorf("emitted %d 'write failed' records, want burst of 2\n%s", got, out)
+	}
+	if !strings.Contains(out, "handshake failed") {
+		t.Errorf("distinct message was throttled:\n%s", out)
+	}
+}
+
+func TestThrottledReportsSuppressed(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.New(slog.NewJSONHandler(&buf, nil))
+	l := Throttled(base, 20*time.Millisecond, 1)
+	l.Warn("flap")
+	for i := 0; i < 5; i++ {
+		l.Warn("flap")
+	}
+	// Wait out the window; the next record reopens it and reports the
+	// 5 suppressed ones.
+	time.Sleep(30 * time.Millisecond)
+	l.Warn("flap")
+	out := buf.String()
+	if got := strings.Count(out, `"msg":"flap"`); got != 2 {
+		t.Fatalf("emitted %d records, want 2:\n%s", got, out)
+	}
+	if !strings.Contains(out, `"suppressed":5`) {
+		t.Errorf("reopening record missing suppressed count:\n%s", out)
+	}
+}
+
+func TestThrottledSharedAcrossWith(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.New(slog.NewJSONHandler(&buf, nil))
+	l := Throttled(base, time.Hour, 1)
+	l.Warn("shared")
+	// A derived logger shares the budget — With must not reset it.
+	l.With("conn", 7).Warn("shared")
+	l.WithGroup("g").Warn("shared")
+	if got := strings.Count(buf.String(), "shared"); got != 1 {
+		t.Errorf("derived loggers bypassed the shared budget (%d records):\n%s", got, buf.String())
+	}
+}
+
+func TestThrottledDefaults(t *testing.T) {
+	// Zero interval/burst normalise instead of dividing by zero or
+	// suppressing everything; nil logger falls back to slog.Default.
+	l := Throttled(nil, 0, 0)
+	l.Info("once") // must not panic
+}

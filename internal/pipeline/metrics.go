@@ -46,10 +46,10 @@ type Metrics struct {
 
 	// Allocation hot path: pooled-buffer and intern-table counters,
 	// mirrored from the bgp/mrt package totals by SyncHotPath.
-	poolGets   *obs.Counter
-	poolReuses *obs.Counter
-	poolGrows  *obs.Counter
-	poolBytes  *obs.Counter
+	poolGets     *obs.Counter
+	poolReuses   *obs.Counter
+	poolGrows    *obs.Counter
+	poolBytes    *obs.Counter
 	internHits   *obs.Counter
 	internMisses *obs.Counter
 	// poolBatchBytes is the pooled bytes decoded between SyncHotPath
@@ -270,6 +270,22 @@ func clampSeconds(d time.Duration) float64 {
 		return 0
 	}
 	return d.Seconds()
+}
+
+// StageSummaries returns count/sum/quantile summaries of the pipeline
+// stage histograms, keyed by stage name — the /statusz view of
+// pipeline_stage_seconds. A nil receiver returns nil.
+func (m *Metrics) StageSummaries() map[string]obs.HistogramSummary {
+	if m == nil {
+		return nil
+	}
+	m.init()
+	return map[string]obs.HistogramSummary{
+		"decode": m.decodeSeconds.Summary(),
+		"build":  m.buildSeconds.Summary(),
+		"merge":  m.mergeSeconds.Summary(),
+		"detect": m.detectSeconds.Summary(),
+	}
 }
 
 // Snapshot returns the counters as a flat map, expvar style. The keys and

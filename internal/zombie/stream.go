@@ -34,6 +34,11 @@ type StreamDetector struct {
 	// pending detection checks, time-ordered.
 	checks checkQueue
 	now    time.Time
+
+	// ingestNanos is the stamp of the record currently being processed,
+	// set by SetIngestStamp before Advance/Observe and copied onto every
+	// ZombieEvent fired while it is current.
+	ingestNanos int64
 }
 
 // ZombieEvent is an emitted real-time detection.
@@ -50,6 +55,11 @@ type ZombieEvent struct {
 	// Resurrected marks a route that was withdrawn and came back without
 	// a new beacon announcement before the check fired.
 	Resurrected bool
+	// IngestNanos is the monotonic process-clock stamp (obs.Nanos) of the
+	// record whose Advance fired this detection — the latency-provenance
+	// anchor carried through to the published alert. Zero when the driver
+	// did not stamp (batch replays).
+	IngestNanos int64
 }
 
 type streamKey struct {
@@ -189,6 +199,7 @@ func (sd *StreamDetector) fire(check pendingCheck) {
 			}
 		}
 		ev := ZombieEvent{
+			IngestNanos: sd.ingestNanos,
 			Peer:        k.peer,
 			Prefix:      iv.Prefix,
 			Interval:    iv,
@@ -211,3 +222,10 @@ func (sd *StreamDetector) fire(check pendingCheck) {
 
 // PendingChecks reports how many interval checks have not fired yet.
 func (sd *StreamDetector) PendingChecks() int { return len(sd.checks) }
+
+// SetIngestStamp records the monotonic ingest stamp (obs.Nanos) of the
+// record about to be fed through Advance/Observe. Detections fired while
+// the stamp is current carry it as ZombieEvent.IngestNanos, so alert
+// latency can be measured end to end from the moment the triggering
+// record entered the process.
+func (sd *StreamDetector) SetIngestStamp(nanos int64) { sd.ingestNanos = nanos }
