@@ -6,10 +6,14 @@
 // repo root). A sub-benchmark fails the gate when it regresses more than
 // the baseline's tolerance_pct.
 //
-// allocs/op and B/op are deterministic properties of the code and are
-// checked everywhere. ns/op depends on the machine, so it is only checked
-// when the run's `cpu:` line matches the baseline's recorded cpu string
-// (override with -force-time to check it regardless).
+// allocs/op is a deterministic property of the code and is checked
+// everywhere; B/op is checked when the baseline opts in (check_bytes).
+// ns/op depends on the machine, so it is only checked when the run's
+// `cpu:` line matches the baseline's recorded cpu string (override with
+// -force-time to check it regardless). Baselines may also carry
+// parallel-speedup ratio gates (speedups), which apply only on a machine
+// whose runtime.NumCPU matches the gate's recorded core count and are
+// reported and skipped otherwise.
 //
 // Usage:
 //
@@ -40,7 +44,8 @@ func main() {
 	// Core-count drift shifts parallel benchmarks even on a matching cpu
 	// string (CI runners carve containers out of the same silicon with
 	// different quotas), so it is reported for the record but never fails
-	// the gate — the cpu-string match still decides whether ns/op counts.
+	// the median gates — the cpu-string match still decides whether ns/op
+	// counts, and speedup ratio gates self-skip on the mismatch.
 	if base.NumCPU > 0 && base.NumCPU != runtime.NumCPU() {
 		fmt.Printf("benchcheck: note: running on %d CPUs, baseline recorded on %d\n",
 			runtime.NumCPU(), base.NumCPU)
@@ -60,7 +65,10 @@ func main() {
 		fatalf("benchcheck: %v", err)
 	}
 
-	report, ok := benchstat.Compare(base, run, *forceTime)
+	report, ok := benchstat.Compare(base, run, benchstat.Options{
+		ForceTime: *forceTime,
+		NumCPU:    runtime.NumCPU(),
+	})
 	fmt.Print(report)
 	if !ok {
 		os.Exit(1)

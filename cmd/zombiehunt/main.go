@@ -70,6 +70,7 @@ func run(args []string, w io.Writer) (err error) {
 		dotOut     = fs.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
 		jsonOut    = fs.Bool("json", false, "emit the report as one JSON document on stdout instead of text")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "pipeline workers for decode/detection (0 = sequential; the report is identical either way)")
+		useMmap    = fs.Bool("mmap", true, "mmap the archive files and decode zero-copy instead of loading them into memory (the report is identical either way)")
 		traceOut   = fs.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
 		progress   = fs.Duration("progress", 0, "log a pipeline progress heartbeat to stderr at this interval (0 disables)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -148,19 +149,45 @@ func run(args []string, w io.Writer) (err error) {
 		return fmt.Errorf("no beacon intervals in [%s, %s]", from, to)
 	}
 
-	set, err := archive.Load(*archiveDir)
-	if err != nil {
-		return err
-	}
-	updates, dumps := set.Updates, set.Dumps
-	if !*jsonOut {
-		fmt.Fprintf(w, "archive: %d collectors, %d beacon intervals\n", len(updates), len(intervals))
-	}
-
 	det := &zombie.Detector{Threshold: *threshold, Parallelism: *parallel}
-	rep, err := det.Detect(updates, intervals)
-	if err != nil {
-		return err
+	var (
+		rep        *zombie.Report
+		dumps      map[string][]byte
+		collectors int
+	)
+	if *useMmap {
+		// Zero-copy path: each rotated file stays its own mmap segment and
+		// the pipeline decodes record-aligned chunks straight out of the
+		// mappings — no concatenated in-memory copy of the archive. The
+		// mappings stay pinned until the run is done (borrowed decode
+		// scratch aliases them only during the fold, but dump bytes are
+		// read during -lifespans).
+		ms, merr := archive.OpenMapped(*archiveDir)
+		if merr != nil {
+			return merr
+		}
+		defer ms.Close()
+		collectors = len(ms.Updates)
+		dumps = ms.Dumps
+		if !*jsonOut {
+			fmt.Fprintf(w, "archive: %d collectors, %d beacon intervals\n", collectors, len(intervals))
+		}
+		if rep, err = det.DetectStreams(ms.Updates, intervals); err != nil {
+			return err
+		}
+	} else {
+		set, lerr := archive.Load(*archiveDir)
+		if lerr != nil {
+			return lerr
+		}
+		collectors = len(set.Updates)
+		dumps = set.Dumps
+		if !*jsonOut {
+			fmt.Fprintf(w, "archive: %d collectors, %d beacon intervals\n", collectors, len(intervals))
+		}
+		if rep, err = det.Detect(set.Updates, intervals); err != nil {
+			return err
+		}
 	}
 
 	summary := zombie.Summarize(rep, zombie.NoisyConfig{}, 5)
@@ -172,7 +199,7 @@ func run(args []string, w io.Writer) (err error) {
 	}
 
 	if *jsonOut {
-		if err := writeJSONReport(w, len(updates), summary, lr); err != nil {
+		if err := writeJSONReport(w, collectors, summary, lr); err != nil {
 			return err
 		}
 	} else {

@@ -1,0 +1,67 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"zombiescope/internal/collector"
+)
+
+func TestOpenMappedMatchesLoad(t *testing.T) {
+	dir := t.TempDir()
+	f := collector.NewFleet()
+	f.Collector("rrc25").SetRotatePeriod(time.Hour)
+	feed(t, f, 4)
+	f.SnapshotRIBs(t0.Add(8 * time.Hour))
+	if err := WriteFleet(dir, f); err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	segs := ms.Updates["rrc25"]
+	if len(segs) != 4 {
+		t.Fatalf("mapped segments = %d, want 4 rotated files", len(segs))
+	}
+	var concat bytes.Buffer
+	for _, seg := range segs {
+		concat.Write(seg)
+	}
+	if !bytes.Equal(concat.Bytes(), set.Updates["rrc25"]) {
+		t.Error("mapped segments do not concatenate to the loaded stream")
+	}
+	if !bytes.Equal(ms.Dumps["rrc25"], set.Dumps["rrc25"]) {
+		t.Error("mapped dump differs from loaded dump")
+	}
+
+	mat := ms.Materialize()
+	if !bytes.Equal(mat.Updates["rrc25"], set.Updates["rrc25"]) {
+		t.Error("Materialize differs from Load")
+	}
+	if !bytes.Equal(mat.Dumps["rrc25"], set.Dumps["rrc25"]) {
+		t.Error("Materialize dump differs from Load")
+	}
+	// Materialized copies must survive Close.
+	ms.Close()
+	if len(mat.Updates["rrc25"]) == 0 {
+		t.Error("materialized copy lost after Close")
+	}
+}
+
+func TestOpenMappedErrors(t *testing.T) {
+	if _, err := OpenMapped(t.TempDir()); err == nil {
+		t.Error("empty archive dir accepted")
+	}
+	if _, err := OpenMapped("/nonexistent/archive"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

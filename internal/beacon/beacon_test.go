@@ -92,7 +92,7 @@ func TestDecodeAggregatorClockTable(t *testing.T) {
 			// slack) must NOT trigger re-anchoring.
 			name: "decode within skew slack stays in ref month",
 			addr: "10.23.222.42", // 1564202 s = June 19 02:30:02
-			ref:  ref,             // June 19 02:00:02
+			ref:  ref,            // June 19 02:00:02
 			want: time.Date(2024, 6, 19, 2, 30, 2, 0, time.UTC),
 			ok:   true,
 		},

@@ -34,6 +34,33 @@ type Baseline struct {
 	NumCPU       int               `json:"num_cpu,omitempty"`
 	TolerancePct float64           `json:"tolerance_pct"`
 	Baseline     map[string]Metric `json:"baseline"`
+	// CheckBytes gates bytes_per_op with the same rules as allocs_per_op
+	// (zero baseline = hard allocation-free fence, negative = opt-out).
+	// Off by default: B/op medians shift with benchtime amortization on
+	// benchmarks with one-time setup cost, so each baseline opts in only
+	// when its recorded bytes are stable under the CI command line. It is
+	// the fence of choice for zero-copy paths, where a reintroduced bulk
+	// copy moves B/op by orders of magnitude but allocs/op barely at all.
+	CheckBytes bool `json:"check_bytes,omitempty"`
+	// Speedups are parallel-speedup ratio gates checked in addition to
+	// the per-sub-benchmark medians.
+	Speedups []SpeedupGate `json:"speedups,omitempty"`
+}
+
+// SpeedupGate fences a parallel-speedup ratio: median ns/op of Base
+// divided by median ns/op of Fast must be at least MinRatio. Unlike a
+// single median, the ratio compares two measurements from the same run
+// on the same machine, so it holds across cpu models — but it is a
+// property of the core count (workers=4 cannot beat workers=1 on one
+// core), so the gate applies only when the running machine's CPU count
+// equals NumCPU (default: the baseline's num_cpu) and is reported and
+// skipped otherwise. A baseline may carry one gate per core count it
+// has been calibrated on; foreign-count gates self-skip.
+type SpeedupGate struct {
+	Fast     string  `json:"fast"` // e.g. "workers=4"
+	Base     string  `json:"base"` // e.g. "workers=1"
+	MinRatio float64 `json:"min_ratio"`
+	NumCPU   int     `json:"num_cpu,omitempty"`
 }
 
 // LoadBaseline reads and validates a baseline JSON file.
@@ -51,6 +78,11 @@ func LoadBaseline(path string) (*Baseline, error) {
 	}
 	if b.TolerancePct <= 0 {
 		b.TolerancePct = 20
+	}
+	for i, g := range b.Speedups {
+		if g.Fast == "" || g.Base == "" || g.MinRatio <= 0 {
+			return nil, fmt.Errorf("%s: speedups[%d] needs fast, base and a positive min_ratio", path, i)
+		}
 	}
 	return &b, nil
 }
@@ -150,15 +182,39 @@ func Median(samples []Metric) Metric {
 	}
 }
 
+// Options parameterizes Compare.
+type Options struct {
+	// ForceTime checks ns/op even when the run's cpu string does not
+	// match the baseline's.
+	ForceTime bool
+	// NumCPU is the running machine's core count (runtime.NumCPU()),
+	// used to decide which speedup gates apply. 0 skips every gate.
+	NumCPU int
+}
+
+// fullName resolves a baseline key to the full benchmark name: keys are
+// normally sub-benchmark names under base.Benchmark; a key that is
+// itself a full "Benchmark..." name fences a top-level benchmark,
+// letting one file cover a family of flat benchmarks.
+func fullName(base *Baseline, sub string) string {
+	if strings.HasPrefix(sub, "Benchmark") {
+		return sub
+	}
+	return "Benchmark" + strings.TrimPrefix(base.Benchmark, "Benchmark") + "/" + sub
+}
+
 // Compare checks a parsed run against the baseline and renders a report.
 // It returns ok=false when any fenced sub-benchmark is missing from the
-// run or regresses beyond the tolerance. ns/op is compared only when the
-// run's cpu matches the baseline's (or forceTime is set); allocs/op is
-// always compared, since allocation counts are machine-independent.
-func Compare(base *Baseline, run *Run, forceTime bool) (report string, ok bool) {
+// run or regresses beyond the tolerance, or a speedup gate is not met.
+// ns/op is compared only when the run's cpu matches the baseline's (or
+// opts.ForceTime is set); allocs/op is always compared, since allocation
+// counts are machine-independent. Speedup gates compare the run against
+// itself, so they do not need the cpu match — only the matching core
+// count.
+func Compare(base *Baseline, run *Run, opts Options) (report string, ok bool) {
 	var sb strings.Builder
 	ok = true
-	checkTime := forceTime || (base.CPU != "" && run.CPU == base.CPU)
+	checkTime := opts.ForceTime || (base.CPU != "" && run.CPU == base.CPU)
 	if !checkTime {
 		fmt.Fprintf(&sb, "benchcheck: cpu %q != baseline %q; checking allocs/op only\n", run.CPU, base.CPU)
 	}
@@ -171,13 +227,7 @@ func Compare(base *Baseline, run *Run, forceTime bool) (report string, ok bool) 
 
 	for _, sub := range subs {
 		want := base.Baseline[sub]
-		// Keys are normally sub-benchmark names under base.Benchmark; a
-		// key that is itself a full "Benchmark..." name fences a top-level
-		// benchmark, letting one file cover a family of flat benchmarks.
-		full := sub
-		if !strings.HasPrefix(full, "Benchmark") {
-			full = "Benchmark" + strings.TrimPrefix(base.Benchmark, "Benchmark") + "/" + sub
-		}
+		full := fullName(base, sub)
 		samples := run.Samples[full]
 		if len(samples) == 0 {
 			fmt.Fprintf(&sb, "FAIL %s: no samples in benchmark output\n", full)
@@ -185,30 +235,70 @@ func Compare(base *Baseline, run *Run, forceTime bool) (report string, ok bool) 
 			continue
 		}
 		med := Median(samples)
-		ok = checkAllocs(&sb, full, med.AllocsPerOp, want.AllocsPerOp, base.TolerancePct) && ok
+		ok = checkExact(&sb, full, "allocs/op", med.AllocsPerOp, want.AllocsPerOp, base.TolerancePct) && ok
+		if base.CheckBytes {
+			ok = checkExact(&sb, full, "B/op", med.BytesPerOp, want.BytesPerOp, base.TolerancePct) && ok
+		}
 		if checkTime {
 			ok = check(&sb, full, "ns/op", med.NsPerOp, want.NsPerOp, base.TolerancePct) && ok
 		}
 	}
+
+	for _, g := range base.Speedups {
+		ok = checkSpeedup(&sb, base, run, g, opts.NumCPU) && ok
+	}
 	return sb.String(), ok
 }
 
-// checkAllocs gates allocs/op. Unlike ns/op, a zero baseline is a real
-// fence — "this path is allocation-free" — so want == 0 fails on any
-// allocation instead of skipping. A negative want opts the field out.
-func checkAllocs(w io.Writer, name string, got, want, tolPct float64) bool {
+// checkSpeedup gates one parallel-speedup ratio, or skips it when the
+// core counts do not line up.
+func checkSpeedup(w io.Writer, base *Baseline, run *Run, g SpeedupGate, numCPU int) bool {
+	gateCPU := g.NumCPU
+	if gateCPU == 0 {
+		gateCPU = base.NumCPU
+	}
+	name := fmt.Sprintf("speedup %s vs %s", fullName(base, g.Fast), fullName(base, g.Base))
+	if gateCPU == 0 || numCPU == 0 || numCPU != gateCPU {
+		fmt.Fprintf(w, "skip %s: gate calibrated for %d CPUs, running on %d\n", name, gateCPU, numCPU)
+		return true
+	}
+	fast := run.Samples[fullName(base, g.Fast)]
+	slow := run.Samples[fullName(base, g.Base)]
+	if len(fast) == 0 || len(slow) == 0 {
+		fmt.Fprintf(w, "FAIL %s: no samples in benchmark output\n", name)
+		return false
+	}
+	fm, sm := Median(fast).NsPerOp, Median(slow).NsPerOp
+	if fm <= 0 {
+		fmt.Fprintf(w, "FAIL %s: non-positive ns/op median %v\n", name, fm)
+		return false
+	}
+	ratio := sm / fm
+	if ratio < g.MinRatio {
+		fmt.Fprintf(w, "FAIL %s: %.2fx, want >= %.2fx (%d CPUs)\n", name, ratio, g.MinRatio, gateCPU)
+		return false
+	}
+	fmt.Fprintf(w, "ok   %s: %.2fx (>= %.2fx, %d CPUs)\n", name, ratio, g.MinRatio, gateCPU)
+	return true
+}
+
+// checkExact gates a machine-independent metric (allocs/op, B/op).
+// Unlike ns/op, a zero baseline is a real fence — "this path is
+// allocation-free" — so want == 0 fails on any nonzero value instead of
+// skipping. A negative want opts the field out.
+func checkExact(w io.Writer, name, unit string, got, want, tolPct float64) bool {
 	if want < 0 {
 		return true
 	}
 	if want == 0 {
 		if got > 0 {
-			fmt.Fprintf(w, "FAIL %s: allocs/op %.0f vs baseline 0 (allocation-free fence)\n", name, got)
+			fmt.Fprintf(w, "FAIL %s: %s %.0f vs baseline 0 (allocation-free fence)\n", name, unit, got)
 			return false
 		}
-		fmt.Fprintf(w, "ok   %s: allocs/op 0 (allocation-free)\n", name)
+		fmt.Fprintf(w, "ok   %s: %s 0 (allocation-free)\n", name, unit)
 		return true
 	}
-	return check(w, name, "allocs/op", got, want, tolPct)
+	return check(w, name, unit, got, want, tolPct)
 }
 
 func check(w io.Writer, name, unit string, got, want, tolPct float64) bool {

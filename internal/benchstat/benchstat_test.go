@@ -79,7 +79,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, ok := Compare(testBaseline(), run, false)
+	report, ok := Compare(testBaseline(), run, Options{})
 	if !ok {
 		t.Errorf("want pass, got:\n%s", report)
 	}
@@ -97,7 +97,7 @@ func TestCompareFailsOnAllocRegression(t *testing.T) {
 	m := base.Baseline["workers=0"]
 	m.AllocsPerOp = 9000 // run's median 11465 is a +27% regression
 	base.Baseline["workers=0"] = m
-	report, ok := Compare(base, run, false)
+	report, ok := Compare(base, run, Options{})
 	if ok {
 		t.Errorf("want failure, got:\n%s", report)
 	}
@@ -116,12 +116,12 @@ func TestCompareSkipsTimeOnForeignCPU(t *testing.T) {
 	m := base.Baseline["workers=0"]
 	m.NsPerOp = 1 // wild time regression, must be ignored off-machine
 	base.Baseline["workers=0"] = m
-	report, ok := Compare(base, run, false)
+	report, ok := Compare(base, run, Options{})
 	if !ok {
 		t.Errorf("time must not be checked on a different cpu:\n%s", report)
 	}
 	// ...unless forced.
-	if _, ok := Compare(base, run, true); ok {
+	if _, ok := Compare(base, run, Options{ForceTime: true}); ok {
 		t.Error("force-time should fail on the time regression")
 	}
 }
@@ -133,7 +133,7 @@ func TestCompareFailsOnMissingSub(t *testing.T) {
 	}
 	base := testBaseline()
 	base.Baseline["workers=9"] = Metric{NsPerOp: 1, AllocsPerOp: 1}
-	report, ok := Compare(base, run, false)
+	report, ok := Compare(base, run, Options{})
 	if ok || !strings.Contains(report, "no samples") {
 		t.Errorf("missing sub-benchmark must fail:\n%s", report)
 	}
@@ -171,7 +171,7 @@ BenchmarkStoreScan-8 	      30	  24766478 ns/op	     120 B/op	       3 allocs/op
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, ok := Compare(base, run, false)
+	report, ok := Compare(base, run, Options{})
 	if !ok {
 		t.Fatalf("clean run failed the gate:\n%s", report)
 	}
@@ -180,7 +180,7 @@ BenchmarkStoreScan-8 	      30	  24766478 ns/op	     120 B/op	       3 allocs/op
 	}
 
 	base.Baseline["BenchmarkStoreScan"] = Metric{NsPerOp: 24766478, BytesPerOp: 120, AllocsPerOp: 1}
-	if report, ok := Compare(base, run, false); ok {
+	if report, ok := Compare(base, run, Options{}); ok {
 		t.Fatalf("allocs regression passed the gate:\n%s", report)
 	}
 }
@@ -199,13 +199,13 @@ func TestCompareZeroAllocFence(t *testing.T) {
 	clean := &Run{Samples: map[string][]Metric{
 		"BenchmarkObsCounter": {{NsPerOp: 10, AllocsPerOp: 0}},
 	}}
-	if report, ok := Compare(base, clean, false); !ok {
+	if report, ok := Compare(base, clean, Options{}); !ok {
 		t.Errorf("allocation-free run failed the zero fence:\n%s", report)
 	}
 	dirty := &Run{Samples: map[string][]Metric{
 		"BenchmarkObsCounter": {{NsPerOp: 10, AllocsPerOp: 1}},
 	}}
-	report, ok := Compare(base, dirty, false)
+	report, ok := Compare(base, dirty, Options{})
 	if ok {
 		t.Errorf("1 alloc/op passed a zero-alloc fence:\n%s", report)
 	}
@@ -214,8 +214,144 @@ func TestCompareZeroAllocFence(t *testing.T) {
 	}
 
 	base.Baseline["BenchmarkObsCounter"] = Metric{NsPerOp: 10, AllocsPerOp: -1}
-	if report, ok := Compare(base, dirty, false); !ok {
+	if report, ok := Compare(base, dirty, Options{}); !ok {
 		t.Errorf("negative want must skip the alloc check:\n%s", report)
+	}
+}
+
+// TestCompareBytesGateOptIn: bytes_per_op is gated only when the
+// baseline sets check_bytes — the fence of choice for zero-copy paths,
+// where a reintroduced bulk copy moves B/op by orders of magnitude.
+func TestCompareBytesGateOptIn(t *testing.T) {
+	base := &Baseline{
+		Benchmark:    "BenchmarkArchiveIngest",
+		TolerancePct: 20,
+		Baseline: map[string]Metric{
+			"mode=mmap": {NsPerOp: 1, BytesPerOp: 30000, AllocsPerOp: 380},
+		},
+	}
+	// A 100x B/op blow-up (the copy came back) with allocs in tolerance.
+	run := &Run{Samples: map[string][]Metric{
+		"BenchmarkArchiveIngest/mode=mmap": {{NsPerOp: 1, BytesPerOp: 3e6, AllocsPerOp: 385}},
+	}}
+	if report, ok := Compare(base, run, Options{}); !ok {
+		t.Errorf("check_bytes off must not gate B/op:\n%s", report)
+	}
+	base.CheckBytes = true
+	report, ok := Compare(base, run, Options{})
+	if ok {
+		t.Errorf("B/op blow-up passed an opted-in bytes gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL BenchmarkArchiveIngest/mode=mmap: B/op") {
+		t.Errorf("report missing B/op failure:\n%s", report)
+	}
+}
+
+// speedupRun builds a run where workers=4 is `ratio` times faster than
+// workers=1.
+func speedupRun(ratio float64) *Run {
+	return &Run{Samples: map[string][]Metric{
+		"BenchmarkPipelineDetect/workers=1": {{NsPerOp: 40e6, AllocsPerOp: 1}},
+		"BenchmarkPipelineDetect/workers=4": {{NsPerOp: 40e6 / ratio, AllocsPerOp: 1}},
+	}}
+}
+
+func speedupBaseline(gateCPU int) *Baseline {
+	return &Baseline{
+		Benchmark:    "BenchmarkPipelineDetect",
+		NumCPU:       1,
+		TolerancePct: 20,
+		Baseline: map[string]Metric{
+			"workers=1": {AllocsPerOp: 1},
+			"workers=4": {AllocsPerOp: 1},
+		},
+		Speedups: []SpeedupGate{
+			{Fast: "workers=4", Base: "workers=1", MinRatio: 2, NumCPU: gateCPU},
+		},
+	}
+}
+
+// TestCompareSpeedupGate: the ratio gate fails when the parallel
+// configuration is not MinRatio times faster — but only on a machine
+// with the gate's core count.
+func TestCompareSpeedupGate(t *testing.T) {
+	base := speedupBaseline(4)
+
+	report, ok := Compare(base, speedupRun(2.5), Options{NumCPU: 4})
+	if !ok {
+		t.Errorf("2.5x run failed a 2x gate:\n%s", report)
+	}
+	if !strings.Contains(report, "ok   speedup BenchmarkPipelineDetect/workers=4 vs BenchmarkPipelineDetect/workers=1: 2.50x") {
+		t.Errorf("report missing speedup line:\n%s", report)
+	}
+
+	report, ok = Compare(base, speedupRun(1.3), Options{NumCPU: 4})
+	if ok {
+		t.Errorf("1.3x run passed a 2x gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL speedup") || !strings.Contains(report, "1.30x, want >= 2.00x") {
+		t.Errorf("report missing speedup failure:\n%s", report)
+	}
+}
+
+// TestCompareSpeedupGateSkipsOnCPUMismatch: a gate calibrated for a core
+// count the running machine does not have is reported and skipped — no
+// machine can be asked to show a parallel speedup it cannot physically
+// produce.
+func TestCompareSpeedupGateSkipsOnCPUMismatch(t *testing.T) {
+	base := speedupBaseline(4)
+	// 1.0x "speedup" (no parallel win) on a single-core machine: gate
+	// must skip, not fail.
+	report, ok := Compare(base, speedupRun(1.0), Options{NumCPU: 1})
+	if !ok {
+		t.Errorf("foreign-core-count gate failed instead of skipping:\n%s", report)
+	}
+	if !strings.Contains(report, "skip speedup") || !strings.Contains(report, "calibrated for 4 CPUs, running on 1") {
+		t.Errorf("report missing skip note:\n%s", report)
+	}
+	// Unknown core count (0) also skips.
+	if report, ok := Compare(base, speedupRun(1.0), Options{}); !ok {
+		t.Errorf("unknown core count must skip the gate:\n%s", report)
+	}
+
+	// A gate with no explicit num_cpu inherits the baseline's (1 here):
+	// it applies on a 1-CPU machine.
+	base = speedupBaseline(0)
+	base.Speedups[0].MinRatio = 0.9 // parallel-overhead fence
+	if report, ok := Compare(base, speedupRun(1.0), Options{NumCPU: 1}); !ok {
+		t.Errorf("inherited-count gate did not apply:\n%s", report)
+	} else if !strings.Contains(report, "ok   speedup") {
+		t.Errorf("report missing inherited-count gate line:\n%s", report)
+	}
+	if _, ok := Compare(base, speedupRun(0.5), Options{NumCPU: 1}); ok {
+		t.Error("0.5x run passed a 0.9x overhead fence")
+	}
+}
+
+// TestCompareSpeedupGateMissingSamples: a gate over benchmarks absent
+// from the run fails loudly rather than vacuously passing.
+func TestCompareSpeedupGateMissingSamples(t *testing.T) {
+	base := speedupBaseline(4)
+	run := &Run{Samples: map[string][]Metric{
+		"BenchmarkPipelineDetect/workers=1": {{NsPerOp: 40e6, AllocsPerOp: 1}},
+	}}
+	report, ok := Compare(base, run, Options{NumCPU: 4})
+	if ok || !strings.Contains(report, "FAIL speedup") {
+		t.Errorf("missing fast samples must fail the gate:\n%s", report)
+	}
+}
+
+// TestLoadBaselineRejectsBadSpeedup: malformed gates are a config error.
+func TestLoadBaselineRejectsBadSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/b.json"
+	doc := `{"benchmark":"BenchmarkX","baseline":{"BenchmarkX":{"ns_per_op":1}},
+		"speedups":[{"fast":"workers=4","base":"","min_ratio":2}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("gate with empty base accepted")
 	}
 }
 

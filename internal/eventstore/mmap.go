@@ -1,49 +1,31 @@
 package eventstore
 
 import (
-	"io"
 	"os"
-	"sync/atomic"
+
+	"zombiescope/internal/mmapio"
 )
 
 // mapping is a refcounted read-only view of a segment file, either an
 // mmap (unix) or a heap copy (fallback). The store holds one reference;
 // every scan snapshot holds another, so compaction and retention can drop
-// a segment while scans over it finish.
+// a segment while scans over it finish. The machinery lives in
+// internal/mmapio and is shared with the archive ingest path.
 type mapping struct {
-	data  []byte
-	refs  atomic.Int32
-	unmap func()
+	m *mmapio.Mapping
 }
 
-func (m *mapping) acquire() { m.refs.Add(1) }
-
-func (m *mapping) release() {
-	if m.refs.Add(-1) == 0 && m.unmap != nil {
-		m.unmap()
-		m.unmap = nil
-	}
-}
+func (m *mapping) data() []byte { return m.m.Data }
+func (m *mapping) acquire()     { m.m.Acquire() }
+func (m *mapping) release()     { m.m.Release() }
 
 // mapFile maps [0, size) of f read-only. The file descriptor is not
 // retained (an mmap outlives its fd; the fallback copies). A failed mmap
 // degrades to the heap copy.
 func mapFile(f *os.File, size int64) (*mapping, error) {
-	if size == 0 {
-		m := &mapping{}
-		m.refs.Store(1)
-		return m, nil
-	}
-	if data, unmap, err := rawMap(f, size); err == nil {
-		m := &mapping{data: data, unmap: unmap}
-		m.refs.Store(1)
-		return m, nil
-	}
-	data := make([]byte, size)
-	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+	m, err := mmapio.MapFile(f, size)
+	if err != nil {
 		return nil, err
 	}
-	m := &mapping{data: data}
-	m.refs.Store(1)
-	return m, nil
+	return &mapping{m: m}, nil
 }

@@ -612,7 +612,7 @@ func mapSegment(path string, size int64, idx *segIndex, torn int64) (*segment, e
 	if err != nil {
 		return nil, fmt.Errorf("eventstore: map %s: %w", filepath.Base(path), err)
 	}
-	return &segment{path: path, size: size, idx: idx, data: mp.data, seg: mp, torn: torn}, nil
+	return &segment{path: path, size: size, idx: idx, data: mp.data(), seg: mp, torn: torn}, nil
 }
 
 // openSegment validates and (unless readOnly) repairs one segment file:

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// rawMap always fails on platforms without unix mmap; MapFile falls back
+// to reading the file into the heap.
+func rawMap(*os.File, int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("mmapio: mmap unsupported")
+}

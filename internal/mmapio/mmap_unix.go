@@ -1,6 +1,6 @@
 //go:build unix
 
-package eventstore
+package mmapio
 
 import (
 	"os"

@@ -1,0 +1,73 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenAndPin(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	want := bytes.Repeat([]byte("zombie"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data, want) {
+		t.Fatalf("mapped bytes differ: %d vs %d", len(m.Data), len(want))
+	}
+	// A borrower pin keeps the bytes valid past the opener's release.
+	m.Acquire()
+	slice := m.Data[6:12]
+	m.Release() // opener done
+	if string(slice) != "zombie" {
+		t.Fatalf("pinned slice corrupted: %q", slice)
+	}
+	m.Release() // borrower done; unmaps
+}
+
+func TestOpenEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Data))
+	}
+	m.Release()
+}
+
+func TestOpenDirectoryFails(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open(dir) should fail")
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release should panic")
+		}
+	}()
+	m.Release()
+}

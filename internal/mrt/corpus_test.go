@@ -108,11 +108,11 @@ func corpusSeeds(t testing.TB) map[string][]byte {
 	// The writer only emits the AS4 subtypes; hand-frame a legacy 2-byte-AS
 	// state change so the old code path has a seed too.
 	var legacy []byte
-	body := binary.BigEndian.AppendUint16(nil, 25091)          // peer AS
-	body = binary.BigEndian.AppendUint16(body, 12654)          // local AS
-	body = binary.BigEndian.AppendUint16(body, 0)              // ifindex
+	body := binary.BigEndian.AppendUint16(nil, 25091) // peer AS
+	body = binary.BigEndian.AppendUint16(body, 12654) // local AS
+	body = binary.BigEndian.AppendUint16(body, 0)     // ifindex
 	body = binary.BigEndian.AppendUint16(body, uint16(bgp.AFIIPv4))
-	body = append(body, 192, 0, 2, 1, 192, 0, 2, 2)            // peer, local
+	body = append(body, 192, 0, 2, 1, 192, 0, 2, 2) // peer, local
 	body = binary.BigEndian.AppendUint16(body, uint16(StateActive))
 	body = binary.BigEndian.AppendUint16(body, uint16(StateEstablished))
 	legacy = binary.BigEndian.AppendUint32(legacy, uint32(ts.Unix()))

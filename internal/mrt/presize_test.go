@@ -1,0 +1,87 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+)
+
+func makeStream(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	for i := 0; i < n; i++ {
+		u := &bgp.Update{NLRI: []netip.Prefix{netip.MustParsePrefix("93.175.146.0/24")}}
+		u.Attrs.ASPath = bgp.NewASPath(64500, 3333, 12654)
+		data, err := u.AppendWireFormat(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.Write(&BGP4MPMessage{
+			Timestamp: time.Date(2024, 6, 10, 12, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+			PeerAS:    64500,
+			LocalAS:   12654,
+			AFI:       bgp.AFIIPv4,
+			PeerIP:    netip.AddrFrom4([4]byte{192, 0, 2, 1}),
+			LocalIP:   netip.AddrFrom4([4]byte{192, 0, 2, 2}),
+			Data:      data,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestReadAllPresizesExactly(t *testing.T) {
+	const n = 500
+	data := makeStream(t, n)
+	recs, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("decoded %d records, want %d", len(recs), n)
+	}
+	// The header-walk first pass counts records exactly, so the append
+	// loop fills the slice without a single regrow.
+	if cap(recs) != n {
+		t.Errorf("result capacity %d, want exactly %d (presize missed)", cap(recs), n)
+	}
+}
+
+func TestCountRecordsStopsAtBadFraming(t *testing.T) {
+	data := makeStream(t, 10)
+	trunc := data[:len(data)-3]
+	r := bytes.NewReader(trunc)
+	if got := countRecords(r, r.Size()); got != 9 {
+		t.Errorf("countRecords on truncated stream = %d, want 9", got)
+	}
+	recs, err := ReadAll(bytes.NewReader(trunc))
+	if err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if len(recs) != 9 {
+		t.Errorf("decoded %d records before the error, want 9", len(recs))
+	}
+}
+
+// plainReader hides ReadAt/Len so ReadAll takes the unsized path.
+type plainReader struct{ r io.Reader }
+
+func (p plainReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+
+func TestReadAllUnsizedReaderStillWorks(t *testing.T) {
+	const n = 100
+	data := makeStream(t, n)
+	recs, err := ReadAll(plainReader{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("decoded %d records, want %d", len(recs), n)
+	}
+}

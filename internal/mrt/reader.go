@@ -126,11 +126,55 @@ func DecodeRecord(ts time.Time, typ, subtype uint16, body []byte) (Record, error
 	return d.Decode(ts, typ, subtype, body)
 }
 
-// ReadAll decodes every record from r.
+// sizedReaderAt is what ReadAll needs to count records up front without
+// disturbing the read cursor (bytes.Reader, io.SectionReader, ...).
+type sizedReaderAt interface {
+	io.ReaderAt
+	Size() int64
+}
+
+// countRecords walks the MRT common headers of r via ReadAt and returns
+// how many well-framed records the stream holds. The walk stops at the
+// first framing irregularity — the count is only a capacity hint, the
+// decode loop re-validates everything.
+func countRecords(r sizedReaderAt, size int64) int {
+	var h [HeaderLen]byte
+	n := 0
+	off := int64(0)
+	for off+HeaderLen <= size {
+		if _, err := r.ReadAt(h[:], off); err != nil {
+			break
+		}
+		length := binary.BigEndian.Uint32(h[8:])
+		if length > MaxRecordLen || off+HeaderLen+int64(length) > size {
+			break
+		}
+		off += HeaderLen + int64(length)
+		n++
+	}
+	return n
+}
+
+// ReadAll decodes every record from r. When r can report its size the
+// result slice is pre-sized — exactly, via a header-walk first pass, when
+// r also supports ReadAt — so the append loop never reallocates; the
+// Reader's header and body scratch are reused across records either way.
 func ReadAll(r io.Reader) ([]Record, error) {
 	rd := NewReader(r)
 	defer rd.Release()
 	var out []Record
+	if sr, ok := r.(sizedReaderAt); ok {
+		if n := countRecords(sr, sr.Size()); n > 0 {
+			out = make([]Record, 0, n)
+		}
+	} else if lr, ok := r.(interface{ Len() int }); ok {
+		// Sized hint only: a record is at least HeaderLen bytes, typical
+		// update records run tens of bytes, so size/64 seeds the geometric
+		// growth close to the final count without overcommitting.
+		if c := lr.Len() / 64; c > 0 {
+			out = make([]Record, 0, c)
+		}
+	}
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {

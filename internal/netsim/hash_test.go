@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"testing"
+)
+
+// fnvHashesMatchStdlib: the inlined FNV-1a helpers must agree with
+// hash/fnv bit for bit — link delays and fault draws (and therefore every
+// golden scenario output) depend on these exact values.
+func TestFnvHashesMatchStdlib(t *testing.T) {
+	ref64 := func(parts ...uint64) uint64 {
+		h := fnv.New64a()
+		var b [8]byte
+		for _, p := range parts {
+			for i := 0; i < 8; i++ {
+				b[i] = byte(p >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+		return h.Sum64()
+	}
+	for _, parts := range [][]uint64{
+		{},
+		{0},
+		{1, 2, 3},
+		{0xdeadbeefcafe, 0x11d, 1<<64 - 1},
+	} {
+		if got, want := hash64(parts...), ref64(parts...); got != want {
+			t.Errorf("hash64(%v) = %#x, want %#x", parts, got, want)
+		}
+	}
+
+	for _, p := range []netip.Prefix{
+		netip.MustParsePrefix("84.205.64.0/24"),
+		netip.MustParsePrefix("2a0d:3dc1:1200::/48"),
+		netip.MustParsePrefix("0.0.0.0/0"),
+	} {
+		a := p.Addr().As16()
+		h := fnv.New64a()
+		h.Write(a[:])
+		h.Write([]byte{byte(p.Bits())})
+		if got, want := prefixHash(p), h.Sum64(); got != want {
+			t.Errorf("prefixHash(%v) = %#x, want %#x", p, got, want)
+		}
+	}
+
+	for _, s := range []string{"", "rrc00", "route-views2"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := hashString(s), h.Sum64(); got != want {
+			t.Errorf("hashString(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}

@@ -19,9 +19,7 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
-	"hash/fnv"
 	"net/netip"
 	"time"
 
@@ -104,7 +102,7 @@ type Simulator struct {
 	routers map[bgp.ASN]*router
 	rov     map[bgp.ASN]rpki.ROVPolicy
 
-	queue   eventQueue
+	queue   minHeap[event]
 	seq     uint64
 	now     time.Time
 	started bool
@@ -168,31 +166,25 @@ func (s *Simulator) AddCollectorSession(sess Session) error {
 	return nil
 }
 
-// event is one scheduled action.
+// event is one scheduled action. Events are stored by value in the heap,
+// with the instant kept as Unix nanoseconds: scheduling allocates the
+// closure only, never an event box, and the heap's hot compare-and-swap
+// loop moves 24-byte single-pointer elements with an integer comparison
+// instead of 40-byte time.Time pairs. UnixNano round-trips every instant
+// the simulator handles (wall-clock dates well inside the int64 range),
+// so the (at, seq) pop order is exactly the original one.
 type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
+	atNanos int64
+	seq     uint64
+	fn      func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+// before is the event queue order: time, then scheduling sequence.
+func (e event) before(o event) bool {
+	if e.atNanos != o.atNanos {
+		return e.atNanos < o.atNanos
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 func (s *Simulator) schedule(at time.Time, fn func()) {
@@ -200,20 +192,21 @@ func (s *Simulator) schedule(at time.Time, fn func()) {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	s.queue.push(event{atNanos: at.UnixNano(), seq: s.seq, fn: fn})
 }
 
 // Run processes events until the queue is empty or the next event is after
 // `until`. It returns the number of events processed.
 func (s *Simulator) Run(until time.Time) int {
 	s.started = true
+	untilNanos := until.UnixNano()
 	n := 0
-	for s.queue.Len() > 0 {
-		if s.queue[0].at.After(until) {
+	for s.queue.len() > 0 {
+		if s.queue.peek().atNanos > untilNanos {
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
+		ev := s.queue.pop()
+		s.now = time.Unix(0, ev.atNanos).UTC()
 		ev.fn()
 		n++
 		s.stats.Events++
@@ -228,9 +221,9 @@ func (s *Simulator) Run(until time.Time) int {
 func (s *Simulator) RunAll() int {
 	s.started = true
 	n := 0
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
+	for s.queue.len() > 0 {
+		ev := s.queue.pop()
+		s.now = time.Unix(0, ev.atNanos).UTC()
 		ev.fn()
 		n++
 		s.stats.Events++
@@ -238,24 +231,37 @@ func (s *Simulator) RunAll() int {
 	return n
 }
 
+// FNV-1a, computed inline: these run on every message send and every
+// fault decision, and the hash/fnv API costs a hasher allocation per
+// call. The constants and byte order match hash/fnv exactly, so delays
+// and fault draws are bit-identical to the original implementation
+// (fnvHashesMatchStdlib in the tests pins this).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func hash64(parts ...uint64) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
+	h := uint64(fnvOffset64)
 	for _, p := range parts {
 		for i := 0; i < 8; i++ {
-			b[i] = byte(p >> (8 * i))
+			h ^= uint64(byte(p >> (8 * i)))
+			h *= fnvPrime64
 		}
-		h.Write(b[:])
 	}
-	return h.Sum64()
+	return h
 }
 
 func prefixHash(p netip.Prefix) uint64 {
 	a := p.Addr().As16()
-	h := fnv.New64a()
-	h.Write(a[:])
-	h.Write([]byte{byte(p.Bits())})
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for _, b := range a {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	h ^= uint64(byte(p.Bits()))
+	h *= fnvPrime64
+	return h
 }
 
 // linkDelay returns the deterministic propagation delay for a directed AS
@@ -277,9 +283,12 @@ func (s *Simulator) collectorSessionDelay(sess Session) time.Duration {
 }
 
 func hashString(str string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(str))
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(str); i++ {
+		h ^= uint64(str[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // deliverAfter schedules a FIFO-ordered delivery on a directed link.

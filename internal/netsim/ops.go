@@ -64,8 +64,8 @@ func (s *Simulator) ScheduleCollectorSessionReset(at time.Time, sess Session) er
 		s.schedule(s.now.Add(30*time.Second), func() {
 			s.sinkOrNop().PeerState(s.now, sess, mrt.StateActive, mrt.StateEstablished)
 			s.stats.CollectorRecords++
-			for p, b := range r.best {
-				e := r.exportedRoute(b)
+			for _, p := range sortedPrefixes(r.best) {
+				e := r.exportedRoute(r.best[p])
 				r.collOut[p] = e
 				p := p
 				s.stats.MessagesSent++
@@ -85,8 +85,8 @@ func (s *Simulator) ScheduleCollectorSessionReset(at time.Time, sess Session) er
 // time-of-flight; non-enforcing and flawed (no-evict) ASes do nothing —
 // the behaviour the paper observes after removing its ROA.
 func (s *Simulator) ScheduleROARevalidation(at time.Time) {
-	for asn, policy := range s.rov {
-		if !policy.EvictsOnInvalidation() {
+	for _, asn := range sortedASNs(s.rov) {
+		if !s.rov[asn].EvictsOnInvalidation() {
 			continue
 		}
 		r := s.routers[asn]

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"net/netip"
+	"sort"
+
+	"zombiescope/internal/bgp"
+)
+
+// The simulator promises record-level determinism: two runs of one
+// scenario must emit byte-identical collector streams, and the sharded
+// engine's cross-shard merge inherits per-shard order. Go map iteration
+// order is randomized, so every place an event handler walks a map and
+// schedules per-entry work must walk it in canonical order instead —
+// otherwise same-instant events get sequence numbers in random order and
+// the archives differ run to run.
+
+// comparePrefix orders prefixes by (address, length), the canonical
+// prefix order of the simulator.
+func comparePrefix(a, b netip.Prefix) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	return a.Bits() - b.Bits()
+}
+
+// sortedPrefixes returns m's keys in canonical prefix order.
+func sortedPrefixes[V any](m map[netip.Prefix]V) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return comparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// sortedASNs returns m's keys in ascending ASN order.
+func sortedASNs[V any](m map[bgp.ASN]V) []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(m))
+	for asn := range m {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

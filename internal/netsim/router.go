@@ -53,6 +53,11 @@ type router struct {
 	sim *Simulator
 	asn bgp.ASN
 
+	// neighbors caches the sorted adjacency list: the graph is static for
+	// the simulator's lifetime and Neighbors() sorts a fresh slice per
+	// call, which export() would otherwise pay on every recompute.
+	neighbors []bgp.ASN
+
 	adjIn  map[netip.Prefix]map[bgp.ASN]*route
 	local  map[netip.Prefix]*route
 	best   map[netip.Prefix]*route
@@ -68,13 +73,14 @@ type router struct {
 
 func newRouter(s *Simulator, asn bgp.ASN) *router {
 	return &router{
-		sim:     s,
-		asn:     asn,
-		adjIn:   make(map[netip.Prefix]map[bgp.ASN]*route),
-		local:   make(map[netip.Prefix]*route),
-		best:    make(map[netip.Prefix]*route),
-		adjOut:  make(map[bgp.ASN]map[netip.Prefix]exported),
-		collOut: make(map[netip.Prefix]exported),
+		sim:       s,
+		asn:       asn,
+		neighbors: s.graph.AS(asn).Neighbors(),
+		adjIn:     make(map[netip.Prefix]map[bgp.ASN]*route),
+		local:     make(map[netip.Prefix]*route),
+		best:      make(map[netip.Prefix]*route),
+		adjOut:    make(map[bgp.ASN]map[netip.Prefix]exported),
+		collOut:   make(map[netip.Prefix]exported),
 	}
 }
 
@@ -156,7 +162,8 @@ func (r *router) hasRoute(p netip.Prefix) bool {
 // ghostWithdraw models the stuck-RIB fault: the router tells its neighbors
 // the route is gone but keeps it installed, priming a later resurrection.
 func (r *router) ghostWithdraw(p netip.Prefix) {
-	for n, out := range r.adjOut {
+	for _, n := range sortedASNs(r.adjOut) {
+		out := r.adjOut[n]
 		if _, ok := out[p]; ok {
 			delete(out, p)
 			r.sendWithdraw(n, p)
@@ -244,7 +251,7 @@ func (r *router) exportedRoute(b *route) exported {
 }
 
 func (r *router) export(p netip.Prefix, b *route) {
-	for _, n := range r.sim.graph.AS(r.asn).Neighbors() {
+	for _, n := range r.neighbors {
 		out := r.adjOut[n]
 		cur, has := exported{}, false
 		if out != nil {
@@ -356,8 +363,8 @@ func (r *router) sendCollectorWithdraw(p netip.Prefix) {
 func (r *router) flushFrom(n bgp.ASN) {
 	delete(r.adjOut, n)
 	var affected []netip.Prefix
-	for p, in := range r.adjIn {
-		if _, ok := in[n]; ok {
+	for _, p := range sortedPrefixes(r.adjIn) {
+		if _, ok := r.adjIn[p][n]; ok {
 			affected = append(affected, p)
 		}
 	}
@@ -375,7 +382,8 @@ func (r *router) flushFrom(n bgp.ASN) {
 // session (re-)establishment. This is the resurrection vector: a stuck
 // best route is advertised as if new.
 func (r *router) readvertiseTo(n bgp.ASN) {
-	for p, b := range r.best {
+	for _, p := range sortedPrefixes(r.best) {
+		b := r.best[p]
 		if b == nil || !r.exportAllowed(b, n) {
 			continue
 		}
@@ -401,9 +409,10 @@ func (r *router) revalidate() {
 		p    netip.Prefix
 		from bgp.ASN
 	}
-	for p, in := range r.adjIn {
-		for from, rt := range in {
-			origin, ok := rt.path.Origin()
+	for _, p := range sortedPrefixes(r.adjIn) {
+		in := r.adjIn[p]
+		for _, from := range sortedASNs(in) {
+			origin, ok := in[from].path.Origin()
 			if !ok {
 				continue
 			}
@@ -424,7 +433,7 @@ func (r *router) revalidate() {
 // intervention on a stuck router) and propagates the consequences.
 func (r *router) clearRoutes(match PrefixMatcher) {
 	var affected []netip.Prefix
-	for p := range r.adjIn {
+	for _, p := range sortedPrefixes(r.adjIn) {
 		if matches(match, p) {
 			affected = append(affected, p)
 		}

@@ -56,8 +56,8 @@ func (s *Simulator) sinkOrNop() Sink {
 // registered collector session at time at, so archives begin with explicit
 // session state as real collector archives do.
 func (s *Simulator) EstablishCollectorSessions(at time.Time) {
-	for _, sessions := range s.collSessions {
-		for _, sess := range sessions {
+	for _, peer := range sortedASNs(s.collSessions) {
+		for _, sess := range s.collSessions[peer] {
 			sess := sess
 			s.schedule(at, func() {
 				s.sinkOrNop().PeerState(s.now, sess, mrt.StateActive, mrt.StateEstablished)

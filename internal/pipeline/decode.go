@@ -123,24 +123,82 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 	newAcc func(fc FileChunk) A,
 	fn func(acc A, fc FileChunk, idx int, rec mrt.Record) error,
 ) (names []string, accs [][]A, err error) {
+	streams := make(map[string][][]byte, len(archives))
+	for name, data := range archives {
+		streams[name] = [][]byte{data}
+	}
+	return FoldStreams(e, streams, newAcc, fn)
+}
+
+// FoldStreams is FoldRecords over segmented streams: each archive is an
+// ordered list of byte segments (e.g. a collector's rotated update files,
+// mmapped individually by archive.OpenMapped) that together form one
+// logical MRT stream. Because records are self-delimiting and never span
+// segments, record indexes, chunk order, and error selection are identical
+// to folding the concatenated stream — without ever materializing the
+// concatenation. Chunk indexes run across segment boundaries, so
+// accumulators merge exactly as in FoldRecords.
+func FoldStreams[A any](e *Engine, streams map[string][][]byte,
+	newAcc func(fc FileChunk) A,
+	fn func(acc A, fc FileChunk, idx int, rec mrt.Record) error,
+) (names []string, accs [][]A, err error) {
 	start := time.Now()
 	m := e.metrics()
 	sp := e.span("pipeline.fold")
-	sp.SetArg("files", len(archives))
+	sp.SetArg("files", len(streams))
 	defer sp.End()
-	names = make([]string, 0, len(archives))
-	for name := range archives {
+	names = make([]string, 0, len(streams))
+	for name := range streams {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	// Stage 1: boundary scan. Cheap (headers only) but parallel anyway.
+	// Stage 1: boundary scan, one unit per segment. Cheap (headers only)
+	// but parallel anyway.
 	scanSp := sp.Start("pipeline.scan")
+	type segRef struct{ file, seg int }
+	var segRefs []segRef
+	for i, name := range names {
+		for j := range streams[name] {
+			segRefs = append(segRefs, segRef{file: i, seg: j})
+		}
+	}
+	segChunks := make([][][]chunk, len(names))
+	segErrs := make([][]*posError, len(names))
+	for i, name := range names {
+		segChunks[i] = make([][]chunk, len(streams[name]))
+		segErrs[i] = make([]*posError, len(streams[name]))
+	}
+	e.For(len(segRefs), func(k int) {
+		r := segRefs[k]
+		segChunks[r.file][r.seg], segErrs[r.file][r.seg] = scanChunks(streams[names[r.file]][r.seg], e.workers())
+	})
+	// Stitch segments into per-file chunk lists with stream-wide record
+	// numbering. A framing error stops the file's stream at its logical
+	// position, exactly as a sequential reader of the concatenation would;
+	// later segments of that file contribute nothing.
 	fileChunks := make([][]chunk, len(names))
 	scanErrs := make([]*posError, len(names))
-	e.For(len(names), func(i int) {
-		fileChunks[i], scanErrs[i] = scanChunks(archives[names[i]], e.workers())
-	})
+	segOfChunk := make([][]int, len(names)) // chunk index -> segment index
+	for i, name := range names {
+		recBase := 0
+		for j := range streams[name] {
+			segStart := recBase
+			for _, c := range segChunks[i][j] {
+				c.base += segStart // scanChunks numbered within the segment
+				fileChunks[i] = append(fileChunks[i], c)
+				segOfChunk[i] = append(segOfChunk[i], j)
+				recBase += c.records
+			}
+			if pe := segErrs[i][j]; pe != nil {
+				// pe.record counts every record scanned in the segment,
+				// including those inside emitted chunks; rebase onto the
+				// segment's first stream-wide record index.
+				scanErrs[i] = &posError{record: segStart + pe.record, err: pe.err}
+				break
+			}
+		}
+	}
 	scanSp.End()
 
 	// Stage 2: concurrent chunk decode + fold.
@@ -151,8 +209,9 @@ func FoldRecords[A any](e *Engine, archives map[string][]byte,
 	var tasks []task
 	fileBase := 0
 	for i, name := range names {
-		data := archives[name]
+		segs := streams[name]
 		for j, c := range fileChunks[i] {
+			data := segs[segOfChunk[i][j]]
 			tasks = append(tasks, task{
 				fc:   FileChunk{Name: name, File: i, Chunk: j, Base: c.base, FileBase: fileBase},
 				data: data[c.off:c.end],

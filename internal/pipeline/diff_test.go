@@ -5,16 +5,19 @@
 package pipeline_test
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
 	"net/netip"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
 	"zombiescope/internal/beacon"
 	"zombiescope/internal/bgp"
 	"zombiescope/internal/collector"
+	"zombiescope/internal/mrt"
 	"zombiescope/internal/netsim"
 	"zombiescope/internal/topology"
 	"zombiescope/internal/zombie"
@@ -254,6 +257,150 @@ func TestParallelMatchesSequential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// splitStream cuts an MRT byte stream into nseg record-aligned segments
+// of roughly equal size, so the streams-based builders see real
+// multi-segment input.
+func splitStream(t *testing.T, data []byte, nseg int) [][]byte {
+	t.Helper()
+	var bounds []int
+	pos := 0
+	for pos < len(data) {
+		length := binary.BigEndian.Uint32(data[pos+8:])
+		pos += mrt.HeaderLen + int(length)
+		bounds = append(bounds, pos)
+	}
+	if len(bounds) < nseg {
+		nseg = len(bounds)
+	}
+	var segs [][]byte
+	start := 0
+	for s := 1; s <= nseg; s++ {
+		end := bounds[s*len(bounds)/nseg-1]
+		if end > start {
+			segs = append(segs, data[start:end])
+			start = end
+		}
+	}
+	return segs
+}
+
+// TestColumnarKernelMatchesRowSweep is the kernel differential: the same
+// history, evaluated by the row-sweep reference and by the batched
+// columnar kernel, across detector modes and worker counts, must produce
+// deep-equal reports. Randomized scenarios, 50 seeds.
+func TestColumnarKernelMatchesRowSweep(t *testing.T) {
+	const scenarios = 50
+	for seed := uint64(1); seed <= scenarios; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sc := genScenario(t, seed)
+			track := zombie.NewTrackSet(diffPrefixes(sc.intervals))
+			h, err := zombie.BuildHistory(sc.updates, track)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []struct {
+				name string
+				det  zombie.Detector
+			}{
+				{"default", zombie.Detector{}},
+				{"paths", zombie.Detector{RecordPaths: true}},
+				{"nosessions", zombie.Detector{IgnoreSessionState: true, RecordPaths: true}},
+				{"threshold30m", zombie.Detector{Threshold: 30 * time.Minute, RecordPaths: true}},
+			} {
+				rows := mode.det
+				want := rows.DetectFromHistoryRows(h, sc.intervals)
+				for _, par := range []int{0, 1, 2, 8} {
+					col := mode.det
+					col.Parallelism = par
+					if got := col.DetectFromHistory(h, sc.intervals); !reflect.DeepEqual(got, want) {
+						t.Errorf("%s, parallelism %d: columnar kernel diverges from row sweep", mode.name, par)
+					}
+				}
+				if t.Failed() {
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestStreamsBuildMatchesConcatenated: building from segmented streams
+// (the mmap ingest shape) must produce the identical History and Report
+// as building from each collector's concatenated stream.
+func TestStreamsBuildMatchesConcatenated(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sc := genScenario(t, seed)
+			track := zombie.NewTrackSet(diffPrefixes(sc.intervals))
+			want, err := zombie.BuildHistory(sc.updates, track)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams := make(map[string][][]byte, len(sc.updates))
+			for name, data := range sc.updates {
+				streams[name] = splitStream(t, data, 3)
+			}
+			for _, par := range diffParallelism {
+				h, err := zombie.BuildHistoryStreams(streams, track, par)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if !reflect.DeepEqual(h, want) {
+					t.Errorf("parallelism %d: streams History diverges from concatenated build", par)
+				}
+			}
+			seq := &zombie.Detector{RecordPaths: true}
+			wantRep, err := seq.Detect(sc.updates, sc.intervals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range diffParallelism {
+				d := &zombie.Detector{RecordPaths: true, Parallelism: par}
+				got, err := d.DetectStreams(streams, sc.intervals)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if !reflect.DeepEqual(got, wantRep) {
+					t.Errorf("parallelism %d: DetectStreams diverges from Detect", par)
+				}
+			}
+		})
+	}
+}
+
+// TestScalingBitIdentical pins worker-count independence while the
+// runtime itself is constrained: for each GOMAXPROCS in {1, 2, 8}, the
+// parallel history build and threshold sweep at workers 1/2/8 must be
+// bit-identical to the sequential results computed before any
+// GOMAXPROCS change.
+func TestScalingBitIdentical(t *testing.T) {
+	sc := genScenario(t, 99)
+	track := zombie.NewTrackSet(diffPrefixes(sc.intervals))
+	thresholds := []time.Duration{30 * time.Minute, 90 * time.Minute, 3 * time.Hour}
+	wantHist, err := zombie.BuildHistory(sc.updates, track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSweep := zombie.Sweep(wantHist, sc.intervals, thresholds, zombie.FilterOptions{})
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, par := range diffParallelism {
+			h, err := zombie.BuildHistoryParallel(sc.updates, track, par)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: %v", procs, par, err)
+			}
+			if !reflect.DeepEqual(h, wantHist) {
+				t.Errorf("GOMAXPROCS=%d workers=%d: History diverges", procs, par)
+			}
+			if sw := zombie.SweepParallel(h, sc.intervals, thresholds, zombie.FilterOptions{}, par); !reflect.DeepEqual(sw, wantSweep) {
+				t.Errorf("GOMAXPROCS=%d workers=%d: Sweep diverges", procs, par)
+			}
+		}
 	}
 }
 

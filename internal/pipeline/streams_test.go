@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"zombiescope/internal/mrt"
+)
+
+// splitAtRecords cuts an MRT stream into segments after the given record
+// counts, walking headers so every cut lands on a record boundary.
+func splitAtRecords(t *testing.T, data []byte, counts ...int) [][]byte {
+	t.Helper()
+	var segs [][]byte
+	pos, rec := 0, 0
+	start := 0
+	cut := 0
+	for pos < len(data) {
+		length := binary.BigEndian.Uint32(data[pos+8:])
+		pos += mrt.HeaderLen + int(length)
+		rec++
+		if cut < len(counts) && rec == counts[cut] {
+			segs = append(segs, data[start:pos])
+			start = pos
+			cut++
+		}
+	}
+	if start < len(data) {
+		segs = append(segs, data[start:])
+	}
+	return segs
+}
+
+type foldedRec struct {
+	FC  FileChunk
+	Idx int
+	TS  int64
+}
+
+func foldAll(t *testing.T, e *Engine, streams map[string][][]byte) ([]string, [][][]foldedRec, error) {
+	t.Helper()
+	names, accs, err := FoldStreams(e, streams,
+		func(FileChunk) *[]foldedRec { return new([]foldedRec) },
+		func(acc *[]foldedRec, fc FileChunk, idx int, rec mrt.Record) error {
+			*acc = append(*acc, foldedRec{FC: fc, Idx: idx, TS: rec.RecordTime().Unix()})
+			return nil
+		})
+	out := make([][][]foldedRec, len(accs))
+	for i, chunks := range accs {
+		out[i] = make([][]foldedRec, len(chunks))
+		for j, c := range chunks {
+			if c != nil {
+				out[i][j] = *c
+			}
+		}
+	}
+	return names, out, err
+}
+
+func TestFoldStreamsMatchesConcatenated(t *testing.T) {
+	a := makeUpdateArchive(t, 3000, 1)
+	b := makeUpdateArchive(t, 1700, 2)
+	concat := map[string][][]byte{
+		"rrc00": {a},
+		"rrc01": {b},
+	}
+	split := map[string][][]byte{
+		"rrc00": splitAtRecords(t, a, 400, 1100, 2999), // uneven segments, incl. a 1-record tail
+		"rrc01": splitAtRecords(t, b, 850),
+	}
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Workers: workers, Metrics: &Metrics{}}
+		wantNames, wantAccs, err := foldAll(t, e, concat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotNames, gotAccs, err := foldAll(t, e, split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantNames, gotNames) {
+			t.Fatalf("workers=%d: names %v vs %v", workers, gotNames, wantNames)
+		}
+		// Chunk boundaries differ (segments chunk independently), so
+		// compare the flattened per-file record sequences: indexes and
+		// timestamps must be identical, in identical order.
+		for i := range wantNames {
+			var want, got []foldedRec
+			for _, c := range wantAccs[i] {
+				for _, r := range c {
+					r.FC = FileChunk{} // chunk geometry intentionally differs
+					want = append(want, r)
+				}
+			}
+			for _, c := range gotAccs[i] {
+				for _, r := range c {
+					if r.FC.Name != wantNames[i] || r.FC.File != i {
+						t.Fatalf("workers=%d: wrong FileChunk identity %+v", workers, r.FC)
+					}
+					r.FC = FileChunk{}
+					got = append(got, r)
+				}
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d: %s: segmented fold diverges from concatenated fold", workers, wantNames[i])
+			}
+		}
+	}
+}
+
+func TestFoldStreamsChunkBasesAreStreamWide(t *testing.T) {
+	a := makeUpdateArchive(t, 2000, 3)
+	streams := map[string][][]byte{"rrc00": splitAtRecords(t, a, 700, 1400)}
+	e := &Engine{Workers: 2}
+	_, accs, err := foldAll(t, e, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for _, c := range accs[0] {
+		for _, r := range c {
+			if r.Idx != next {
+				t.Fatalf("record index %d, want %d (stream-wide numbering broken)", r.Idx, next)
+			}
+			next++
+		}
+	}
+	if next != 2000 {
+		t.Fatalf("folded %d records, want 2000", next)
+	}
+}
+
+func TestFoldStreamsErrorPositionSpansSegments(t *testing.T) {
+	a := makeUpdateArchive(t, 900, 1)
+	segs := splitAtRecords(t, a, 300, 600)
+	// Truncate the middle segment mid-record: the logical stream error
+	// position is 300 + the records surviving in segment 1.
+	whole := segs[1]
+	segs[1] = whole[:len(whole)-5]
+	surviving := 0
+	pos := 0
+	for pos+mrt.HeaderLen <= len(segs[1]) {
+		length := binary.BigEndian.Uint32(segs[1][pos+8:])
+		if pos+mrt.HeaderLen+int(length) > len(segs[1]) {
+			break
+		}
+		pos += mrt.HeaderLen + int(length)
+		surviving++
+	}
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Workers: workers, Metrics: &Metrics{}}
+		_, _, err := foldAll(t, e, map[string][][]byte{"rrc00": segs})
+		var fe *FileError
+		if !errors.As(err, &fe) {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if fe.Name != "rrc00" || fe.Record != 300+surviving {
+			t.Errorf("workers=%d: error at %s record %d, want rrc00 record %d",
+				workers, fe.Name, fe.Record, 300+surviving)
+		}
+		if !errors.Is(err, mrt.ErrTruncated) {
+			t.Errorf("workers=%d: %v does not wrap ErrTruncated", workers, err)
+		}
+	}
+}

@@ -94,6 +94,13 @@ func (g *Registry) sortEvents() {
 	g.sorted = true
 }
 
+// Seal sorts the event log eagerly so that subsequent Validate and
+// ActiveROAs calls are read-only and therefore safe for concurrent use —
+// until the next Add or Remove, which unseals the registry. The sharded
+// simulator seals the shared registry before fanning shards out onto
+// goroutines.
+func (g *Registry) Seal() { g.sortEvents() }
+
 // ActiveROAs returns the ROAs in force at time t.
 func (g *Registry) ActiveROAs(t time.Time) []ROA {
 	g.sortEvents()

@@ -183,6 +183,7 @@ func sealHistory(builders []*histBuilder) *History {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h.pairKeys = keys
 	h.events = make([]histEvent, total)
 	cursors := make(map[uint64]uint32, len(counts))
 	off := uint32(0)

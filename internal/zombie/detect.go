@@ -70,6 +70,26 @@ func (d *Detector) Detect(updates map[string][]byte, intervals []beacon.Interval
 	return d.DetectFromHistory(h, intervals), nil
 }
 
+// DetectStreams is Detect over segmented update streams (each collector's
+// rotated files as separate byte slices, e.g. archive.OpenMapped). The
+// report is identical to Detect over the concatenated streams; the
+// segments are consumed zero-copy.
+func (d *Detector) DetectStreams(streams map[string][][]byte, intervals []beacon.Interval) (*Report, error) {
+	prefixes := make([]netip.Prefix, 0, len(intervals))
+	seen := make(map[netip.Prefix]bool)
+	for _, iv := range intervals {
+		if !seen[iv.Prefix] {
+			seen[iv.Prefix] = true
+			prefixes = append(prefixes, iv.Prefix)
+		}
+	}
+	h, err := BuildHistoryStreams(streams, NewTrackSet(prefixes), d.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return d.DetectFromHistory(h, intervals), nil
+}
+
 // intervalResult is the outcome of evaluating one beacon interval.
 type intervalResult struct {
 	visible bool
@@ -77,9 +97,59 @@ type intervalResult struct {
 	pathObs []PathObservation
 }
 
-// evalInterval evaluates one interval against the history. It is shared by
-// the sequential and parallel paths of DetectFromHistory so the per-interval
-// semantics cannot drift between them.
+// peerDecision applies the per-(interval, peer) detection decision given
+// the state at the check instant (st) and — read only when RecordPaths —
+// the state at the withdrawal instant (pre). It is THE decision: both the
+// row-sweep evaluator and the columnar kernel call it, so the semantics
+// cannot drift between them.
+func (d *Detector) peerDecision(peer PeerID, iv beacon.Interval, st, pre State,
+	routes *[]Route, pathObs *[]PathObservation) {
+	var normalLen int
+	var normalPath bgp.ASPath
+	if d.RecordPaths && pre.Present {
+		normalLen = pre.Path.Length()
+		normalPath = pre.Path
+	}
+	if !st.Present {
+		if d.RecordPaths && normalLen > 0 {
+			*pathObs = append(*pathObs, PathObservation{
+				Peer: peer, Prefix: iv.Prefix, Interval: iv,
+				NormalLen: normalLen,
+			})
+		}
+		return
+	}
+	announcedAt := st.At
+	if st.Agg != nil {
+		if t, ok := beacon.DecodeAggregatorClock(st.Agg.Addr, st.At); ok {
+			announcedAt = t
+		}
+	}
+	dup := announcedAt.Before(iv.AnnounceAt.Add(-d.tolerance()))
+	*routes = append(*routes, Route{
+		Peer:        peer,
+		Prefix:      iv.Prefix,
+		Interval:    iv,
+		Path:        st.Path,
+		AnnouncedAt: announcedAt,
+		LastUpdate:  st.LastEvent,
+		Duplicate:   dup,
+	})
+	if d.RecordPaths {
+		*pathObs = append(*pathObs, PathObservation{
+			Peer: peer, Prefix: iv.Prefix, Interval: iv,
+			NormalLen:   normalLen,
+			ZombieLen:   st.Path.Length(),
+			Zombie:      true,
+			PathChanged: !st.Path.Equal(normalPath),
+			Duplicate:   dup,
+		})
+	}
+}
+
+// evalInterval evaluates one interval against the history by querying
+// every peer's state at the check instant — the row-sweep evaluator, kept
+// as the reference the columnar kernel is differentially tested against.
 func (d *Detector) evalInterval(h *History, iv beacon.Interval) intervalResult {
 	var res intervalResult
 	if h.SeenAnnounced(iv.Prefix, iv.AnnounceAt, iv.WithdrawAt) {
@@ -92,69 +162,48 @@ func (d *Detector) evalInterval(h *History, iv beacon.Interval) intervalResult {
 	}
 	for _, peer := range h.Peers() {
 		st := stateAt(peer, iv.Prefix, checkAt)
-		var normalLen int
-		var normalPath bgp.ASPath
+		var pre State
 		if d.RecordPaths {
-			pre := stateAt(peer, iv.Prefix, iv.WithdrawAt)
-			if pre.Present {
-				normalLen = pre.Path.Length()
-				normalPath = pre.Path
-			}
+			pre = stateAt(peer, iv.Prefix, iv.WithdrawAt)
 		}
-		if !st.Present {
-			if d.RecordPaths && normalLen > 0 {
-				res.pathObs = append(res.pathObs, PathObservation{
-					Peer: peer, Prefix: iv.Prefix, Interval: iv,
-					NormalLen: normalLen,
-				})
-			}
-			continue
-		}
-		announcedAt := st.At
-		if st.Agg != nil {
-			if t, ok := beacon.DecodeAggregatorClock(st.Agg.Addr, st.At); ok {
-				announcedAt = t
-			}
-		}
-		dup := announcedAt.Before(iv.AnnounceAt.Add(-d.tolerance()))
-		r := Route{
-			Peer:        peer,
-			Prefix:      iv.Prefix,
-			Interval:    iv,
-			Path:        st.Path,
-			AnnouncedAt: announcedAt,
-			LastUpdate:  st.LastEvent,
-			Duplicate:   dup,
-		}
-		res.routes = append(res.routes, r)
-		if d.RecordPaths {
-			res.pathObs = append(res.pathObs, PathObservation{
-				Peer: peer, Prefix: iv.Prefix, Interval: iv,
-				NormalLen:   normalLen,
-				ZombieLen:   st.Path.Length(),
-				Zombie:      true,
-				PathChanged: !st.Path.Equal(normalPath),
-				Duplicate:   dup,
-			})
-		}
+		d.peerDecision(peer, iv, st, pre, &res.routes, &res.pathObs)
 	}
 	return res
 }
 
-// DetectFromHistory runs detection over an already-built history. With
-// Parallelism > 1 the intervals are evaluated concurrently (the history is
-// read-only at this point) and the results merged in interval order, so the
-// report is identical to the sequential evaluation.
+// DetectFromHistory runs detection over an already-built history. The
+// columnar store goes through the batched kernel (detectColumnar), which
+// sweeps the event arena once in span order; the reference store falls
+// back to the row-sweep evaluator. With Parallelism > 1 the work is
+// spread over pipeline workers and merged deterministically, so the
+// report is identical for any store, kernel, and worker count — the
+// differential harness in internal/pipeline proves it.
 func (d *Detector) DetectFromHistory(h *History, intervals []beacon.Interval) *Report {
+	if h.ref != nil {
+		return d.DetectFromHistoryRows(h, intervals)
+	}
 	sp := obs.StartSpan("zombie.detect")
 	sp.SetArg("intervals", len(intervals))
 	sp.SetArg("threshold", d.threshold().String())
+	sp.SetArg("kernel", "columnar")
 	defer sp.End()
-	rep := &Report{
-		Threshold: d.threshold(),
-		Intervals: intervals,
-		Peers:     h.Peers(),
-	}
+	start := time.Now()
+	results := d.detectColumnar(h, intervals, sp)
+	pipeline.Default.AddIntervals(len(intervals))
+	pipeline.Default.ObserveDetect(time.Since(start))
+	return d.assemble(h, intervals, results)
+}
+
+// DetectFromHistoryRows runs detection with the row-sweep evaluator
+// (per-interval, per-peer StateAt walks) regardless of the history store.
+// It is the reference implementation the columnar kernel is proven
+// bit-identical to; production callers use DetectFromHistory.
+func (d *Detector) DetectFromHistoryRows(h *History, intervals []beacon.Interval) *Report {
+	sp := obs.StartSpan("zombie.detect")
+	sp.SetArg("intervals", len(intervals))
+	sp.SetArg("threshold", d.threshold().String())
+	sp.SetArg("kernel", "rows")
+	defer sp.End()
 	start := time.Now()
 	results := make([]intervalResult, len(intervals))
 	if d.Parallelism > 1 {
@@ -169,6 +218,17 @@ func (d *Detector) DetectFromHistory(h *History, intervals []beacon.Interval) *R
 	}
 	pipeline.Default.AddIntervals(len(intervals))
 	pipeline.Default.ObserveDetect(time.Since(start))
+	return d.assemble(h, intervals, results)
+}
+
+// assemble folds per-interval results into the Report, in interval order.
+// Shared by both kernels: the report shape depends only on the results.
+func (d *Detector) assemble(h *History, intervals []beacon.Interval, results []intervalResult) *Report {
+	rep := &Report{
+		Threshold: d.threshold(),
+		Intervals: intervals,
+		Peers:     h.Peers(),
+	}
 	for i, res := range results {
 		if res.visible {
 			rep.VisiblePrefixes++

@@ -48,6 +48,7 @@ type History struct {
 	prefixIdx map[netip.Prefix]uint32
 	events    []histEvent     // pair-event arena
 	pairs     map[uint64]span // pairKey -> slice of events
+	pairKeys  []uint64        // sorted pair keys: the arena's span order
 	sess      []histEvent     // session-event arena
 	sessSpans []span          // indexed by peer index; zero span = none
 	ref       *refHistory     // non-nil only for BuildHistoryReference

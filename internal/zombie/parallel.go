@@ -83,13 +83,31 @@ func BuildHistoryParallel(updates map[string][]byte, track TrackSet, parallelism
 	if parallelism <= 0 {
 		return BuildHistory(updates, track)
 	}
+	streams := make(map[string][][]byte, len(updates))
+	for name, data := range updates {
+		streams[name] = [][]byte{data}
+	}
+	return BuildHistoryStreams(streams, track, parallelism)
+}
+
+// BuildHistoryStreams is BuildHistoryParallel over segmented streams:
+// each collector's value is an ordered list of MRT segments (e.g. the
+// mmapped rotated files of archive.OpenMapped) forming one logical
+// stream. Record numbering and the resulting History are identical to
+// building from the concatenated streams — the segments are never
+// copied together. parallelism <= 0 runs inline on one worker, which
+// produces the same canonical History.
+func BuildHistoryStreams(streams map[string][][]byte, track TrackSet, parallelism int) (*History, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
 	sp := obs.StartSpan("zombie.build_history")
-	sp.SetArg("collectors", len(updates))
+	sp.SetArg("collectors", len(streams))
 	sp.SetArg("shards", parallelism)
 	defer sp.End()
 	e := &pipeline.Engine{Workers: parallelism, Trace: sp, Borrow: true}
 	nshards := parallelism
-	names, accs, err := pipeline.FoldRecords(e, updates,
+	names, accs, err := pipeline.FoldStreams(e, streams,
 		func(pipeline.FileChunk) *eventBuckets {
 			return &eventBuckets{shards: make([][]peerEvent, nshards)}
 		},
