@@ -8,7 +8,15 @@
 //	zombiehunt -archive ./archive -base 2a0d:3dc1::/32 -approach 15d \
 //	           -from 2024-06-10T11:30:00Z -to 2024-06-22T17:30:00Z \
 //	           [-threshold 90m] [-lifespans] [-dot palm.dot] [-schedule ris] [-json] \
+//	           [-detect all] \
 //	           [-trace trace.json] [-progress 5s] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -detect runs the pluggable anomaly framework alongside the beacon
+// methodology: "all" or a comma-separated subset of zombie, moas,
+// hyperspecific, community. Findings are reported per detector (and
+// under "anomalies" with -json). The anomaly detectors reconstruct a
+// track-all history — every prefix in the archive, not just beacon
+// prefixes — so expect more memory than the beacon-only run.
 //
 // -trace writes the run's span tree as Chrome trace-event JSON (open in
 // chrome://tracing or Perfetto) — decode, shard build, merge and interval
@@ -36,6 +44,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"zombiescope/internal/archive"
@@ -69,6 +79,11 @@ func run(args []string, w io.Writer) (err error) {
 		lifespans  = fs.Bool("lifespans", false, "track lifespans from RIB dumps")
 		dotOut     = fs.String("dot", "", "write the most impactful outbreak's palm-tree graph (Graphviz DOT) to this file")
 		jsonOut    = fs.Bool("json", false, "emit the report as one JSON document on stdout instead of text")
+		detect     = fs.String("detect", "", "run anomaly detectors over the archive: 'all' or a comma-separated subset of "+joinNames())
+		moasMin    = fs.Duration("moas-min", zombie.DefaultMOASMinDuration, "minimum concurrent-origin overlap for a MOAS conflict finding")
+		hyperMin   = fs.Duration("hyper-min", zombie.DefaultHyperMinDuration, "minimum visibility for a hyper-specific prefix finding")
+		stormMin   = fs.Int("storm-events", zombie.DefaultStormMinEvents, "community changes within -storm-window that constitute a noise storm")
+		stormWin   = fs.Duration("storm-window", zombie.DefaultStormWindow, "rate window for community-storm detection")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "pipeline workers for decode/detection (0 = sequential; the report is identical either way)")
 		useMmap    = fs.Bool("mmap", true, "mmap the archive files and decode zero-copy instead of loading them into memory (the report is identical either way)")
 		traceOut   = fs.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
@@ -154,6 +169,10 @@ func run(args []string, w io.Writer) (err error) {
 		rep        *zombie.Report
 		dumps      map[string][]byte
 		collectors int
+		// The archive bytes stay reachable for the optional -detect pass,
+		// in whichever form the ingest path produced them.
+		mappedUpdates map[string][][]byte
+		loadedUpdates map[string][]byte
 	)
 	if *useMmap {
 		// Zero-copy path: each rotated file stays its own mmap segment and
@@ -169,6 +188,7 @@ func run(args []string, w io.Writer) (err error) {
 		defer ms.Close()
 		collectors = len(ms.Updates)
 		dumps = ms.Dumps
+		mappedUpdates = ms.Updates
 		if !*jsonOut {
 			fmt.Fprintf(w, "archive: %d collectors, %d beacon intervals\n", collectors, len(intervals))
 		}
@@ -182,6 +202,7 @@ func run(args []string, w io.Writer) (err error) {
 		}
 		collectors = len(set.Updates)
 		dumps = set.Dumps
+		loadedUpdates = set.Updates
 		if !*jsonOut {
 			fmt.Fprintf(w, "archive: %d collectors, %d beacon intervals\n", collectors, len(intervals))
 		}
@@ -198,13 +219,48 @@ func run(args []string, w io.Writer) (err error) {
 		}
 	}
 
+	var anomalies *zombie.AnomalyReport
+	if *detect != "" {
+		var names []string
+		if *detect != "all" {
+			names = splitDetect(*detect)
+		}
+		dets, derr := zombie.BuildAnomalyDetectors(names, zombie.AnomalyConfig{
+			Intervals:        intervals,
+			Threshold:        *threshold,
+			MOASMinDuration:  *moasMin,
+			HyperMinDuration: *hyperMin,
+			StormMinEvents:   *stormMin,
+			StormWindow:      *stormWin,
+			Parallelism:      *parallel,
+		})
+		if derr != nil {
+			return derr
+		}
+		// Track-all history: the anomaly detectors see every prefix in the
+		// archive, not just beacon prefixes.
+		var h *zombie.History
+		if mappedUpdates != nil {
+			h, err = zombie.BuildHistoryStreams(mappedUpdates, nil, *parallel)
+		} else {
+			h, err = zombie.BuildHistoryParallel(loadedUpdates, nil, *parallel)
+		}
+		if err != nil {
+			return err
+		}
+		anomalies = zombie.RunAnomalyDetectors(h, zombie.Window{From: from, To: to}, dets, *parallel)
+	}
+
 	if *jsonOut {
-		if err := writeJSONReport(w, collectors, summary, lr); err != nil {
+		if err := writeJSONReport(w, collectors, summary, lr, anomalies); err != nil {
 			return err
 		}
 	} else {
 		fmt.Fprintln(w)
 		summary.Render(w)
+		if anomalies != nil {
+			renderAnomalies(w, anomalies)
+		}
 	}
 
 	if *dotOut != "" && len(summary.TopOutbreaks) > 0 {
@@ -233,6 +289,47 @@ func run(args []string, w io.Writer) (err error) {
 		}
 	}
 	return nil
+}
+
+// joinNames renders the registered detector names for the -detect usage
+// string.
+func joinNames() string {
+	return strings.Join(zombie.AnomalyDetectorNames(), ",")
+}
+
+// splitDetect parses the -detect list.
+func splitDetect(s string) []string {
+	var names []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// renderAnomalies prints the per-detector report sections.
+func renderAnomalies(w io.Writer, rep *zombie.AnomalyReport) {
+	fmt.Fprintf(w, "\nanomaly detectors (%d findings):\n", len(rep.Findings))
+	names := make([]string, 0, len(rep.ByDetector))
+	for name := range rep.ByDetector {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "\n[%s] %d findings\n", name, rep.ByDetector[name])
+		for _, a := range rep.Filter(name) {
+			fmt.Fprintf(w, "  %s %s", a.Kind, a.Prefix)
+			if a.Peer != (zombie.PeerID{}) {
+				fmt.Fprintf(w, " peer AS%d %s@%s", a.Peer.AS, a.Peer.Addr, a.Peer.Collector)
+			}
+			if len(a.Origins) > 0 {
+				fmt.Fprintf(w, " origins %v", a.Origins)
+			}
+			fmt.Fprintf(w, " [%s .. %s] %s\n",
+				a.Start.Format(time.RFC3339), a.End.Format(time.RFC3339), a.Detail)
+		}
+	}
 }
 
 // startCPUProfile begins CPU profiling into path and returns the stop
@@ -320,6 +417,26 @@ type jsonReport struct {
 	TopOutbreaks     []jsonOutbreak `json:"top_outbreaks"`
 	// Lifespans is present only with -lifespans.
 	Lifespans *jsonLifespans `json:"lifespans,omitempty"`
+	// Anomalies is present only with -detect.
+	Anomalies *jsonAnomalies `json:"anomalies,omitempty"`
+}
+
+type jsonAnomalies struct {
+	ByDetector map[string]int `json:"by_detector"`
+	Findings   []jsonAnomaly  `json:"findings"`
+}
+
+type jsonAnomaly struct {
+	Detector        string    `json:"detector"`
+	Kind            string    `json:"kind"`
+	Prefix          string    `json:"prefix"`
+	Peer            *jsonPeer `json:"peer,omitempty"`
+	Origins         []uint32  `json:"origins,omitempty"`
+	Start           time.Time `json:"start"`
+	End             time.Time `json:"end"`
+	LifespanMinutes float64   `json:"lifespan_minutes"`
+	Count           int       `json:"count"`
+	Detail          string    `json:"detail,omitempty"`
 }
 
 type jsonCounts struct {
@@ -384,8 +501,8 @@ func toUint32s(asns []bgp.ASN) []uint32 {
 }
 
 // writeJSONReport renders the machine-readable counterpart of
-// Summary.Render plus the lifespan section.
-func writeJSONReport(w io.Writer, collectors int, s *zombie.Summary, lr *zombie.LifespanReport) error {
+// Summary.Render plus the lifespan and anomaly sections.
+func writeJSONReport(w io.Writer, collectors int, s *zombie.Summary, lr *zombie.LifespanReport, anomalies *zombie.AnomalyReport) error {
 	r := jsonReport{
 		ThresholdMinutes: s.Threshold.Minutes(),
 		Collectors:       collectors,
@@ -437,6 +554,30 @@ func writeJSONReport(w io.Writer, collectors int, s *zombie.Summary, lr *zombie.
 			})
 		}
 		r.Lifespans = ls
+	}
+	if anomalies != nil {
+		ja := &jsonAnomalies{ByDetector: anomalies.ByDetector, Findings: []jsonAnomaly{}}
+		for _, a := range anomalies.Findings {
+			f := jsonAnomaly{
+				Detector:        a.Detector,
+				Kind:            a.Kind,
+				Prefix:          a.Prefix.String(),
+				Start:           a.Start,
+				End:             a.End,
+				LifespanMinutes: a.Lifespan().Minutes(),
+				Count:           a.Count,
+				Detail:          a.Detail,
+			}
+			if a.Peer != (zombie.PeerID{}) {
+				p := toJSONPeer(a.Peer)
+				f.Peer = &p
+			}
+			if len(a.Origins) > 0 {
+				f.Origins = toUint32s(a.Origins)
+			}
+			ja.Findings = append(ja.Findings, f)
+		}
+		r.Anomalies = ja
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

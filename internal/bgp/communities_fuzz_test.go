@@ -1,0 +1,61 @@
+package bgp
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// FuzzCommunities is the differential fuzz target for the COMMUNITIES
+// attribute: the allocating decoder and the scratch decoder must agree on
+// the decoded community list for every input (the scratch path reuses its
+// backing array across calls, so stale-state bugs surface here), and
+// whatever decodes must survive an encode/decode round trip unchanged.
+// Run with `go test -fuzz FuzzCommunities ./internal/bgp`; the committed
+// corpus under testdata/fuzz/FuzzCommunities is kept in sync by
+// TestFuzzSeedCorpus.
+func FuzzCommunities(f *testing.F) {
+	for _, seed := range communityCorpusSeeds(f) {
+		f.Add(seed.data)
+	}
+	// One scratch for the whole run: reuse across inputs is the production
+	// access pattern, and exactly where a missed reset would leak one
+	// message's communities into the next.
+	var scratch Scratch
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeUpdate(data)
+		su, serr := scratch.DecodeUpdate(data, DecodeBorrow|DecodeIntern)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("allocating and scratch decode disagree: %v vs %v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if !slices.Equal(u.Attrs.Communities, su.Attrs.Communities) {
+			t.Fatalf("community lists diverge:\nalloc:   %v\nscratch: %v",
+				u.Attrs.Communities, su.Attrs.Communities)
+		}
+		for _, c := range u.Attrs.Communities {
+			if s := c.String(); strings.Count(s, ":") != 1 {
+				t.Fatalf("community %#x renders as %q", uint32(c), s)
+			}
+			if NewCommunity(uint16(uint32(c)>>16), uint16(uint32(c))) != c {
+				t.Fatalf("community %#x does not survive a split/repack", uint32(c))
+			}
+		}
+		wire, err := u.AppendWireFormat(nil)
+		if err != nil {
+			// Not everything decodable re-encodes (see FuzzDecodeUpdate);
+			// an error is fine, a panic is not.
+			return
+		}
+		u2, err := DecodeUpdate(wire)
+		if err != nil {
+			t.Fatalf("re-encoded update does not decode: %v", err)
+		}
+		if !slices.Equal(u2.Attrs.Communities, u.Attrs.Communities) {
+			t.Fatalf("communities changed across round trip: %v -> %v",
+				u.Attrs.Communities, u2.Attrs.Communities)
+		}
+	})
+}

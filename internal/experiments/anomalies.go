@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/collector"
+	"zombiescope/internal/netsim"
+	"zombiescope/internal/topology"
+	"zombiescope/internal/zombie"
+)
+
+// Anomaly scenarios: one deterministic synthetic outbreak per anomaly
+// detector, sharing a single topology and beacon campaign so the
+// cross-scenario false-positive matrix is meaningful — every scenario
+// carries the same benign background, plus exactly one pathology. The
+// generator kinds are named after the detectors they target; "mixed"
+// combines the two live-path pathologies for the chaos streaming soak.
+
+// Anomaly scenario actor ASes. 100 originates the beacons and the stable
+// service prefixes; 200 and 300 are the collector peers; 400 hijacks;
+// 500 leaks hyper-specifics.
+const (
+	AnomalyOriginAS   bgp.ASN = 100
+	AnomalyPeer1AS    bgp.ASN = 200
+	AnomalyPeer2AS    bgp.ASN = 300
+	AnomalyHijackerAS bgp.ASN = 400
+	AnomalyLeakerAS   bgp.ASN = 500
+)
+
+// Stable prefixes outside the beacon base, one per pathology, so an
+// injection can never collide with a beacon interval.
+var (
+	AnomalyMOASPrefix  = netip.MustParsePrefix("2a0e:aaaa::/48")
+	AnomalyStormPrefix = netip.MustParsePrefix("2a0e:cccc::/48")
+	AnomalyLeakBase6   = netip.MustParsePrefix("2a0e:dddd::/48")
+	AnomalyLeakBase4   = netip.MustParsePrefix("198.51.100.0/24")
+)
+
+// AnomalyScenarioStart anchors every anomaly scenario; the beacon
+// campaign covers one day at a 6-hour stride, reproducible with
+// zombiehunt's author schedule flags (-approach 24h -origin 100
+// -stride 24 -from/-to on this day).
+var (
+	AnomalyScenarioStart = time.Date(2024, 6, 10, 0, 0, 0, 0, time.UTC)
+	AnomalyScenarioEnd   = AnomalyScenarioStart.Add(24 * time.Hour)
+	anomalyRunUntil      = AnomalyScenarioStart.Add(30 * time.Hour)
+)
+
+// AnomalySlotStride thins the author beacon grid to 4 slots/day.
+const AnomalySlotStride = 24
+
+// AnomalyKinds lists the generator kinds of the false-positive matrix,
+// in detector-name order. Each kind's scenario must trip exactly the
+// detector of the same name and no other.
+func AnomalyKinds() []string {
+	return []string{"community", "hyperspecific", "moas", "zombie"}
+}
+
+// AnomalyScenario is one generated outbreak: the archive, the beacon
+// ground truth, and the injected pathology's expected footprint.
+type AnomalyScenario struct {
+	Kind      string
+	Updates   map[string][]byte
+	Intervals []beacon.Interval
+	Window    zombie.Window
+	Graph     *topology.Graph
+
+	// Ground truth of the injected pathology (fields for other kinds are
+	// zero).
+	ZombiePrefix  netip.Prefix
+	MOASPrefix    netip.Prefix
+	MOASOrigins   []bgp.ASN
+	HyperPrefixes []netip.Prefix
+	StormPrefix   netip.Prefix
+	StormPeerAS   bgp.ASN
+}
+
+// buildAnomalyGraph wires the scenario topology: two tier-1s, three
+// transits, the origin, two collector-peer ASes, and the two bad actors
+// behind transit 12.
+func buildAnomalyGraph() (*topology.Graph, error) {
+	g := topology.New()
+	g.AddAS(1, "tier1-1", 1)
+	g.AddAS(2, "tier1-2", 1)
+	g.AddAS(10, "transit-10", 2)
+	g.AddAS(11, "transit-11", 2)
+	g.AddAS(12, "transit-12", 2)
+	g.AddAS(AnomalyOriginAS, "origin", 3)
+	g.AddAS(AnomalyPeer1AS, "peer-200", 3)
+	g.AddAS(AnomalyPeer2AS, "peer-300", 3)
+	g.AddAS(AnomalyHijackerAS, "hijacker", 3)
+	g.AddAS(AnomalyLeakerAS, "leaker", 3)
+	type link struct {
+		kind string
+		a, b bgp.ASN
+	}
+	links := []link{
+		{"p", 1, 2},
+		{"c", 10, 1}, {"c", 11, 1}, {"c", 11, 2}, {"c", 12, 2},
+		{"c", AnomalyOriginAS, 10},
+		{"c", AnomalyPeer1AS, 11},
+		{"c", AnomalyPeer2AS, 12},
+		{"c", AnomalyHijackerAS, 12},
+		{"c", AnomalyLeakerAS, 12},
+	}
+	for _, l := range links {
+		var err error
+		if l.kind == "c" {
+			err = g.AddC2P(l.a, l.b)
+		} else {
+			err = g.AddP2P(l.a, l.b)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RunAnomalyScenario generates the archive for one pathology kind. Every
+// kind shares the same benign beacon campaign (announced and withdrawn
+// cleanly, no faults); the kind decides the single injection layered on
+// top. Kinds: "zombie", "moas", "hyperspecific", "community", "mixed"
+// (moas + community, for the streaming chaos soak), and "all" (every
+// injection at once, for the differential determinism harness).
+func RunAnomalyScenario(kind string, seed uint64) (*AnomalyScenario, error) {
+	g, err := buildAnomalyGraph()
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.New(g, netsim.Config{Seed: seed})
+	fleet := collector.NewFleet()
+	sim.SetSink(fleet)
+
+	sessions := []netsim.Session{
+		{Collector: "rrc00", PeerAS: AnomalyPeer1AS, PeerIP: netip.MustParseAddr("2001:db8:feed::200"), AFI: bgp.AFIIPv6},
+		{Collector: "rrc00", PeerAS: AnomalyPeer1AS, PeerIP: netip.MustParseAddr("192.0.2.200"), AFI: bgp.AFIIPv4},
+		{Collector: "rrc01", PeerAS: AnomalyPeer2AS, PeerIP: netip.MustParseAddr("2001:db8:feed::300"), AFI: bgp.AFIIPv6},
+		{Collector: "rrc01", PeerAS: AnomalyPeer2AS, PeerIP: netip.MustParseAddr("192.0.2.130"), AFI: bgp.AFIIPv4},
+	}
+	for _, s := range sessions {
+		if err := sim.AddCollectorSession(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// The shared benign background: the author-style beacon campaign,
+	// announced and withdrawn cleanly by the origin.
+	start, end := AnomalyScenarioStart, AnomalyScenarioEnd
+	sched := &beacon.AuthorSchedule{Base: AuthorBase, OriginAS: AnomalyOriginAS, Approach: beacon.Recycle24h, SlotStride: AnomalySlotStride}
+	events := sched.Events(start, end)
+	intervals := sched.Intervals(start, end)
+	for _, ev := range events {
+		if ev.Announce {
+			err = sim.ScheduleAnnounce(ev.At, AnomalyOriginAS, ev.Prefix, ev.Aggregator)
+		} else {
+			err = sim.ScheduleWithdraw(ev.At, AnomalyOriginAS, ev.Prefix)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sc := &AnomalyScenario{
+		Kind:      kind,
+		Intervals: intervals,
+		Window:    zombie.Window{From: start.Add(-time.Hour), To: anomalyRunUntil},
+		Graph:     g,
+	}
+
+	injectMOAS := func() error {
+		// The origin holds the service prefix all day; the hijacker
+		// co-originates it for 4 hours. Peer 300 (behind the hijacker's
+		// transit) flips to the bogus origin while peer 200 keeps the
+		// legitimate one — a concurrent two-origin conflict well past the
+		// 1-hour MOAS threshold, withdrawn cleanly on both sides.
+		sc.MOASPrefix = AnomalyMOASPrefix
+		sc.MOASOrigins = []bgp.ASN{AnomalyOriginAS, AnomalyHijackerAS}
+		if err := sim.ScheduleAnnounce(start.Add(time.Hour), AnomalyOriginAS, AnomalyMOASPrefix, nil); err != nil {
+			return err
+		}
+		if err := sim.ScheduleMOASFlip(start.Add(4*time.Hour), AnomalyHijackerAS, AnomalyMOASPrefix, 4*time.Hour); err != nil {
+			return err
+		}
+		return sim.ScheduleWithdraw(start.Add(20*time.Hour), AnomalyOriginAS, AnomalyMOASPrefix)
+	}
+	injectStorm := func() error {
+		// The origin holds the service prefix all day; peer 200's
+		// collector sessions churn its community attribute once a minute
+		// for half an hour while the route itself never changes.
+		sc.StormPrefix = AnomalyStormPrefix
+		sc.StormPeerAS = AnomalyPeer1AS
+		if err := sim.ScheduleAnnounce(start.Add(time.Hour), AnomalyOriginAS, AnomalyStormPrefix, nil); err != nil {
+			return err
+		}
+		if err := sim.ScheduleCommunityStorm(AnomalyPeer1AS, AnomalyStormPrefix,
+			start.Add(3*time.Hour), start.Add(3*time.Hour+30*time.Minute), time.Minute); err != nil {
+			return err
+		}
+		return sim.ScheduleWithdraw(start.Add(20*time.Hour), AnomalyOriginAS, AnomalyStormPrefix)
+	}
+
+	injectZombie := func() error {
+		// Wedge the 06:00 beacon slot's withdrawal on the link into peer
+		// 200: the peer holds the stale route for 6 hours until a session
+		// reset clears it — the paper's outbreak shape.
+		var slot beacon.Event
+		found := false
+		for _, ev := range events {
+			if ev.Announce && ev.At.Equal(start.Add(6*time.Hour)) {
+				slot, found = ev, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("experiments: no beacon slot at %v", start.Add(6*time.Hour))
+		}
+		sc.ZombiePrefix = slot.Prefix
+		wd := slot.At.Add(beacon.SlotDuration)
+		wedgeEnd := wd.Add(6 * time.Hour)
+		sim.Faults().WedgeLink(11, AnomalyPeer1AS, bgp.AFIIPv6, wd.Add(-5*time.Minute), wedgeEnd,
+			func(q netip.Prefix) bool { return q == slot.Prefix })
+		return sim.ScheduleSessionReset(wedgeEnd, 11, AnomalyPeer1AS)
+	}
+	injectLeak := func() error {
+		// The leaker deaggregates one v4 and one v6 covering prefix into
+		// hyper-specifics, holds them for 6 hours, and withdraws cleanly.
+		p4, err := sim.ScheduleHyperSpecificLeak(start.Add(2*time.Hour), AnomalyLeakerAS, AnomalyLeakBase4, 30, 4, 6*time.Hour)
+		if err != nil {
+			return err
+		}
+		p6, err := sim.ScheduleHyperSpecificLeak(start.Add(2*time.Hour), AnomalyLeakerAS, AnomalyLeakBase6, 52, 4, 6*time.Hour)
+		if err != nil {
+			return err
+		}
+		sc.HyperPrefixes = append(p4, p6...)
+		return nil
+	}
+
+	switch kind {
+	case "zombie":
+		if err := injectZombie(); err != nil {
+			return nil, err
+		}
+	case "moas":
+		if err := injectMOAS(); err != nil {
+			return nil, err
+		}
+	case "hyperspecific":
+		if err := injectLeak(); err != nil {
+			return nil, err
+		}
+	case "community":
+		if err := injectStorm(); err != nil {
+			return nil, err
+		}
+	case "mixed":
+		if err := injectMOAS(); err != nil {
+			return nil, err
+		}
+		if err := injectStorm(); err != nil {
+			return nil, err
+		}
+	case "all":
+		for _, inject := range []func() error{injectZombie, injectMOAS, injectLeak, injectStorm} {
+			if err := inject(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown anomaly scenario kind %q", kind)
+	}
+
+	sim.EstablishCollectorSessions(start.Add(-time.Hour))
+	for t := start; t.Before(anomalyRunUntil); t = t.Add(2 * time.Hour) {
+		sim.Run(t)
+	}
+	sim.RunAll()
+	if err := fleet.Err(); err != nil {
+		return nil, err
+	}
+	sc.Updates = fleet.UpdatesData()
+	return sc, nil
+}

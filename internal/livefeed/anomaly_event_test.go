@@ -1,0 +1,99 @@
+package livefeed
+
+import (
+	"encoding/json"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/zombie"
+)
+
+func TestAnomalyEvent(t *testing.T) {
+	start := time.Date(2024, 6, 10, 3, 0, 0, 0, time.UTC)
+	a := zombie.Anomaly{
+		Detector: "community",
+		Kind:     zombie.KindCommunityStorm,
+		Prefix:   netip.MustParsePrefix("2a0e:cccc::/48"),
+		Peer:     zombie.PeerID{Collector: "rrc00", AS: 200, Addr: netip.MustParseAddr("2001:db8:feed::200")},
+		Start:    start,
+		End:      start.Add(30 * time.Minute),
+		Count:    30,
+		Detail:   "30 community changes in 30m",
+	}
+	ev := AnomalyEvent(a)
+	if ev.Channel != ChannelAnomaly || ev.Type != a.Kind {
+		t.Fatalf("channel/type = %s/%s, want %s/%s", ev.Channel, ev.Type, ChannelAnomaly, a.Kind)
+	}
+	if ev.Collector != "rrc00" || ev.PeerAS != 200 || ev.Peer != a.Peer.Addr {
+		t.Fatalf("peer identity did not carry over: %+v", ev)
+	}
+	if !ev.Timestamp.Equal(a.End) {
+		t.Fatalf("timestamp = %v, want finding end %v", ev.Timestamp, a.End)
+	}
+	if ps := ev.Prefixes(); len(ps) != 1 || ps[0] != a.Prefix {
+		t.Fatalf("Prefixes() = %v, want [%v]", ps, a.Prefix)
+	}
+
+	// The anomaly channel is plain string matching in Filter: a
+	// channel-scoped subscription needs no broker changes.
+	anomalyOnly := Filter{Channels: []string{ChannelAnomaly}}
+	if !anomalyOnly.Match(&ev) {
+		t.Fatal("anomaly filter rejected an anomaly event")
+	}
+	updatesOnly := Filter{Channels: []string{ChannelUpdates}}
+	if updatesOnly.Match(&ev) {
+		t.Fatal("updates filter accepted an anomaly event")
+	}
+
+	// The payload survives the wire encoding (events travel as JSON).
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Anomaly == nil {
+		t.Fatal("anomaly payload lost across JSON round trip")
+	}
+	if !reflect.DeepEqual(*back.Anomaly, AnomalyAlert{
+		Detector: a.Detector, Kind: a.Kind, Prefix: a.Prefix,
+		PeerAS: a.Peer.AS, Peer: a.Peer.Addr,
+		Start: a.Start, End: a.End, Count: a.Count, Detail: a.Detail,
+	}) {
+		t.Fatalf("alert changed across JSON round trip: %+v", back.Anomaly)
+	}
+}
+
+func TestAnomalyEventOrigins(t *testing.T) {
+	a := zombie.Anomaly{
+		Detector: "moas",
+		Kind:     zombie.KindMOASConflict,
+		Prefix:   netip.MustParsePrefix("2a0e:aaaa::/48"),
+		Origins:  []bgp.ASN{100, 400},
+		Start:    time.Date(2024, 6, 10, 4, 0, 0, 0, time.UTC),
+		End:      time.Date(2024, 6, 10, 8, 0, 0, 0, time.UTC),
+		Count:    2,
+	}
+	ev := AnomalyEvent(a)
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Anomaly == nil || len(back.Anomaly.Origins) != 2 ||
+		back.Anomaly.Origins[0] != 100 || back.Anomaly.Origins[1] != 400 {
+		t.Fatalf("origins changed across JSON round trip: %+v", back.Anomaly)
+	}
+	// Prefix-level findings carry no peer identity.
+	if back.PeerAS != 0 || back.Peer.IsValid() {
+		t.Fatalf("prefix-level finding grew a peer: %+v", back)
+	}
+}

@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestHyperSpecificSubnets(t *testing.T) {
+	t.Run("v4", func(t *testing.T) {
+		got, err := HyperSpecificSubnets(netip.MustParsePrefix("198.51.100.0/24"), 30, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []netip.Prefix{
+			netip.MustParsePrefix("198.51.100.0/30"),
+			netip.MustParsePrefix("198.51.100.4/30"),
+			netip.MustParsePrefix("198.51.100.8/30"),
+			netip.MustParsePrefix("198.51.100.12/30"),
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d subnets, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("subnet %d = %v, want %v", i, got[i], want[i])
+			}
+			if !got[i].Addr().Is4() {
+				t.Errorf("subnet %d is not a plain v4 prefix: %v", i, got[i])
+			}
+		}
+	})
+	t.Run("v6", func(t *testing.T) {
+		got, err := HyperSpecificSubnets(netip.MustParsePrefix("2a0e:dddd::/48"), 52, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []netip.Prefix{
+			netip.MustParsePrefix("2a0e:dddd::/52"),
+			netip.MustParsePrefix("2a0e:dddd:0:1000::/52"),
+			netip.MustParsePrefix("2a0e:dddd:0:2000::/52"),
+			netip.MustParsePrefix("2a0e:dddd:0:3000::/52"),
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("subnet %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		cases := []struct {
+			base        string
+			bits, count int
+		}{
+			{"198.51.100.0/24", 24, 1}, // not a deaggregation
+			{"198.51.100.0/24", 20, 1}, // shorter than the base
+			{"198.51.100.0/24", 33, 1}, // past the address width
+			{"198.51.100.0/30", 31, 3}, // more subnets than the field holds
+			{"2a0e:dddd::/48", 129, 1}, // past the v6 address width
+		}
+		for _, c := range cases {
+			if _, err := HyperSpecificSubnets(netip.MustParsePrefix(c.base), c.bits, c.count); err == nil {
+				t.Errorf("HyperSpecificSubnets(%s, %d, %d) did not fail", c.base, c.bits, c.count)
+			}
+		}
+	})
+}

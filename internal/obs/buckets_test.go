@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1e-5, 4, 5)
+	want := []float64{1e-5, 4e-5, 16e-5, 64e-5, 256e-5}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("buckets not strictly increasing at %d: %v", i, got)
+		}
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero start", func() { ExponentialBuckets(0, 4, 5) })
+	mustPanic("factor 1", func() { ExponentialBuckets(1e-5, 1, 5) })
+	mustPanic("zero count", func() { ExponentialBuckets(1e-5, 4, 0) })
+}

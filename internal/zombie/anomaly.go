@@ -1,0 +1,257 @@
+package zombie
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"zombiescope/internal/beacon"
+	"zombiescope/internal/bgp"
+	"zombiescope/internal/mrt"
+	"zombiescope/internal/obs"
+	"zombiescope/internal/pipeline"
+)
+
+// The anomaly framework generalizes the zombie detector: long-lived
+// routing state that contradicts ground truth is one instance of a family
+// of pathologies (MOAS conflicts, hyper-specific leaks, community noise
+// storms) that all evaluate against the same columnar History arena. Each
+// detector implements AnomalyDetector; findings are typed Anomaly values
+// with lifespans, sorted canonically so any build mode and worker count
+// yields bit-identical reports.
+
+// Window bounds an anomaly evaluation in record time. Findings are
+// clipped to it; state carried in from before From still counts.
+type Window struct {
+	From time.Time
+	To   time.Time
+}
+
+// Anomaly is one typed finding with a lifespan.
+type Anomaly struct {
+	// Detector is the registered name of the detector that emitted it.
+	Detector string
+	// Kind classifies the finding within the detector (e.g.
+	// "zombie-outbreak", "moas-conflict").
+	Kind string
+	// Prefix the finding concerns.
+	Prefix netip.Prefix
+	// Peer is set for per-session findings (community storms); zero for
+	// prefix-level findings.
+	Peer PeerID
+	// Origins are the distinct origin ASes involved, sorted.
+	Origins []bgp.ASN
+	// Start/End bound the anomalous condition, clipped to the window.
+	Start time.Time
+	End   time.Time
+	// Count is the detector-specific magnitude: stuck routes for zombies,
+	// concurrent origins for MOAS, peak concurrent peers for
+	// hyper-specifics, churn events for community storms.
+	Count int
+	// Detail is a one-line human-readable summary.
+	Detail string
+}
+
+// Lifespan is the duration of the anomalous condition.
+func (a *Anomaly) Lifespan() time.Duration { return a.End.Sub(a.Start) }
+
+// AnomalyDetector evaluates one pathology over a shared history.
+// Implementations must be deterministic: the same history and window must
+// produce the same findings regardless of internal parallelism or how the
+// history was built (batch, parallel shards, or streamed).
+type AnomalyDetector interface {
+	Name() string
+	DetectAnomalies(h *History, win Window) []Anomaly
+}
+
+// AnomalyConfig carries the shared knobs detector factories consume.
+// Zero values select each detector's defaults.
+type AnomalyConfig struct {
+	// Intervals drive the zombie detector (it is interval-anchored; the
+	// other detectors are interval-free).
+	Intervals []beacon.Interval
+	// Threshold is the zombie stuck-route threshold.
+	Threshold time.Duration
+	// MOASMinDuration is the minimum concurrent-origin overlap before a
+	// MOAS conflict counts as long-lived. Default 1h.
+	MOASMinDuration time.Duration
+	// HyperMinDuration is the minimum visibility of a hyper-specific
+	// prefix before it counts as a leak. Default 30m.
+	HyperMinDuration time.Duration
+	// StormMinEvents / StormWindow define a community noise storm: at
+	// least StormMinEvents community changes on one (peer, prefix) within
+	// StormWindow. Defaults 8 events / 15m.
+	StormMinEvents int
+	StormWindow    time.Duration
+	// Parallelism fans detector internals (and the zombie detector's
+	// interval evaluation) over pipeline workers; results are identical
+	// for any value.
+	Parallelism int
+}
+
+// anomalyFactories is the detector registry. Registration happens in
+// init, so the set is fixed before main runs and name iteration can be
+// sorted on demand.
+var anomalyFactories = map[string]func(AnomalyConfig) AnomalyDetector{}
+
+// RegisterAnomalyDetector adds a detector factory under a unique name.
+func RegisterAnomalyDetector(name string, factory func(AnomalyConfig) AnomalyDetector) {
+	if _, dup := anomalyFactories[name]; dup {
+		panic("zombie: duplicate anomaly detector " + name)
+	}
+	anomalyFactories[name] = factory
+}
+
+// AnomalyDetectorNames lists the registered detector names, sorted.
+func AnomalyDetectorNames() []string {
+	names := make([]string, 0, len(anomalyFactories))
+	for name := range anomalyFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildAnomalyDetectors instantiates detectors by name. An empty list
+// builds every registered detector, in sorted name order.
+func BuildAnomalyDetectors(names []string, cfg AnomalyConfig) ([]AnomalyDetector, error) {
+	if len(names) == 0 {
+		names = AnomalyDetectorNames()
+	}
+	out := make([]AnomalyDetector, 0, len(names))
+	for _, name := range names {
+		factory, ok := anomalyFactories[name]
+		if !ok {
+			return nil, fmt.Errorf("zombie: unknown anomaly detector %q (have %v)", name, AnomalyDetectorNames())
+		}
+		out = append(out, factory(cfg))
+	}
+	return out, nil
+}
+
+func init() {
+	RegisterAnomalyDetector("zombie", func(cfg AnomalyConfig) AnomalyDetector {
+		return &ZombieAnomalyDetector{
+			Det:       Detector{Threshold: cfg.Threshold, Parallelism: cfg.Parallelism},
+			Intervals: cfg.Intervals,
+		}
+	})
+	RegisterAnomalyDetector("moas", func(cfg AnomalyConfig) AnomalyDetector {
+		return &MOASDetector{MinDuration: cfg.MOASMinDuration, Parallelism: cfg.Parallelism}
+	})
+	RegisterAnomalyDetector("hyperspecific", func(cfg AnomalyConfig) AnomalyDetector {
+		return &HyperSpecificDetector{MinDuration: cfg.HyperMinDuration, Parallelism: cfg.Parallelism}
+	})
+	RegisterAnomalyDetector("community", func(cfg AnomalyConfig) AnomalyDetector {
+		return &CommunityStormDetector{MinEvents: cfg.StormMinEvents, RateWindow: cfg.StormWindow, Parallelism: cfg.Parallelism}
+	})
+}
+
+// AnomalyReport is the output of one framework run.
+type AnomalyReport struct {
+	Window Window
+	// Findings across all detectors, in canonical order: detector name,
+	// then (prefix, peer, start, end, kind).
+	Findings []Anomaly
+	// ByDetector counts findings per detector name, including zeros for
+	// detectors that ran and found nothing.
+	ByDetector map[string]int
+}
+
+// Filter returns the findings of one detector, in canonical order.
+func (r *AnomalyReport) Filter(detector string) []Anomaly {
+	var out []Anomaly
+	for _, a := range r.Findings {
+		if a.Detector == detector {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RunAnomalyDetectors evaluates every detector against the shared
+// history. With parallelism > 1 detectors run concurrently on pipeline
+// workers; findings land in per-detector slots and are assembled in
+// detector order, so the report is bit-identical for any worker count.
+func RunAnomalyDetectors(h *History, win Window, dets []AnomalyDetector, parallelism int) *AnomalyReport {
+	sp := obs.StartSpan("zombie.anomalies")
+	sp.SetArg("detectors", len(dets))
+	defer sp.End()
+	slots := make([][]Anomaly, len(dets))
+	eval := func(i int) {
+		findings := dets[i].DetectAnomalies(h, win)
+		for j := range findings {
+			findings[j].Detector = dets[i].Name()
+		}
+		sortAnomalies(findings)
+		slots[i] = findings
+	}
+	if parallelism > 1 {
+		e := &pipeline.Engine{Workers: parallelism, Trace: sp}
+		e.For(len(dets), eval)
+	} else {
+		for i := range dets {
+			eval(i)
+		}
+	}
+	rep := &AnomalyReport{Window: win, ByDetector: make(map[string]int, len(dets))}
+	for i, findings := range slots {
+		rep.ByDetector[dets[i].Name()] = len(findings)
+		rep.Findings = append(rep.Findings, findings...)
+	}
+	return rep
+}
+
+// sortAnomalies applies the canonical finding order within one detector:
+// (prefix, peer, start, end, kind). Detectors already emit deterministic
+// streams; the sort pins the cross-shard order so parallel evaluation
+// cannot reorder equal work.
+func sortAnomalies(as []Anomaly) {
+	sort.SliceStable(as, func(i, j int) bool {
+		a, b := &as[i], &as[j]
+		if c := comparePrefixes(a.Prefix, b.Prefix); c != 0 {
+			return c < 0
+		}
+		if c := comparePeers(a.Peer, b.Peer); c != 0 {
+			return c < 0
+		}
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if !a.End.Equal(b.End) {
+			return a.End.Before(b.End)
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// AnomalyStream accumulates live collector records into a history for
+// anomaly evaluation — the streaming twin of BuildHistory, used by the
+// livefeed pipeline and the chaos parity soak. Records must arrive in a
+// per-collector-order-preserving sequence (the broker guarantees this);
+// cross-collector interleaving may differ from the batch build, which is
+// why every detector sweep groups state changes by record timestamp
+// before evaluating.
+type AnomalyStream struct {
+	b     *histBuilder
+	order int
+}
+
+// NewAnomalyStream returns an empty accumulator tracking every prefix.
+func NewAnomalyStream() *AnomalyStream {
+	return &AnomalyStream{b: newHistBuilder()}
+}
+
+// Observe ingests one collector record.
+func (s *AnomalyStream) Observe(collector string, rec mrt.Record) error {
+	s.order++
+	return recordEvents(collector, s.order, rec, nil, nil, s.b.add, s.b.addSession)
+}
+
+// Seal builds the canonical history from everything observed so far. The
+// accumulator keeps its events: Observe may continue and Seal may be
+// called again over the longer stream.
+func (s *AnomalyStream) Seal() *History {
+	return sealHistory([]*histBuilder{s.b})
+}

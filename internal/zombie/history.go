@@ -29,6 +29,7 @@ type histEvent struct {
 	kind  eventKind
 	path  bgp.ASPath
 	agg   *bgp.Aggregator
+	comms []bgp.Community // nil when the announcement carried none
 }
 
 // History is the reconstructed message-level state of every tracked
@@ -55,7 +56,15 @@ type History struct {
 }
 
 // TrackSet selects the prefixes worth reconstructing (beacon prefixes).
+// A nil TrackSet tracks every prefix seen in the archives — the mode the
+// anomaly detectors run in, since MOAS conflicts and hyper-specific leaks
+// by definition involve prefixes no beacon schedule names.
 type TrackSet map[netip.Prefix]bool
+
+// tracks reports whether p should be reconstructed (nil = track all).
+func (ts TrackSet) tracks(p netip.Prefix) bool {
+	return ts == nil || ts[p]
+}
 
 // NewTrackSet builds a TrackSet from prefixes.
 func NewTrackSet(prefixes []netip.Prefix) TrackSet {
@@ -138,13 +147,13 @@ func recordEvents(name string, order int, rec mrt.Record, track TrackSet, scratc
 		// before MP attributes — the same order WithdrawnAll/Announced
 		// return, without materializing the combined slices.
 		for _, p := range u.Withdrawn {
-			if track[p] {
+			if track.tracks(p) {
 				prefixEv(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
 			}
 		}
 		if u.Attrs.MPUnreach != nil {
 			for _, p := range u.Attrs.MPUnreach.Withdrawn {
-				if track[p] {
+				if track.tracks(p) {
 					prefixEv(peer, p, histEvent{at: r.Timestamp, order: order, kind: evWithdraw})
 				}
 			}
@@ -155,15 +164,16 @@ func recordEvents(name string, order int, rec mrt.Record, track TrackSet, scratc
 			kind:  evAnnounce,
 			path:  u.Attrs.ASPath,
 			agg:   u.Attrs.Aggregator,
+			comms: cloneCommunities(u.Attrs.Communities),
 		}
 		for _, p := range u.NLRI {
-			if track[p] {
+			if track.tracks(p) {
 				prefixEv(peer, p, annEv)
 			}
 		}
 		if u.Attrs.MPReach != nil {
 			for _, p := range u.Attrs.MPReach.NLRI {
-				if track[p] {
+				if track.tracks(p) {
 					prefixEv(peer, p, annEv)
 				}
 			}
@@ -179,6 +189,20 @@ func recordEvents(name string, order int, rec mrt.Record, track TrackSet, scratc
 		sessionEv(peer, histEvent{at: r.Timestamp, order: order, kind: kind})
 	}
 	return nil
+}
+
+// cloneCommunities copies a decoded community list for retention. The
+// scratch decoder reuses its Communities backing array across records, so
+// anything stored into the arena must be copied out. Empty lists map to
+// nil: records without communities stay allocation-free (the alloc fence
+// counts on it) and both decode modes produce the same stored value.
+func cloneCommunities(cs []bgp.Community) []bgp.Community {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]bgp.Community, len(cs))
+	copy(out, cs)
+	return out
 }
 
 // pairEvents returns the time-ordered event stream of (peer, p).
